@@ -1,0 +1,70 @@
+// Reproduces the paper's §V-C overhead measurement ("each step takes 0.3
+// seconds for the norm-bounded attack, and 0.2 for the norm-unbounded" on
+// the authors' GPU testbed): google-benchmark timings of a single attack
+// step (forward + adversarial loss + backward) per model on this CPU
+// substrate, plus a clean-inference reference.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "pcss/tensor/ops.h"
+
+using namespace pcss::core;
+namespace ops = pcss::tensor::ops;
+using pcss::models::ModelInput;
+using pcss::tensor::Tensor;
+
+namespace {
+
+pcss::train::ModelZoo& zoo() {
+  static pcss::train::ModelZoo instance;
+  return instance;
+}
+
+const pcss::data::PointCloud& indoor_cloud() {
+  static const auto clouds = zoo().indoor_eval_scenes(1, 9100);
+  return clouds.front();
+}
+
+/// One gradient step of the attack inner loop (the unit the paper times).
+template <typename ModelGetter>
+void attack_step(benchmark::State& state, ModelGetter get_model) {
+  auto model = get_model();
+  const auto& cloud = indoor_cloud();
+  for (auto _ : state) {
+    Tensor delta = Tensor::zeros({cloud.size(), 3});
+    delta.set_requires_grad(true);
+    ModelInput input{&cloud, delta, {}};
+    Tensor logits = model->forward(input, false);
+    Tensor loss = ops::hinge_margin_loss(logits, cloud.labels, {}, /*targeted=*/false);
+    loss.backward();
+    benchmark::DoNotOptimize(delta.grad().data());
+  }
+}
+
+void BM_AttackStep_PointNet2(benchmark::State& state) {
+  attack_step(state, [] { return zoo().pointnet2_indoor(); });
+}
+void BM_AttackStep_ResGCN(benchmark::State& state) {
+  attack_step(state, [] { return zoo().resgcn_indoor(); });
+}
+void BM_AttackStep_RandLA(benchmark::State& state) {
+  attack_step(state, [] { return zoo().randla_indoor(); });
+}
+
+void BM_CleanInference_ResGCN(benchmark::State& state) {
+  auto model = zoo().resgcn_indoor();
+  const auto& cloud = indoor_cloud();
+  for (auto _ : state) {
+    auto pred = model->predict(cloud);
+    benchmark::DoNotOptimize(pred.data());
+  }
+}
+
+BENCHMARK(BM_AttackStep_PointNet2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AttackStep_ResGCN)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AttackStep_RandLA)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CleanInference_ResGCN)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

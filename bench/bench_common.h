@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "pcss/core/attack.h"
+#include "pcss/core/experiment.h"
+#include "pcss/core/metrics.h"
+#include "pcss/train/model_zoo.h"
+
+/// Shared configuration for the paper-reproduction benchmarks.
+///
+/// Every bench binary regenerates one table or figure of the paper using
+/// the CPU-scaled substitutes documented in DESIGN.md. `PCSS_FAST=1`
+/// shrinks scene counts and step budgets for smoke runs; the defaults are
+/// tuned so the full suite finishes in tens of minutes on one core.
+namespace pcss::bench {
+
+struct Scale {
+  int scenes = 3;          ///< clouds per configuration
+  int hiding_scenes = 2;   ///< clouds per (model, source-class) pair
+  int pgd_steps = 50;      ///< paper: 50
+  int cw_steps = 150;      ///< paper: 1000 (CPU-scaled)
+  float eps_color = 0.15f; ///< bounded color clip
+  float eps_coord = 0.30f; ///< bounded coordinate clip (meters; about half
+                           ///< the mean point spacing of the 512-pt rooms)
+};
+
+inline bool fast_mode() {
+  const char* env = std::getenv("PCSS_FAST");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+inline Scale scale() {
+  Scale s;
+  if (fast_mode()) {
+    s.scenes = 2;
+    s.hiding_scenes = 1;
+    s.pgd_steps = 10;
+    s.cw_steps = 25;
+  }
+  return s;
+}
+
+inline pcss::core::AttackConfig base_config(pcss::core::AttackNorm norm,
+                                            pcss::core::AttackField field) {
+  const Scale s = scale();
+  pcss::core::AttackConfig config;
+  config.norm = norm;
+  config.field = field;
+  config.steps = s.pgd_steps;
+  config.cw_steps = s.cw_steps;
+  config.epsilon = s.eps_color;
+  config.coord_epsilon = s.eps_coord;
+  return config;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(synthetic-substrate reproduction; see EXPERIMENTS.md for the\n");
+  std::printf(" paper-vs-measured comparison and DESIGN.md for substitutions)\n");
+  std::printf("=============================================================\n");
+}
+
+inline void print_baw_row(const char* label, const pcss::core::CaseRecord& r,
+                          const char* dist_name) {
+  std::printf("  %-6s %s=%9.2f  Acc=%6.2f%%  aIoU=%6.2f%%\n", label, dist_name, r.distance,
+              100.0 * r.accuracy, 100.0 * r.aiou);
+}
+
+inline void print_baw(const pcss::core::BestAvgWorst& agg, const char* dist_name) {
+  print_baw_row("Best", agg.best, dist_name);
+  print_baw_row("Avg", agg.avg, dist_name);
+  print_baw_row("Worst", agg.worst, dist_name);
+}
+
+/// Figures output directory (created on demand).
+inline std::string figures_dir() {
+  const std::string dir = "figures";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace pcss::bench

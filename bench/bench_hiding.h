@@ -1,0 +1,68 @@
+#pragma once
+
+// Shared driver for the object-hiding tables (IV, V, VII): for each
+// (model, source class) pair, select scenes that contain enough source
+// points (the paper's scene-selection rule), run the attack toward the
+// target class, and report PSR plus out-of-band metrics.
+#include <functional>
+
+#include "bench_common.h"
+#include "pcss/data/indoor.h"
+
+namespace pcss::bench {
+
+struct HidingRow {
+  double l2 = 0.0;
+  double psr = 0.0;
+  double oob_acc = 0.0, acc = 0.0;
+  double oob_aiou = 0.0, aiou = 0.0;
+  int scenes = 0;
+};
+
+/// Runs the hiding attack over `scenes` clouds supplied by `make_scene`
+/// (each must contain source-class points) and averages the paper's
+/// Table IV/V row metrics.
+inline HidingRow hiding_row(pcss::core::SegmentationModel& model,
+                            const std::function<pcss::core::PointCloud(int)>& make_scene,
+                            int scenes, int source_class, int target_class,
+                            pcss::core::AttackConfig config) {
+  using namespace pcss::core;
+  HidingRow row;
+  for (int s = 0; s < scenes; ++s) {
+    const PointCloud cloud = make_scene(s);
+    const auto mask = mask_for_class(cloud.labels, source_class);
+    config.objective = AttackObjective::kObjectHiding;
+    config.target_class = target_class;
+    config.target_mask = mask;
+    const AttackResult result = run_attack(model, cloud, config);
+
+    const SegMetrics overall =
+        evaluate_segmentation(result.predictions, cloud.labels, model.num_classes());
+    const SegMetrics oob =
+        evaluate_oob(result.predictions, cloud.labels, model.num_classes(), mask);
+    row.l2 += result.l2_color;
+    row.psr += point_success_rate(result.predictions, mask, target_class);
+    row.oob_acc += oob.accuracy;
+    row.acc += overall.accuracy;
+    row.oob_aiou += oob.aiou;
+    row.aiou += overall.aiou;
+    ++row.scenes;
+  }
+  const double n = row.scenes;
+  row.l2 /= n;
+  row.psr /= n;
+  row.oob_acc /= n;
+  row.acc /= n;
+  row.oob_aiou /= n;
+  row.aiou /= n;
+  return row;
+}
+
+inline void print_hiding_row(const char* source_name, const HidingRow& r) {
+  std::printf("  %-9s L2=%6.2f  PSR=%6.2f%%  OOB/Acc=%6.2f/%6.2f%%  "
+              "OOB/aIoU=%6.2f/%6.2f%%\n",
+              source_name, r.l2, 100.0 * r.psr, 100.0 * r.oob_acc, 100.0 * r.acc,
+              100.0 * r.oob_aiou, 100.0 * r.aiou);
+}
+
+}  // namespace pcss::bench

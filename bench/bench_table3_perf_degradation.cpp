@@ -1,0 +1,76 @@
+// Reproduces Table III: color-based performance degradation against
+// PointNet++, ResGCN and RandLA-Net on indoor scenes, comparing the
+// random-noise baseline (at the unbounded attack's L2) with the
+// norm-unbounded and norm-bounded attacks.
+#include <memory>
+
+#include "bench_common.h"
+
+using namespace pcss::core;
+using pcss::bench::base_config;
+using pcss::bench::print_baw;
+using pcss::bench::print_header;
+using pcss::bench::scale;
+
+namespace {
+
+void run_for_model(SegmentationModel& model, const std::vector<PointCloud>& clouds) {
+  const SegMetrics clean = clean_metrics(model, clouds);
+  std::printf("\n--- %s (clean Acc=%.2f%%, aIoU=%.2f%%) ---\n", model.name().c_str(),
+              100.0 * clean.accuracy, 100.0 * clean.aiou);
+
+  // Norm-unbounded first; its per-scene L2 calibrates the noise baseline,
+  // as the paper matches baseline and attack at the same distance.
+  AttackConfig unbounded = base_config(AttackNorm::kUnbounded, AttackField::kColor);
+  unbounded.success_accuracy = 1.0f / 13.0f;
+  std::vector<CaseRecord> unb_records, noise_records;
+  for (size_t i = 0; i < clouds.size(); ++i) {
+    const AttackResult adv = run_attack(model, clouds[i], unbounded);
+    const SegMetrics m =
+        evaluate_segmentation(adv.predictions, clouds[i].labels, model.num_classes());
+    unb_records.push_back({adv.l2_color, m.accuracy, m.aiou});
+
+    const AttackResult noise =
+        random_noise_baseline(model, clouds[i], adv.l2_color, 7000 + i);
+    const SegMetrics mn =
+        evaluate_segmentation(noise.predictions, clouds[i].labels, model.num_classes());
+    noise_records.push_back({noise.l2_color, mn.accuracy, mn.aiou});
+  }
+
+  AttackConfig bounded = base_config(AttackNorm::kBounded, AttackField::kColor);
+  bounded.success_accuracy = 1.0f / 13.0f;
+  const auto bnd_records = attack_cases(model, clouds, bounded, /*use_l0_distance=*/false);
+
+  std::printf("[Random noise]\n");
+  print_baw(aggregate_cases(noise_records), "L2");
+  std::printf("[Norm-unbounded]\n");
+  print_baw(aggregate_cases(unb_records), "L2");
+  std::printf("[Norm-bounded]\n");
+  print_baw(aggregate_cases(bnd_records), "L2");
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Table III - performance degradation on PointNet++/ResGCN/RandLA-Net (color, L2)");
+  pcss::train::ModelZoo zoo;
+  const auto clouds = zoo.indoor_eval_scenes(scale().scenes);
+
+  {
+    auto m = zoo.pointnet2_indoor();
+    run_for_model(*m, clouds);
+  }
+  {
+    auto m = zoo.resgcn_indoor();
+    run_for_model(*m, clouds);
+  }
+  {
+    auto m = zoo.randla_indoor();
+    run_for_model(*m, clouds);
+  }
+  std::printf("\nExpected shape (paper Table III): both optimized attacks collapse\n"
+              "accuracy toward random guessing while random noise barely moves it;\n"
+              "norm-unbounded wins on the hardest (worst-case) scenes.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Table V: norm-bounded object hiding (PGD-style, Algorithm 1)
+// with the same (model, source class) grid as Table IV.
+#include "bench_hiding.h"
+
+using namespace pcss::core;
+using namespace pcss::bench;
+using pcss::data::IndoorSceneGenerator;
+using pcss::data::indoor_class_name;
+using pcss::tensor::Rng;
+
+namespace {
+
+constexpr int kSources[] = {5, 6, 7, 8, 10, 11};
+constexpr int kTargetWall = 2;
+
+void run_for_model(SegmentationModel& model) {
+  std::printf("\n--- %s ---\n", model.name().c_str());
+  IndoorSceneGenerator gen(pcss::train::zoo_indoor_config());
+  for (int source : kSources) {
+    Rng rng(52000 + static_cast<std::uint64_t>(source));
+    auto make_scene = [&](int) { return gen.generate_with_class(rng, source, 10); };
+    AttackConfig config = base_config(AttackNorm::kBounded, AttackField::kColor);
+    config.success_psr = 0.98f;
+    const HidingRow row = hiding_row(model, make_scene, scale().hiding_scenes, source,
+                                     kTargetWall, config);
+    print_hiding_row(indoor_class_name(source), row);
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("Table V - object hiding (norm-bounded), sources -> wall");
+  pcss::train::ModelZoo zoo;
+  {
+    auto m = zoo.pointnet2_indoor();
+    run_for_model(*m);
+  }
+  {
+    auto m = zoo.resgcn_indoor();
+    run_for_model(*m);
+  }
+  {
+    auto m = zoo.randla_indoor();
+    run_for_model(*m);
+  }
+  std::printf("\nExpected shape (paper Table V): PSR lower than the norm-unbounded\n"
+              "attack of Table IV for every pair (Finding 4), with table/chair\n"
+              "dropping hardest; the bounded clip keeps L2 smaller.\n");
+  return 0;
+}

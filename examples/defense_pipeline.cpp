@@ -1,0 +1,66 @@
+// Defense evaluation pipeline: trains a fresh (not zoo-cached) ResGCN
+// with the library's trainer, attacks it, and measures how the paper's
+// two anomaly-detection defenses (SRS, SOR) change the outcome — the
+// §V-F experiment as a standalone program. Demonstrates the training API
+// alongside the attack/defense APIs.
+#include <cstdio>
+
+#include "pcss/core/attack.h"
+#include "pcss/core/defense.h"
+#include "pcss/core/metrics.h"
+#include "pcss/data/indoor.h"
+#include "pcss/models/resgcn.h"
+#include "pcss/train/trainer.h"
+
+using namespace pcss::core;
+using pcss::data::IndoorSceneGenerator;
+using pcss::tensor::Rng;
+
+int main() {
+  // Train a small ResGCN from scratch (a minute-scale CPU job).
+  IndoorSceneGenerator gen({.num_points = 384});
+  Rng init(7);
+  pcss::models::ResGCNConfig mc;
+  mc.num_classes = pcss::data::kIndoorNumClasses;
+  mc.channels = 24;
+  mc.blocks = 3;
+  pcss::models::ResGCNSeg model(mc, init);
+
+  pcss::train::TrainConfig tc;
+  tc.iterations = 250;
+  tc.scene_pool = 12;
+  tc.verbose = true;
+  const auto stats = pcss::train::train_model(
+      model, [&gen](Rng& rng) { return gen.generate(rng); }, tc);
+  std::printf("trained: final loss %.3f, train accuracy %.1f%%\n\n", stats.final_loss,
+              100.0 * stats.final_train_accuracy);
+
+  Rng eval_rng(99);
+  const auto cloud = gen.generate(eval_rng);
+  const double clean_acc =
+      evaluate_segmentation(model.predict(cloud), cloud.labels, 13).accuracy;
+
+  AttackConfig config;
+  config.norm = AttackNorm::kUnbounded;
+  config.field = AttackField::kColor;
+  config.cw_steps = 100;
+  const AttackResult adv = run_attack(model, cloud, config);
+  const double adv_acc =
+      evaluate_segmentation(adv.predictions, cloud.labels, 13).accuracy;
+
+  Rng def_rng(11);
+  const auto srs_cloud = srs_defense(adv.perturbed, cloud.size() / 100, def_rng);
+  const DefendedEval srs = evaluate_defended(model, srs_cloud, 13);
+  const auto sor_cloud = sor_defense(adv.perturbed, /*k=*/2, 1.0f, 1.0f);
+  const DefendedEval sor = evaluate_defended(model, sor_cloud, 13);
+
+  std::printf("clean accuracy:              %5.1f%%\n", 100.0 * clean_acc);
+  std::printf("attacked (no defense):       %5.1f%%  (L2=%.2f)\n", 100.0 * adv_acc,
+              adv.l2_color);
+  std::printf("attacked + SRS (1%% removed): %5.1f%%  (%lld pts kept)\n",
+              100.0 * srs.accuracy, static_cast<long long>(srs.points_kept));
+  std::printf("attacked + SOR (k=2):        %5.1f%%  (%lld pts kept)\n",
+              100.0 * sor.accuracy, static_cast<long long>(sor.points_kept));
+  std::printf("\nPaper Finding 7: neither defense restores clean accuracy.\n");
+  return 0;
+}

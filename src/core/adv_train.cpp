@@ -1,0 +1,49 @@
+#include "pcss/core/adv_train.h"
+
+#include <vector>
+
+#include "pcss/tensor/ops.h"
+#include "pcss/tensor/optim.h"
+
+namespace pcss::core {
+
+namespace ops = pcss::tensor::ops;
+using pcss::tensor::Tensor;
+
+AdvTrainStats adversarial_train(SegmentationModel& model,
+                                const std::function<PointCloud(Rng&)>& make_scene,
+                                const AdvTrainConfig& config) {
+  Rng rng(config.seed);
+  std::vector<PointCloud> pool;
+  pool.reserve(static_cast<size_t>(config.scene_pool));
+  for (int i = 0; i < config.scene_pool; ++i) pool.push_back(make_scene(rng));
+
+  AttackConfig attack;
+  attack.norm = AttackNorm::kBounded;
+  attack.field = AttackField::kColor;
+  attack.steps = config.attack_steps;
+  attack.epsilon = config.epsilon;
+
+  pcss::tensor::optim::Adam opt(model.parameters(), config.lr);
+  AdvTrainStats stats;
+  for (int it = 0; it < config.iterations; ++it) {
+    const PointCloud& clean = pool[static_cast<size_t>(it) % pool.size()];
+    const bool adversarial_step = rng.uniform() < config.adv_fraction;
+    PointCloud scene = clean;
+    if (adversarial_step) {
+      attack.seed = config.seed + static_cast<std::uint64_t>(it);
+      scene = run_attack(model, clean, attack).perturbed;
+      ++stats.adversarial_steps;
+    }
+    pcss::models::ModelInput input = pcss::models::ModelInput::plain(scene);
+    Tensor logits = model.forward(input, /*training=*/true);
+    Tensor loss = ops::nll_loss_masked(ops::log_softmax_rows(logits), scene.labels, {});
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+    stats.final_loss = loss.item();
+  }
+  return stats;
+}
+
+}  // namespace pcss::core

@@ -1,0 +1,67 @@
+#include "pcss/core/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pcss::core {
+
+BestAvgWorst aggregate_cases(const std::vector<CaseRecord>& records) {
+  if (records.empty()) throw std::invalid_argument("aggregate_cases: no records");
+  BestAvgWorst out;
+  out.best = records.front();
+  out.worst = records.front();
+  CaseRecord sum{};
+  for (const CaseRecord& r : records) {
+    if (r.accuracy < out.best.accuracy) out.best = r;
+    if (r.accuracy > out.worst.accuracy) out.worst = r;
+    sum.distance += r.distance;
+    sum.accuracy += r.accuracy;
+    sum.aiou += r.aiou;
+  }
+  const auto n = static_cast<double>(records.size());
+  out.avg = {sum.distance / n, sum.accuracy / n, sum.aiou / n};
+  return out;
+}
+
+std::vector<CaseRecord> attack_cases(SegmentationModel& model,
+                                     const std::vector<PointCloud>& clouds,
+                                     const AttackConfig& config, bool use_l0_distance) {
+  std::vector<CaseRecord> records;
+  records.reserve(clouds.size());
+  for (const PointCloud& cloud : clouds) {
+    const AttackResult result = run_attack(model, cloud, config);
+    const SegMetrics m =
+        evaluate_segmentation(result.predictions, cloud.labels, model.num_classes());
+    CaseRecord rec;
+    if (use_l0_distance) {
+      rec.distance = static_cast<double>(
+          config.field == AttackField::kColor ? result.l0_color
+          : config.field == AttackField::kCoordinate
+              ? result.l0_coord
+              : std::max(result.l0_color, result.l0_coord));
+    } else {
+      rec.distance = config.field == AttackField::kCoordinate ? result.l2_coord
+                                                              : result.l2_color;
+    }
+    rec.accuracy = m.accuracy;
+    rec.aiou = m.aiou;
+    records.push_back(rec);
+  }
+  return records;
+}
+
+SegMetrics clean_metrics(SegmentationModel& model, const std::vector<PointCloud>& clouds) {
+  if (clouds.empty()) throw std::invalid_argument("clean_metrics: no clouds");
+  SegMetrics acc;
+  for (const PointCloud& cloud : clouds) {
+    const std::vector<int> pred = model.predict(cloud);
+    const SegMetrics m = evaluate_segmentation(pred, cloud.labels, model.num_classes());
+    acc.accuracy += m.accuracy;
+    acc.aiou += m.aiou;
+  }
+  acc.accuracy /= static_cast<double>(clouds.size());
+  acc.aiou /= static_cast<double>(clouds.size());
+  return acc;
+}
+
+}  // namespace pcss::core

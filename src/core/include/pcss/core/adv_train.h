@@ -1,0 +1,35 @@
+#pragma once
+
+#include <functional>
+
+#include "pcss/core/attack.h"
+
+namespace pcss::core {
+
+/// Adversarial training — the defense the paper lists in §V-F but does
+/// not evaluate ("adversarial training is heavyweight because it incurs
+/// high training overhead"). This implements the standard PGD-adversarial
+/// training loop so the repo can quantify both the overhead and the
+/// robustness gain (bench_ext_adversarial_training).
+struct AdvTrainConfig {
+  int iterations = 200;       ///< optimizer steps
+  int scene_pool = 12;        ///< distinct scenes cycled during training
+  float lr = 0.01f;           ///< Adam learning rate
+  float adv_fraction = 0.5f;  ///< fraction of steps trained on adversarial inputs
+  int attack_steps = 5;       ///< inner PGD budget (small, as is standard)
+  float epsilon = 0.15f;      ///< inner PGD color clip
+  std::uint64_t seed = 4242;
+};
+
+struct AdvTrainStats {
+  float final_loss = 0.0f;
+  int adversarial_steps = 0;  ///< how many steps used adversarial inputs
+};
+
+/// Trains `model` with a mix of clean and PGD-perturbed (color field)
+/// scenes drawn from `make_scene`.
+AdvTrainStats adversarial_train(SegmentationModel& model,
+                                const std::function<PointCloud(Rng&)>& make_scene,
+                                const AdvTrainConfig& config);
+
+}  // namespace pcss::core

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pcss/models/model.h"
+#include "pcss/tensor/rng.h"
+
+namespace pcss::core {
+
+using pcss::models::PointCloud;
+using pcss::models::SegmentationModel;
+using pcss::tensor::Rng;
+
+/// Simple Random Sampling defense (paper §V-F, from Yang et al.): removes
+/// `remove_count` uniformly chosen points before segmentation.
+PointCloud srs_defense(const PointCloud& cloud, std::int64_t remove_count, Rng& rng);
+
+/// Statistical Outlier Removal defense (paper §V-F, from DUP-Net),
+/// revised as in the paper to use both color and coordinates in the kNN
+/// distance: d = sqrt(d_pos^2 + color_weight * d_color^2). Points whose
+/// mean-kNN distance exceeds mean + stddev_mult * sigma are removed.
+PointCloud sor_defense(const PointCloud& cloud, int k, float stddev_mult = 1.0f,
+                       float color_weight = 1.0f);
+
+/// Result of running a model on a defended (point-dropping) input.
+struct DefendedEval {
+  double accuracy = 0.0;
+  double aiou = 0.0;
+  std::int64_t points_kept = 0;
+};
+
+/// Predicts on the defended cloud and scores against its ground truth.
+DefendedEval evaluate_defended(SegmentationModel& model, const PointCloud& defended,
+                               int num_classes);
+
+}  // namespace pcss::core

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pcss/core/attack.h"
+#include "pcss/core/metrics.h"
+
+namespace pcss::core {
+
+/// One attacked cloud's headline numbers (a row source for the paper's
+/// best/average/worst tables).
+struct CaseRecord {
+  double distance = 0.0;  ///< L2 or L0, per the experiment's metric
+  double accuracy = 0.0;
+  double aiou = 0.0;
+};
+
+/// Best / average / worst aggregation exactly as the paper's Tables II,
+/// III and VI use it: "best" is the most vulnerable cloud (lowest
+/// post-attack accuracy), "worst" the most robust one; the average is
+/// element-wise over all records.
+struct BestAvgWorst {
+  CaseRecord best;
+  CaseRecord avg;
+  CaseRecord worst;
+};
+
+BestAvgWorst aggregate_cases(const std::vector<CaseRecord>& records);
+
+/// Runs `config` on every cloud and collects per-cloud records.
+/// `use_l0_distance` selects Eq. 8 (count of changed points) instead of
+/// Eq. 6 (L2) as the reported distance, as Table II does.
+std::vector<CaseRecord> attack_cases(SegmentationModel& model,
+                                     const std::vector<PointCloud>& clouds,
+                                     const AttackConfig& config, bool use_l0_distance);
+
+/// Mean clean (pre-attack) metrics over the clouds.
+SegMetrics clean_metrics(SegmentationModel& model, const std::vector<PointCloud>& clouds);
+
+}  // namespace pcss::core

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pcss::core {
+
+/// Segmentation quality numbers used throughout the paper's tables.
+struct SegMetrics {
+  double accuracy = 0.0;               ///< TP / N (paper §V-A)
+  double aiou = 0.0;                   ///< mean IoU over classes present
+  std::vector<double> per_class_iou;   ///< IoU_i = TP_i/(TP_i+FP_i+FN_i); -1 if absent
+};
+
+/// Computes accuracy and aIoU of predictions against ground truth.
+/// Classes with an empty union (never predicted nor present) are skipped
+/// by the aIoU average, matching the per-cloud evaluation of the paper.
+SegMetrics evaluate_segmentation(const std::vector<int>& predictions,
+                                 const std::vector<int>& ground_truth, int num_classes);
+
+/// Same, restricted to points where mask[i] != 0.
+SegMetrics evaluate_segmentation_masked(const std::vector<int>& predictions,
+                                        const std::vector<int>& ground_truth,
+                                        int num_classes,
+                                        const std::vector<std::uint8_t>& mask);
+
+/// Point success rate (paper §V-A): fraction of attacked points (mask
+/// != 0) whose prediction equals the attacker's target class.
+double point_success_rate(const std::vector<int>& predictions,
+                          const std::vector<std::uint8_t>& target_mask, int target_class);
+
+/// Out-of-band metrics: segmentation quality on the points *outside* the
+/// attacked set, quantifying attack collateral damage.
+SegMetrics evaluate_oob(const std::vector<int>& predictions,
+                        const std::vector<int>& ground_truth, int num_classes,
+                        const std::vector<std::uint8_t>& target_mask);
+
+/// Builds the X_T membership mask for an object-hiding attack: points
+/// whose ground-truth label equals `source_class`.
+std::vector<std::uint8_t> mask_for_class(const std::vector<int>& ground_truth,
+                                         int source_class);
+
+}  // namespace pcss::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "pcss/core/metrics.h"
+#include "pcss/models/model.h"
+
+namespace pcss::core {
+
+using pcss::models::PointCloud;
+using pcss::models::SegmentationModel;
+
+/// Transferability evaluation (paper §V-G): feed an adversarial cloud
+/// generated against one model into another and score it.
+SegMetrics evaluate_transfer(SegmentationModel& victim, const PointCloud& adversarial,
+                             int num_classes);
+
+/// Linear remapping of a value between two normalized ranges — the
+/// paper's "extra step to map the attacked fields to the same range" when
+/// transferring between models with different normalization conventions
+/// (e.g. ResGCN's [-1,1] coordinates to PointNet++'s [0,3]).
+///
+/// In this library attacks output raw-unit perturbations, so cross-model
+/// transfer needs no remap; the utility exists to reproduce and test the
+/// paper's described step for pipelines that store normalized inputs.
+float remap_range(float value, float src_lo, float src_hi, float dst_lo, float dst_hi);
+
+/// Applies remap_range to every coordinate of a cloud.
+PointCloud remap_cloud_coordinates(const PointCloud& cloud, float src_lo, float src_hi,
+                                   float dst_lo, float dst_hi);
+
+}  // namespace pcss::core

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "pcss/core/attack.h"
+
+namespace pcss::core {
+
+/// Multi-cloud ("universal") color perturbation — the paper's §VI
+/// limitation (4): a real attacker must fool a *sequence* of point
+/// clouds, which prior 2D work handles by optimizing one perturbation
+/// across many inputs with per-input weights (the min-max formulation
+/// the paper cites). This implements that extension for index-aligned
+/// clouds of equal size: a single [N,3] color delta optimized against
+/// all clouds jointly, re-weighting toward the currently most robust
+/// cloud each step.
+struct UniversalAttackResult {
+  std::vector<float> color_delta;        ///< shared [N*3] perturbation
+  std::vector<double> accuracy_before;   ///< per cloud
+  std::vector<double> accuracy_after;    ///< per cloud, delta applied
+  int steps_used = 0;
+};
+
+/// Runs a sign-PGD loop on the shared delta. Uses config.steps,
+/// config.epsilon, config.step_size and config.seed; the objective is
+/// performance degradation (Eq. 11) summed over clouds with min-max
+/// weights. All clouds must have the same point count.
+UniversalAttackResult universal_color_attack(SegmentationModel& model,
+                                             const std::vector<PointCloud>& clouds,
+                                             const AttackConfig& config);
+
+/// Applies a shared color delta to one cloud (clamping to valid colors).
+PointCloud apply_universal_delta(const PointCloud& cloud,
+                                 const std::vector<float>& color_delta);
+
+}  // namespace pcss::core

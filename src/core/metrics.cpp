@@ -1,0 +1,105 @@
+#include "pcss/core/metrics.h"
+
+#include <stdexcept>
+
+namespace pcss::core {
+
+namespace {
+
+SegMetrics evaluate_impl(const std::vector<int>& pred, const std::vector<int>& gt,
+                         int num_classes, const std::vector<std::uint8_t>* mask,
+                         bool invert_mask) {
+  if (pred.size() != gt.size()) {
+    throw std::invalid_argument("evaluate_segmentation: size mismatch");
+  }
+  std::vector<std::int64_t> tp(static_cast<size_t>(num_classes), 0);
+  std::vector<std::int64_t> fp(static_cast<size_t>(num_classes), 0);
+  std::vector<std::int64_t> fn(static_cast<size_t>(num_classes), 0);
+  std::int64_t correct = 0, total = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (mask) {
+      const bool in = (*mask)[i] != 0;
+      if (in == invert_mask) continue;
+    }
+    const int p = pred[i], g = gt[i];
+    if (p < 0 || p >= num_classes || g < 0 || g >= num_classes) {
+      throw std::invalid_argument("evaluate_segmentation: label out of range");
+    }
+    ++total;
+    if (p == g) {
+      ++correct;
+      ++tp[static_cast<size_t>(p)];
+    } else {
+      ++fp[static_cast<size_t>(p)];
+      ++fn[static_cast<size_t>(g)];
+    }
+  }
+  SegMetrics m;
+  m.per_class_iou.assign(static_cast<size_t>(num_classes), -1.0);
+  double iou_sum = 0.0;
+  int iou_count = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    const std::int64_t uni = tp[static_cast<size_t>(c)] + fp[static_cast<size_t>(c)] +
+                             fn[static_cast<size_t>(c)];
+    if (uni == 0) continue;
+    const double iou = static_cast<double>(tp[static_cast<size_t>(c)]) /
+                       static_cast<double>(uni);
+    m.per_class_iou[static_cast<size_t>(c)] = iou;
+    iou_sum += iou;
+    ++iou_count;
+  }
+  m.accuracy = total ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+  m.aiou = iou_count ? iou_sum / iou_count : 0.0;
+  return m;
+}
+
+}  // namespace
+
+SegMetrics evaluate_segmentation(const std::vector<int>& predictions,
+                                 const std::vector<int>& ground_truth, int num_classes) {
+  return evaluate_impl(predictions, ground_truth, num_classes, nullptr, false);
+}
+
+SegMetrics evaluate_segmentation_masked(const std::vector<int>& predictions,
+                                        const std::vector<int>& ground_truth,
+                                        int num_classes,
+                                        const std::vector<std::uint8_t>& mask) {
+  if (mask.size() != predictions.size()) {
+    throw std::invalid_argument("evaluate_segmentation_masked: mask size mismatch");
+  }
+  return evaluate_impl(predictions, ground_truth, num_classes, &mask, false);
+}
+
+double point_success_rate(const std::vector<int>& predictions,
+                          const std::vector<std::uint8_t>& target_mask, int target_class) {
+  if (target_mask.size() != predictions.size()) {
+    throw std::invalid_argument("point_success_rate: mask size mismatch");
+  }
+  std::int64_t hit = 0, total = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    if (!target_mask[i]) continue;
+    ++total;
+    if (predictions[i] == target_class) ++hit;
+  }
+  return total ? static_cast<double>(hit) / static_cast<double>(total) : 0.0;
+}
+
+SegMetrics evaluate_oob(const std::vector<int>& predictions,
+                        const std::vector<int>& ground_truth, int num_classes,
+                        const std::vector<std::uint8_t>& target_mask) {
+  if (target_mask.size() != predictions.size()) {
+    throw std::invalid_argument("evaluate_oob: mask size mismatch");
+  }
+  return evaluate_impl(predictions, ground_truth, num_classes, &target_mask, true);
+}
+
+std::vector<std::uint8_t> mask_for_class(const std::vector<int>& ground_truth,
+                                         int source_class) {
+  std::vector<std::uint8_t> mask(ground_truth.size(), 0);
+  for (size_t i = 0; i < ground_truth.size(); ++i) {
+    mask[i] = ground_truth[i] == source_class ? 1 : 0;
+  }
+  return mask;
+}
+
+}  // namespace pcss::core

@@ -1,0 +1,28 @@
+#include "pcss/core/transfer.h"
+
+#include <stdexcept>
+
+namespace pcss::core {
+
+SegMetrics evaluate_transfer(SegmentationModel& victim, const PointCloud& adversarial,
+                             int num_classes) {
+  const std::vector<int> pred = victim.predict(adversarial);
+  return evaluate_segmentation(pred, adversarial.labels, num_classes);
+}
+
+float remap_range(float value, float src_lo, float src_hi, float dst_lo, float dst_hi) {
+  if (src_hi <= src_lo) throw std::invalid_argument("remap_range: empty source range");
+  const float t = (value - src_lo) / (src_hi - src_lo);
+  return dst_lo + t * (dst_hi - dst_lo);
+}
+
+PointCloud remap_cloud_coordinates(const PointCloud& cloud, float src_lo, float src_hi,
+                                   float dst_lo, float dst_hi) {
+  PointCloud out = cloud;
+  for (auto& p : out.positions) {
+    for (int a = 0; a < 3; ++a) p[a] = remap_range(p[a], src_lo, src_hi, dst_lo, dst_hi);
+  }
+  return out;
+}
+
+}  // namespace pcss::core

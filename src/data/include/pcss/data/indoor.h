@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pcss/pointcloud/point_cloud.h"
+#include "pcss/tensor/rng.h"
+
+namespace pcss::data {
+
+using pcss::pointcloud::PointCloud;
+using pcss::tensor::Rng;
+
+/// S3DIS-compatible label set (the paper's Table IV/V indices: wall=2,
+/// window=5, door=6, table=7, chair=8, bookcase=10, board=11).
+enum class IndoorClass : int {
+  kCeiling = 0,
+  kFloor = 1,
+  kWall = 2,
+  kBeam = 3,
+  kColumn = 4,
+  kWindow = 5,
+  kDoor = 6,
+  kTable = 7,
+  kChair = 8,
+  kSofa = 9,
+  kBookcase = 10,
+  kBoard = 11,
+  kClutter = 12,
+};
+
+inline constexpr int kIndoorNumClasses = 13;
+
+const char* indoor_class_name(int label);
+
+/// Configuration for a procedural indoor room (the S3DIS substitute).
+struct IndoorSceneConfig {
+  std::int64_t num_points = 2048;
+  float min_width = 5.0f, max_width = 8.0f;
+  float min_depth = 4.0f, max_depth = 7.0f;
+  float min_height = 2.7f, max_height = 3.2f;
+  float position_noise = 0.004f;  ///< scanner jitter (meters)
+  float color_noise = 0.04f;      ///< per-point albedo variation
+};
+
+/// Generates S3DIS-like rooms: ceiling/floor/walls with embedded door,
+/// windows and board, plus tables, chairs, sofa, bookcases, beam, column,
+/// and clutter. Per-class point budgets loosely follow S3DIS Area-5 class
+/// frequencies so every class used in the paper's object-hiding study has
+/// enough points to attack.
+class IndoorSceneGenerator {
+ public:
+  explicit IndoorSceneGenerator(IndoorSceneConfig config = {});
+
+  /// One room drawn from the given generator; deterministic per Rng state.
+  PointCloud generate(Rng& rng) const;
+
+  /// Retries until the scene has at least `min_count` points of `label`
+  /// (mirrors the paper's scene-selection rule for object hiding).
+  PointCloud generate_with_class(Rng& rng, int label, std::int64_t min_count,
+                                 int max_attempts = 64) const;
+
+  const IndoorSceneConfig& config() const { return config_; }
+
+ private:
+  IndoorSceneConfig config_;
+};
+
+/// Number of points in `cloud` carrying ground-truth label `label`.
+std::int64_t count_label(const PointCloud& cloud, int label);
+
+}  // namespace pcss::data

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+
+#include "pcss/pointcloud/point_cloud.h"
+#include "pcss/tensor/rng.h"
+
+namespace pcss::data {
+
+using pcss::pointcloud::PointCloud;
+using pcss::tensor::Rng;
+
+/// Semantic3D-compatible label set. Internally 0-based; the dataset's
+/// published labels are these indices + 1 (paper: car=8 -> index 7,
+/// man-made terrain=1 -> index 0, ...).
+enum class OutdoorClass : int {
+  kManMadeTerrain = 0,
+  kNaturalTerrain = 1,
+  kHighVegetation = 2,
+  kLowVegetation = 3,
+  kBuilding = 4,
+  kHardscape = 5,
+  kScanningArtefact = 6,
+  kCar = 7,
+};
+
+inline constexpr int kOutdoorNumClasses = 8;
+
+const char* outdoor_class_name(int label);
+
+/// Converts between this library's 0-based indices and the Semantic3D
+/// label numbering used in the paper's tables (1..8).
+int to_semantic3d_label(int index);
+int from_semantic3d_label(int label);
+
+struct OutdoorSceneConfig {
+  std::int64_t num_points = 4096;  ///< scaled down from Semantic3D's 1e8
+  float half_width = 20.0f;        ///< scene extent along x
+  float half_depth = 14.0f;        ///< scene extent along y
+  float position_noise = 0.01f;
+  float color_noise = 0.05f;
+};
+
+/// Procedural street scene: a road with cars, natural terrain with trees
+/// and bushes, building facades, hardscape, and scanning-artefact noise
+/// clusters. The class mix keeps every class used by the paper's outdoor
+/// experiments (notably cars) well represented.
+class OutdoorSceneGenerator {
+ public:
+  explicit OutdoorSceneGenerator(OutdoorSceneConfig config = {});
+
+  PointCloud generate(Rng& rng) const;
+
+  /// Retries until at least `min_count` points carry `label`.
+  PointCloud generate_with_class(Rng& rng, int label, std::int64_t min_count,
+                                 int max_attempts = 64) const;
+
+  const OutdoorSceneConfig& config() const { return config_; }
+
+ private:
+  OutdoorSceneConfig config_;
+};
+
+}  // namespace pcss::data

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "pcss/pointcloud/point_cloud.h"
+#include "pcss/tensor/rng.h"
+
+/// Surface-sampling primitives shared by the procedural scene generators.
+/// All samplers draw uniformly over the primitive's surface (or volume).
+namespace pcss::data {
+
+using pcss::pointcloud::Vec3;
+using pcss::tensor::Rng;
+
+/// Point on the parallelogram origin + a*u + b*v, a,b ~ U[0,1].
+Vec3 sample_rect(const Vec3& origin, const Vec3& u, const Vec3& v, Rng& rng);
+
+/// Point on the surface of an axis-aligned box, faces weighted by area.
+Vec3 sample_box_surface(const Vec3& center, const Vec3& half_extents, Rng& rng);
+
+/// Point inside an axis-aligned box volume.
+Vec3 sample_solid_box(const Vec3& center, const Vec3& half_extents, Rng& rng);
+
+/// Point on a sphere surface (optionally squashed along z by `z_scale`).
+Vec3 sample_sphere(const Vec3& center, float radius, Rng& rng, float z_scale = 1.0f);
+
+/// Point on the lateral surface of a vertical cylinder.
+Vec3 sample_cylinder_side(const Vec3& base_center, float radius, float height, Rng& rng);
+
+/// Point on the lateral surface of a vertical cone (apex up).
+Vec3 sample_cone_side(const Vec3& base_center, float radius, float height, Rng& rng);
+
+/// Gaussian positional jitter.
+Vec3 jitter(const Vec3& p, float sigma, Rng& rng);
+
+/// Gaussian color variation, clamped to [0,1]^3.
+Vec3 vary_color(const Vec3& base, float sigma, Rng& rng);
+
+/// Scales a color by a brightness factor, clamped to [0,1]^3.
+Vec3 shade(const Vec3& color, float brightness);
+
+}  // namespace pcss::data

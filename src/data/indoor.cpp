@@ -1,0 +1,315 @@
+#include "pcss/data/indoor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "pcss/data/primitives.h"
+
+namespace pcss::data {
+
+namespace {
+
+using pcss::pointcloud::Vec3;
+
+const char* kIndoorNames[kIndoorNumClasses] = {
+    "ceiling", "floor",  "wall", "beam",     "column", "window", "door",
+    "table",   "chair",  "sofa", "bookcase", "board",  "clutter"};
+
+struct Sample {
+  Vec3 pos;
+  Vec3 color;
+  int label;
+};
+
+/// Weighted point emitter; weight acts as the expected class fraction.
+struct Emitter {
+  float weight;
+  std::function<Sample(Rng&)> emit;
+};
+
+Vec3 base_color(IndoorClass c) {
+  switch (c) {
+    case IndoorClass::kCeiling:  return {0.92f, 0.92f, 0.90f};
+    case IndoorClass::kFloor:    return {0.55f, 0.45f, 0.35f};
+    case IndoorClass::kWall:     return {0.76f, 0.74f, 0.69f};
+    case IndoorClass::kBeam:     return {0.64f, 0.62f, 0.59f};
+    case IndoorClass::kColumn:   return {0.70f, 0.68f, 0.66f};
+    case IndoorClass::kWindow:   return {0.55f, 0.70f, 0.86f};
+    case IndoorClass::kDoor:     return {0.46f, 0.30f, 0.18f};
+    case IndoorClass::kTable:    return {0.62f, 0.43f, 0.25f};
+    case IndoorClass::kChair:    return {0.28f, 0.31f, 0.42f};
+    case IndoorClass::kSofa:     return {0.47f, 0.20f, 0.22f};
+    case IndoorClass::kBookcase: return {0.50f, 0.35f, 0.21f};
+    case IndoorClass::kBoard:    return {0.20f, 0.38f, 0.30f};
+    case IndoorClass::kClutter:  return {0.50f, 0.50f, 0.50f};
+  }
+  return {0.5f, 0.5f, 0.5f};
+}
+
+}  // namespace
+
+const char* indoor_class_name(int label) {
+  if (label < 0 || label >= kIndoorNumClasses) return "unknown";
+  return kIndoorNames[label];
+}
+
+IndoorSceneGenerator::IndoorSceneGenerator(IndoorSceneConfig config) : config_(config) {
+  if (config_.num_points <= 0) {
+    throw std::invalid_argument("IndoorSceneGenerator: num_points must be positive");
+  }
+}
+
+PointCloud IndoorSceneGenerator::generate(Rng& rng) const {
+  const float w = rng.uniform(config_.min_width, config_.max_width);
+  const float d = rng.uniform(config_.min_depth, config_.max_depth);
+  const float h = rng.uniform(config_.min_height, config_.max_height);
+  const float cnoise = config_.color_noise;
+
+  // --- Architectural sub-regions on walls -------------------------------
+  // Door on the front wall (y = 0).
+  const float door_s0 = rng.uniform(0.4f, w - 1.6f);
+  const float door_w = rng.uniform(0.85f, 1.1f), door_h = 2.1f;
+  // Two windows on the back wall (y = d).
+  const float win_w = rng.uniform(1.0f, 1.4f), win_z0 = 0.9f, win_z1 = 2.1f;
+  const float win_a_s0 = rng.uniform(0.3f, w * 0.45f - win_w);
+  const float win_b_s0 = rng.uniform(w * 0.55f, w - win_w - 0.3f);
+  // Board on the right wall (x = w).
+  const float board_s0 = rng.uniform(0.5f, d - 2.4f);
+  const float board_w = rng.uniform(1.5f, 2.0f), board_z0 = 1.0f, board_z1 = 2.0f;
+
+  auto classify_front_wall = [=](float s, float z) {
+    if (s >= door_s0 && s <= door_s0 + door_w && z <= door_h) return IndoorClass::kDoor;
+    return IndoorClass::kWall;
+  };
+  auto classify_back_wall = [=](float s, float z) {
+    const bool in_z = z >= win_z0 && z <= win_z1;
+    if (in_z && ((s >= win_a_s0 && s <= win_a_s0 + win_w) ||
+                 (s >= win_b_s0 && s <= win_b_s0 + win_w))) {
+      return IndoorClass::kWindow;
+    }
+    return IndoorClass::kWall;
+  };
+  auto classify_right_wall = [=](float s, float z) {
+    if (s >= board_s0 && s <= board_s0 + board_w && z >= board_z0 && z <= board_z1) {
+      return IndoorClass::kBoard;
+    }
+    return IndoorClass::kWall;
+  };
+
+  // --- Furniture placement ----------------------------------------------
+  const int n_tables = static_cast<int>(rng.randint(1, 2));
+  std::vector<Vec3> table_centers;
+  for (int t = 0; t < n_tables; ++t) {
+    table_centers.push_back(
+        {rng.uniform(1.4f, w - 1.4f), rng.uniform(1.4f, d - 1.4f), 0.0f});
+  }
+  const int n_chairs = static_cast<int>(rng.randint(2, 4));
+  std::vector<Vec3> chair_centers;
+  for (int t = 0; t < n_chairs; ++t) {
+    const Vec3& tc = table_centers[static_cast<size_t>(t) % table_centers.size()];
+    const float angle = rng.uniform(0.0f, 6.2831853f);
+    chair_centers.push_back(
+        {std::clamp(tc[0] + 1.1f * std::cos(angle), 0.4f, w - 0.4f),
+         std::clamp(tc[1] + 1.1f * std::sin(angle), 0.4f, d - 0.4f), 0.0f});
+  }
+  const Vec3 sofa_center{0.55f, rng.uniform(1.2f, d - 1.2f), 0.0f};
+  const int n_bookcases = static_cast<int>(rng.randint(1, 2));
+  std::vector<Vec3> bookcase_centers;
+  for (int t = 0; t < n_bookcases; ++t) {
+    bookcase_centers.push_back({rng.uniform(1.0f, w - 1.0f), d - 0.18f, 0.0f});
+  }
+  const Vec3 column_center{0.25f, 0.25f, 0.0f};
+  const float beam_y = d * 0.5f;
+
+  const int n_clutter = static_cast<int>(rng.randint(4, 8));
+  std::vector<Vec3> clutter_centers;
+  std::vector<Vec3> clutter_colors;
+  for (int t = 0; t < n_clutter; ++t) {
+    const bool on_table = rng.uniform() < 0.4f && !table_centers.empty();
+    if (on_table) {
+      const Vec3& tc = table_centers[static_cast<size_t>(
+          rng.randint(0, static_cast<std::int64_t>(table_centers.size()) - 1))];
+      clutter_centers.push_back({tc[0] + rng.uniform(-0.5f, 0.5f),
+                                 tc[1] + rng.uniform(-0.3f, 0.3f),
+                                 0.78f + rng.uniform(0.02f, 0.12f)});
+    } else {
+      clutter_centers.push_back({rng.uniform(0.4f, w - 0.4f), rng.uniform(0.4f, d - 0.4f),
+                                 rng.uniform(0.05f, 0.25f)});
+    }
+    clutter_colors.push_back(
+        {rng.uniform(0.15f, 0.9f), rng.uniform(0.15f, 0.9f), rng.uniform(0.15f, 0.9f)});
+  }
+
+  // --- Emitters with S3DIS-like class fractions ---------------------------
+  std::vector<Emitter> emitters;
+  auto mk = [&](IndoorClass c, Rng& r, const Vec3& p) {
+    return Sample{p, vary_color(base_color(c), cnoise, r), static_cast<int>(c)};
+  };
+
+  emitters.push_back({0.16f, [=](Rng& r) {  // ceiling
+                        Vec3 p{r.uniform(0.0f, w), r.uniform(0.0f, d), h};
+                        return mk(IndoorClass::kCeiling, r, p);
+                      }});
+  emitters.push_back({0.17f, [=](Rng& r) {  // floor
+                        Vec3 p{r.uniform(0.0f, w), r.uniform(0.0f, d), 0.0f};
+                        return mk(IndoorClass::kFloor, r, p);
+                      }});
+  // Plain wall points: rejection-sample around the door/window/board
+  // sub-regions, which have their own emitters below so that the classes
+  // used by the paper's object-hiding study keep a workable point budget
+  // even in small clouds.
+  emitters.push_back({0.24f, [=](Rng& r) {
+                        for (int attempt = 0; attempt < 24; ++attempt) {
+                          const int wall = static_cast<int>(r.randint(0, 3));
+                          float s;
+                          const float z = r.uniform(0.0f, h);
+                          switch (wall) {
+                            case 0:
+                              s = r.uniform(0.0f, w);
+                              if (classify_front_wall(s, z) != IndoorClass::kWall) continue;
+                              return mk(IndoorClass::kWall, r, {s, 0.0f, z});
+                            case 1:
+                              s = r.uniform(0.0f, w);
+                              if (classify_back_wall(s, z) != IndoorClass::kWall) continue;
+                              return mk(IndoorClass::kWall, r, {s, d, z});
+                            case 2:
+                              s = r.uniform(0.0f, d);
+                              return mk(IndoorClass::kWall, r, {0.0f, s, z});
+                            default:
+                              s = r.uniform(0.0f, d);
+                              if (classify_right_wall(s, z) != IndoorClass::kWall) continue;
+                              return mk(IndoorClass::kWall, r, {w, s, z});
+                          }
+                        }
+                        return mk(IndoorClass::kWall, r, {0.0f, d * 0.5f, h * 0.5f});
+                      }});
+  emitters.push_back({0.035f, [=](Rng& r) {  // door embedded in the front wall
+                        const float s = r.uniform(door_s0, door_s0 + door_w);
+                        const float z = r.uniform(0.0f, door_h);
+                        return mk(IndoorClass::kDoor, r, {s, 0.0f, z});
+                      }});
+  emitters.push_back({0.04f, [=](Rng& r) {  // windows embedded in the back wall
+                        const float s0 = r.uniform() < 0.5f ? win_a_s0 : win_b_s0;
+                        const float s = r.uniform(s0, s0 + win_w);
+                        const float z = r.uniform(win_z0, win_z1);
+                        return mk(IndoorClass::kWindow, r, {s, d, z});
+                      }});
+  emitters.push_back({0.035f, [=](Rng& r) {  // board on the right wall
+                        const float s = r.uniform(board_s0, board_s0 + board_w);
+                        const float z = r.uniform(board_z0, board_z1);
+                        // The board sits slightly proud of the wall.
+                        return mk(IndoorClass::kBoard, r, {w - 0.03f, s, z});
+                      }});
+  emitters.push_back({0.02f, [=](Rng& r) {  // beam under the ceiling
+                        Vec3 p = sample_box_surface({w * 0.5f, beam_y, h - 0.12f},
+                                                    {w * 0.5f, 0.1f, 0.1f}, r);
+                        return mk(IndoorClass::kBeam, r, p);
+                      }});
+  emitters.push_back({0.02f, [=](Rng& r) {  // column in the corner
+                        Vec3 p = sample_box_surface(
+                            {column_center[0], column_center[1], h * 0.5f},
+                            {0.15f, 0.15f, h * 0.5f}, r);
+                        return mk(IndoorClass::kColumn, r, p);
+                      }});
+  emitters.push_back({0.06f, [=](Rng& r) {  // tables: top + legs
+                        const Vec3& tc = table_centers[static_cast<size_t>(
+                            r.randint(0, static_cast<std::int64_t>(table_centers.size()) - 1))];
+                        Vec3 p;
+                        if (r.uniform() < 0.8f) {
+                          p = sample_box_surface({tc[0], tc[1], 0.74f}, {0.7f, 0.4f, 0.025f}, r);
+                        } else {
+                          const float lx = r.uniform() < 0.5f ? -0.62f : 0.62f;
+                          const float ly = r.uniform() < 0.5f ? -0.32f : 0.32f;
+                          p = sample_cylinder_side({tc[0] + lx, tc[1] + ly, 0.0f}, 0.03f, 0.72f, r);
+                        }
+                        return mk(IndoorClass::kTable, r, p);
+                      }});
+  emitters.push_back({0.06f, [=](Rng& r) {  // chairs: seat + back + legs
+                        const Vec3& cc = chair_centers[static_cast<size_t>(
+                            r.randint(0, static_cast<std::int64_t>(chair_centers.size()) - 1))];
+                        Vec3 p;
+                        const float u = r.uniform();
+                        if (u < 0.45f) {
+                          p = sample_box_surface({cc[0], cc[1], 0.45f}, {0.22f, 0.22f, 0.02f}, r);
+                        } else if (u < 0.85f) {
+                          p = sample_box_surface({cc[0], cc[1] + 0.2f, 0.72f},
+                                                 {0.22f, 0.02f, 0.25f}, r);
+                        } else {
+                          const float lx = r.uniform() < 0.5f ? -0.18f : 0.18f;
+                          const float ly = r.uniform() < 0.5f ? -0.18f : 0.18f;
+                          p = sample_cylinder_side({cc[0] + lx, cc[1] + ly, 0.0f}, 0.02f, 0.43f, r);
+                        }
+                        return mk(IndoorClass::kChair, r, p);
+                      }});
+  emitters.push_back({0.04f, [=](Rng& r) {  // sofa against the left wall
+                        Vec3 p;
+                        if (r.uniform() < 0.6f) {
+                          p = sample_box_surface({sofa_center[0], sofa_center[1], 0.35f},
+                                                 {0.45f, 0.9f, 0.18f}, r);
+                        } else {
+                          p = sample_box_surface({sofa_center[0] - 0.3f, sofa_center[1], 0.6f},
+                                                 {0.12f, 0.9f, 0.3f}, r);
+                        }
+                        return mk(IndoorClass::kSofa, r, p);
+                      }});
+  emitters.push_back({0.06f, [=](Rng& r) {  // bookcases against the back wall
+                        const Vec3& bc = bookcase_centers[static_cast<size_t>(r.randint(
+                            0, static_cast<std::int64_t>(bookcase_centers.size()) - 1))];
+                        Vec3 p = sample_box_surface({bc[0], bc[1], 0.9f}, {0.45f, 0.16f, 0.9f}, r);
+                        return mk(IndoorClass::kBookcase, r, p);
+                      }});
+  emitters.push_back({0.04f, [=](Rng& r) {  // clutter blobs with random albedo
+                        const auto bi = static_cast<size_t>(
+                            r.randint(0, static_cast<std::int64_t>(clutter_centers.size()) - 1));
+                        Vec3 p = sample_sphere(clutter_centers[bi], r.uniform(0.06f, 0.16f), r);
+                        p[2] = std::max(p[2], 0.01f);
+                        return Sample{p, vary_color(clutter_colors[bi], cnoise, r),
+                                      static_cast<int>(IndoorClass::kClutter)};
+                      }});
+
+  // --- Draw the requested number of points --------------------------------
+  float total_weight = 0.0f;
+  for (const auto& e : emitters) total_weight += e.weight;
+
+  PointCloud cloud;
+  cloud.reserve(config_.num_points);
+  for (std::int64_t i = 0; i < config_.num_points; ++i) {
+    float pick = rng.uniform(0.0f, total_weight);
+    const Emitter* chosen = &emitters.back();
+    for (const auto& e : emitters) {
+      if (pick < e.weight) {
+        chosen = &e;
+        break;
+      }
+      pick -= e.weight;
+    }
+    Sample s = chosen->emit(rng);
+    // Lighting: brighter near the ceiling with a soft lateral gradient.
+    const float brightness = 0.82f + 0.16f * (s.pos[2] / h) +
+                             0.04f * std::sin(s.pos[0] * 1.7f + s.pos[1] * 0.9f);
+    s.color = shade(s.color, brightness);
+    s.pos = jitter(s.pos, config_.position_noise, rng);
+    cloud.push_back(s.pos, s.color, s.label);
+  }
+  return cloud;
+}
+
+PointCloud IndoorSceneGenerator::generate_with_class(Rng& rng, int label,
+                                                     std::int64_t min_count,
+                                                     int max_attempts) const {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    PointCloud cloud = generate(rng);
+    if (count_label(cloud, label) >= min_count) return cloud;
+  }
+  throw std::runtime_error(std::string("generate_with_class: could not produce enough '") +
+                           indoor_class_name(label) + "' points");
+}
+
+std::int64_t count_label(const PointCloud& cloud, int label) {
+  return std::count(cloud.labels.begin(), cloud.labels.end(), label);
+}
+
+}  // namespace pcss::data

@@ -1,0 +1,257 @@
+#include "pcss/data/outdoor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "pcss/data/indoor.h"  // count_label
+#include "pcss/data/primitives.h"
+
+namespace pcss::data {
+
+namespace {
+
+using pcss::pointcloud::Vec3;
+
+const char* kOutdoorNames[kOutdoorNumClasses] = {
+    "man-made terrain", "natural terrain",   "high vegetation", "low vegetation",
+    "building",         "hardscape",         "scanning artefact", "car"};
+
+struct Sample {
+  Vec3 pos;
+  Vec3 color;
+  int label;
+};
+
+struct Emitter {
+  float weight;
+  std::function<Sample(Rng&)> emit;
+};
+
+Vec3 base_color(OutdoorClass c) {
+  switch (c) {
+    case OutdoorClass::kManMadeTerrain:   return {0.36f, 0.36f, 0.37f};
+    case OutdoorClass::kNaturalTerrain:   return {0.38f, 0.44f, 0.26f};
+    case OutdoorClass::kHighVegetation:   return {0.18f, 0.38f, 0.16f};
+    case OutdoorClass::kLowVegetation:    return {0.32f, 0.52f, 0.26f};
+    case OutdoorClass::kBuilding:         return {0.62f, 0.58f, 0.52f};
+    case OutdoorClass::kHardscape:        return {0.56f, 0.56f, 0.56f};
+    case OutdoorClass::kScanningArtefact: return {0.80f, 0.75f, 0.70f};
+    case OutdoorClass::kCar:              return {0.60f, 0.15f, 0.15f};
+  }
+  return {0.5f, 0.5f, 0.5f};
+}
+
+}  // namespace
+
+const char* outdoor_class_name(int label) {
+  if (label < 0 || label >= kOutdoorNumClasses) return "unknown";
+  return kOutdoorNames[label];
+}
+
+int to_semantic3d_label(int index) { return index + 1; }
+int from_semantic3d_label(int label) { return label - 1; }
+
+OutdoorSceneGenerator::OutdoorSceneGenerator(OutdoorSceneConfig config) : config_(config) {
+  if (config_.num_points <= 0) {
+    throw std::invalid_argument("OutdoorSceneGenerator: num_points must be positive");
+  }
+}
+
+PointCloud OutdoorSceneGenerator::generate(Rng& rng) const {
+  const float hw = config_.half_width;
+  const float hd = config_.half_depth;
+  const float cnoise = config_.color_noise;
+  const float road_half = rng.uniform(3.0f, 4.0f);
+
+  // Natural terrain undulation (deterministic field per scene).
+  const float ax = rng.uniform(0.2f, 0.4f), ay = rng.uniform(0.25f, 0.45f);
+  const float amp = rng.uniform(0.2f, 0.4f);
+  auto terrain_z = [=](float x, float y) {
+    return amp * std::sin(x * ax) * std::cos(y * ay);
+  };
+
+  // Buildings on the far side of the road.
+  const int n_buildings = static_cast<int>(rng.randint(2, 4));
+  std::vector<Vec3> b_centers;
+  std::vector<Vec3> b_half;
+  for (int i = 0; i < n_buildings; ++i) {
+    const float bw = rng.uniform(3.0f, 6.0f), bd = rng.uniform(2.5f, 4.0f);
+    const float bh = rng.uniform(4.0f, 9.0f);
+    b_centers.push_back({rng.uniform(-hw + bw, hw - bw), rng.uniform(hd * 0.55f, hd - bd),
+                         bh * 0.5f});
+    b_half.push_back({bw * 0.5f, bd * 0.5f, bh * 0.5f});
+  }
+
+  // Trees (high vegetation) on natural terrain.
+  const int n_trees = static_cast<int>(rng.randint(4, 8));
+  std::vector<Vec3> tree_pos;
+  std::vector<float> tree_h, tree_r;
+  for (int i = 0; i < n_trees; ++i) {
+    const float x = rng.uniform(-hw + 2.0f, hw - 2.0f);
+    const float y = rng.uniform(-hd + 2.0f, -road_half - 1.5f);
+    tree_pos.push_back({x, y, terrain_z(x, y)});
+    tree_h.push_back(rng.uniform(3.0f, 6.0f));
+    tree_r.push_back(rng.uniform(1.0f, 2.0f));
+  }
+
+  // Bushes (low vegetation).
+  const int n_bushes = static_cast<int>(rng.randint(6, 12));
+  std::vector<Vec3> bush_pos;
+  std::vector<float> bush_r;
+  for (int i = 0; i < n_bushes; ++i) {
+    const float x = rng.uniform(-hw + 1.0f, hw - 1.0f);
+    const float y = rng.uniform() < 0.7f ? rng.uniform(-hd + 1.0f, -road_half - 0.5f)
+                                         : rng.uniform(road_half + 0.5f, hd * 0.5f);
+    bush_pos.push_back({x, y, terrain_z(x, y)});
+    bush_r.push_back(rng.uniform(0.3f, 0.8f));
+  }
+
+  // Hardscape: low walls / benches near the road edge.
+  const int n_hard = static_cast<int>(rng.randint(2, 4));
+  std::vector<Vec3> hard_centers;
+  std::vector<Vec3> hard_half;
+  for (int i = 0; i < n_hard; ++i) {
+    hard_centers.push_back({rng.uniform(-hw + 2.0f, hw - 2.0f),
+                            (rng.uniform() < 0.5f ? -1.0f : 1.0f) *
+                                rng.uniform(road_half + 0.3f, road_half + 1.5f),
+                            0.4f});
+    hard_half.push_back({rng.uniform(0.8f, 2.0f), 0.2f, 0.4f});
+  }
+
+  // Cars on the road. Each car: body box + cabin box + distinct paint.
+  const int n_cars = static_cast<int>(rng.randint(2, 4));
+  std::vector<Vec3> car_centers;
+  std::vector<Vec3> car_colors;
+  const Vec3 paints[] = {{0.62f, 0.12f, 0.12f}, {0.15f, 0.25f, 0.55f},
+                         {0.85f, 0.85f, 0.85f}, {0.12f, 0.12f, 0.14f},
+                         {0.55f, 0.55f, 0.58f}};
+  for (int i = 0; i < n_cars; ++i) {
+    car_centers.push_back({rng.uniform(-hw + 3.0f, hw - 3.0f),
+                           rng.uniform(-road_half + 1.0f, road_half - 1.0f), 0.0f});
+    car_colors.push_back(paints[rng.randint(0, 4)]);
+  }
+
+  // Scanning artefacts: sparse, very noisy clusters hovering in space.
+  const int n_artefacts = static_cast<int>(rng.randint(1, 3));
+  std::vector<Vec3> artefact_centers;
+  for (int i = 0; i < n_artefacts; ++i) {
+    artefact_centers.push_back({rng.uniform(-hw, hw), rng.uniform(-hd, hd),
+                                rng.uniform(0.5f, 3.0f)});
+  }
+
+  std::vector<Emitter> emitters;
+  auto mk = [cnoise](OutdoorClass c, Rng& r, const Vec3& p) {
+    return Sample{p, vary_color(base_color(c), cnoise, r), static_cast<int>(c)};
+  };
+
+  emitters.push_back({0.20f, [=](Rng& r) {  // road (man-made terrain)
+                        Vec3 p{r.uniform(-hw, hw), r.uniform(-road_half, road_half), 0.0f};
+                        return mk(OutdoorClass::kManMadeTerrain, r, p);
+                      }});
+  emitters.push_back({0.22f, [=](Rng& r) {  // natural terrain
+                        const float x = r.uniform(-hw, hw);
+                        const float y = r.uniform() < 0.75f
+                                            ? r.uniform(-hd, -road_half)
+                                            : r.uniform(road_half, hd * 0.55f);
+                        return mk(OutdoorClass::kNaturalTerrain, r, {x, y, terrain_z(x, y)});
+                      }});
+  emitters.push_back({0.16f, [=](Rng& r) {  // trees: trunk + conical canopy
+                        const auto t = static_cast<size_t>(
+                            r.randint(0, static_cast<std::int64_t>(tree_pos.size()) - 1));
+                        Vec3 p;
+                        if (r.uniform() < 0.25f) {
+                          p = sample_cylinder_side(tree_pos[t], 0.18f, tree_h[t] * 0.45f, r);
+                        } else {
+                          Vec3 base = tree_pos[t];
+                          base[2] += tree_h[t] * 0.35f;
+                          p = sample_cone_side(base, tree_r[t], tree_h[t] * 0.65f, r);
+                        }
+                        return mk(OutdoorClass::kHighVegetation, r, p);
+                      }});
+  emitters.push_back({0.08f, [=](Rng& r) {  // bushes
+                        const auto t = static_cast<size_t>(
+                            r.randint(0, static_cast<std::int64_t>(bush_pos.size()) - 1));
+                        Vec3 c = bush_pos[t];
+                        c[2] += bush_r[t] * 0.4f;
+                        Vec3 p = sample_sphere(c, bush_r[t], r, /*z_scale=*/0.55f);
+                        p[2] = std::max(p[2], terrain_z(p[0], p[1]));
+                        return mk(OutdoorClass::kLowVegetation, r, p);
+                      }});
+  emitters.push_back({0.16f, [=](Rng& r) {  // buildings
+                        const auto t = static_cast<size_t>(
+                            r.randint(0, static_cast<std::int64_t>(b_centers.size()) - 1));
+                        Vec3 p = sample_box_surface(b_centers[t], b_half[t], r);
+                        return mk(OutdoorClass::kBuilding, r, p);
+                      }});
+  emitters.push_back({0.05f, [=](Rng& r) {  // hardscape
+                        const auto t = static_cast<size_t>(
+                            r.randint(0, static_cast<std::int64_t>(hard_centers.size()) - 1));
+                        Vec3 p = sample_box_surface(hard_centers[t], hard_half[t], r);
+                        return mk(OutdoorClass::kHardscape, r, p);
+                      }});
+  emitters.push_back({0.02f, [=](Rng& r) {  // scanning artefacts
+                        const auto t = static_cast<size_t>(r.randint(
+                            0, static_cast<std::int64_t>(artefact_centers.size()) - 1));
+                        Vec3 p = jitter(artefact_centers[t], 0.5f, r);
+                        Vec3 c{r.uniform(0.3f, 1.0f), r.uniform(0.3f, 1.0f),
+                               r.uniform(0.3f, 1.0f)};
+                        return Sample{p, c, static_cast<int>(OutdoorClass::kScanningArtefact)};
+                      }});
+  emitters.push_back({0.11f, [=](Rng& r) {  // cars: body + cabin
+                        const auto t = static_cast<size_t>(
+                            r.randint(0, static_cast<std::int64_t>(car_centers.size()) - 1));
+                        const Vec3& cc = car_centers[t];
+                        Vec3 p;
+                        if (r.uniform() < 0.7f) {
+                          p = sample_box_surface({cc[0], cc[1], 0.55f}, {2.0f, 0.9f, 0.35f}, r);
+                        } else {
+                          p = sample_box_surface({cc[0] - 0.3f, cc[1], 1.15f},
+                                                 {1.0f, 0.8f, 0.25f}, r);
+                        }
+                        return Sample{p, vary_color(car_colors[t], cnoise, r),
+                                      static_cast<int>(OutdoorClass::kCar)};
+                      }});
+
+  float total_weight = 0.0f;
+  for (const auto& e : emitters) total_weight += e.weight;
+
+  PointCloud cloud;
+  cloud.reserve(config_.num_points);
+  for (std::int64_t i = 0; i < config_.num_points; ++i) {
+    float pick = rng.uniform(0.0f, total_weight);
+    const Emitter* chosen = &emitters.back();
+    for (const auto& e : emitters) {
+      if (pick < e.weight) {
+        chosen = &e;
+        break;
+      }
+      pick -= e.weight;
+    }
+    Sample s = chosen->emit(rng);
+    // Outdoor illumination: mild distance-based attenuation from the
+    // (virtual) scanner at the origin.
+    const float dist = std::sqrt(s.pos[0] * s.pos[0] + s.pos[1] * s.pos[1]);
+    const float brightness = 1.0f - 0.15f * std::min(dist / (hw + hd), 1.0f) +
+                             0.05f * std::sin(s.pos[0] * 0.7f);
+    s.color = shade(s.color, brightness);
+    s.pos = jitter(s.pos, config_.position_noise, rng);
+    cloud.push_back(s.pos, s.color, s.label);
+  }
+  return cloud;
+}
+
+PointCloud OutdoorSceneGenerator::generate_with_class(Rng& rng, int label,
+                                                      std::int64_t min_count,
+                                                      int max_attempts) const {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    PointCloud cloud = generate(rng);
+    if (count_label(cloud, label) >= min_count) return cloud;
+  }
+  throw std::runtime_error(std::string("generate_with_class: could not produce enough '") +
+                           outdoor_class_name(label) + "' points");
+}
+
+}  // namespace pcss::data

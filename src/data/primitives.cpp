@@ -1,0 +1,87 @@
+#include "pcss/data/primitives.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace pcss::data {
+
+Vec3 sample_rect(const Vec3& origin, const Vec3& u, const Vec3& v, Rng& rng) {
+  const float a = rng.uniform();
+  const float b = rng.uniform();
+  return {origin[0] + a * u[0] + b * v[0], origin[1] + a * u[1] + b * v[1],
+          origin[2] + a * u[2] + b * v[2]};
+}
+
+Vec3 sample_box_surface(const Vec3& center, const Vec3& half, Rng& rng) {
+  const float ax = half[1] * half[2];  // x-faces
+  const float ay = half[0] * half[2];
+  const float az = half[0] * half[1];
+  const float total = 2.0f * (ax + ay + az);
+  float pick = rng.uniform(0.0f, total);
+  Vec3 p{rng.uniform(-half[0], half[0]), rng.uniform(-half[1], half[1]),
+         rng.uniform(-half[2], half[2])};
+  auto side = [&rng]() { return rng.uniform() < 0.5f ? -1.0f : 1.0f; };
+  if (pick < 2.0f * ax) {
+    p[0] = half[0] * side();
+  } else if (pick < 2.0f * (ax + ay)) {
+    p[1] = half[1] * side();
+  } else {
+    p[2] = half[2] * side();
+  }
+  return {center[0] + p[0], center[1] + p[1], center[2] + p[2]};
+}
+
+Vec3 sample_solid_box(const Vec3& center, const Vec3& half, Rng& rng) {
+  return {center[0] + rng.uniform(-half[0], half[0]),
+          center[1] + rng.uniform(-half[1], half[1]),
+          center[2] + rng.uniform(-half[2], half[2])};
+}
+
+Vec3 sample_sphere(const Vec3& center, float radius, Rng& rng, float z_scale) {
+  // Marsaglia: uniform direction via normalized Gaussians.
+  float x, y, z, n2;
+  do {
+    x = rng.normal();
+    y = rng.normal();
+    z = rng.normal();
+    n2 = x * x + y * y + z * z;
+  } while (n2 < 1e-12f);
+  const float inv = radius / std::sqrt(n2);
+  return {center[0] + x * inv, center[1] + y * inv, center[2] + z * inv * z_scale};
+}
+
+Vec3 sample_cylinder_side(const Vec3& base_center, float radius, float height, Rng& rng) {
+  const float theta = rng.uniform(0.0f, 2.0f * std::numbers::pi_v<float>);
+  const float h = rng.uniform(0.0f, height);
+  return {base_center[0] + radius * std::cos(theta), base_center[1] + radius * std::sin(theta),
+          base_center[2] + h};
+}
+
+Vec3 sample_cone_side(const Vec3& base_center, float radius, float height, Rng& rng) {
+  // Lateral surface area density is proportional to the local radius, i.e.
+  // to (1 - t); sample t with density 2(1-t) via inverse transform.
+  const float t = 1.0f - std::sqrt(1.0f - rng.uniform());
+  const float r = radius * (1.0f - t);
+  const float theta = rng.uniform(0.0f, 2.0f * std::numbers::pi_v<float>);
+  return {base_center[0] + r * std::cos(theta), base_center[1] + r * std::sin(theta),
+          base_center[2] + t * height};
+}
+
+Vec3 jitter(const Vec3& p, float sigma, Rng& rng) {
+  return {p[0] + rng.normal(sigma), p[1] + rng.normal(sigma), p[2] + rng.normal(sigma)};
+}
+
+Vec3 vary_color(const Vec3& base, float sigma, Rng& rng) {
+  Vec3 c{base[0] + rng.normal(sigma), base[1] + rng.normal(sigma), base[2] + rng.normal(sigma)};
+  for (int a = 0; a < 3; ++a) c[a] = std::clamp(c[a], 0.0f, 1.0f);
+  return c;
+}
+
+Vec3 shade(const Vec3& color, float brightness) {
+  Vec3 c{color[0] * brightness, color[1] * brightness, color[2] * brightness};
+  for (int a = 0; a < 3; ++a) c[a] = std::clamp(c[a], 0.0f, 1.0f);
+  return c;
+}
+
+}  // namespace pcss::data

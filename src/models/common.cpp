@@ -1,0 +1,51 @@
+#include "pcss/models/common.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "pcss/pointcloud/knn.h"
+
+namespace pcss::models {
+
+void interpolation_weights(const std::vector<Vec3>& reference,
+                           const std::vector<Vec3>& queries, int k,
+                           std::vector<std::int64_t>& idx_out,
+                           std::vector<float>& weights_out) {
+  if (k <= 0) throw std::invalid_argument("interpolation_weights: k must be positive");
+  const int kk = static_cast<int>(
+      std::min<std::int64_t>(k, static_cast<std::int64_t>(reference.size())));
+  idx_out = pcss::pointcloud::knn_query(reference, queries, kk);
+  weights_out.assign(idx_out.size(), 0.0f);
+  constexpr float kEps = 1e-8f;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    float total = 0.0f;
+    for (int j = 0; j < kk; ++j) {
+      const auto r = static_cast<size_t>(idx_out[q * static_cast<size_t>(kk) + j]);
+      const float d2 = pcss::pointcloud::squared_distance(queries[q], reference[r]);
+      const float w = 1.0f / (d2 + kEps);
+      weights_out[q * static_cast<size_t>(kk) + j] = w;
+      total += w;
+    }
+    for (int j = 0; j < kk; ++j) weights_out[q * static_cast<size_t>(kk) + j] /= total;
+  }
+  // Callers use kk (possibly < requested k); they can infer it from sizes.
+}
+
+std::vector<std::int64_t> dilate_neighbors(const std::vector<std::int64_t>& idx,
+                                           std::int64_t n, int k, int dilation) {
+  if (dilation < 1) throw std::invalid_argument("dilate_neighbors: dilation must be >= 1");
+  const std::int64_t wide = static_cast<std::int64_t>(idx.size()) / n;
+  if (wide < static_cast<std::int64_t>(k) * dilation) {
+    throw std::invalid_argument("dilate_neighbors: table too narrow for k*dilation");
+  }
+  std::vector<std::int64_t> out(static_cast<size_t>(n) * static_cast<size_t>(k));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) {
+      out[static_cast<size_t>(i * k + j)] =
+          idx[static_cast<size_t>(i * wide + static_cast<std::int64_t>(j) * dilation)];
+    }
+  }
+  return out;
+}
+
+}  // namespace pcss::models

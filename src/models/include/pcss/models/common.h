@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pcss/pointcloud/point_cloud.h"
+
+namespace pcss::models {
+
+using pcss::pointcloud::Vec3;
+
+/// Inverse-distance interpolation weights: for each query point, its k
+/// nearest reference points and normalized 1/d^2 weights (PointNet++
+/// feature-propagation upsampling; k=1 degenerates to nearest-neighbor).
+void interpolation_weights(const std::vector<Vec3>& reference,
+                           const std::vector<Vec3>& queries, int k,
+                           std::vector<std::int64_t>& idx_out,
+                           std::vector<float>& weights_out);
+
+/// For dilated kNN: from a [n * (k*dilation)] neighbor table keep every
+/// `dilation`-th column, yielding [n * k].
+std::vector<std::int64_t> dilate_neighbors(const std::vector<std::int64_t>& idx,
+                                           std::int64_t n, int k, int dilation);
+
+}  // namespace pcss::models

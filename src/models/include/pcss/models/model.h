@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pcss/pointcloud/point_cloud.h"
+#include "pcss/tensor/nn.h"
+#include "pcss/tensor/tensor.h"
+
+namespace pcss::models {
+
+using pcss::pointcloud::PointCloud;
+using pcss::pointcloud::Vec3;
+using pcss::tensor::Tensor;
+
+/// Input to a segmentation model: a raw cloud plus optional perturbation
+/// tensors. Deltas are in *raw* units — color in [0,1] RGB space,
+/// coordinates in meters — and are normalized by the model's own input
+/// convention inside forward(), so the attacker's gradient reflects the
+/// model's normalization exactly (the paper's Eq. 7 pre-processing hook).
+struct ModelInput {
+  const PointCloud* cloud = nullptr;
+  Tensor color_delta;  ///< optional [N,3], added to colors
+  Tensor coord_delta;  ///< optional [N,3], added to positions
+
+  static ModelInput plain(const PointCloud& cloud) { return {&cloud, {}, {}}; }
+};
+
+/// Common interface of the three PCSS families evaluated in the paper.
+///
+/// forward() is define-by-run: neighbor graphs are rebuilt from the
+/// (possibly perturbed) positions every call, which is what makes the
+/// coordinate-based attack outcome unstable under point sampling
+/// (paper §V-B, Finding 1).
+class SegmentationModel {
+ public:
+  virtual ~SegmentationModel() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_classes() const = 0;
+
+  /// Per-point logits [N, num_classes].
+  virtual Tensor forward(const ModelInput& input, bool training) = 0;
+
+  /// All trainable parameters with hierarchical names (for checkpoints).
+  virtual std::vector<pcss::tensor::nn::NamedParam> named_params() = 0;
+  /// Non-trainable state (batch-norm running statistics).
+  virtual std::vector<pcss::tensor::nn::NamedBuffer> named_buffers() = 0;
+
+  std::vector<Tensor> parameters() {
+    std::vector<Tensor> out;
+    for (auto& p : named_params()) out.push_back(p.tensor);
+    return out;
+  }
+
+  /// Predicted label per point (eval mode, no perturbation).
+  std::vector<int> predict(const PointCloud& cloud);
+};
+
+/// Positions after applying an optional coordinate delta.
+std::vector<Vec3> effective_positions(const ModelInput& input);
+
+}  // namespace pcss::models

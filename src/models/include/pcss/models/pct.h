@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pcss/models/model.h"
+#include "pcss/tensor/nn.h"
+#include "pcss/tensor/rng.h"
+
+namespace pcss::models {
+
+using pcss::tensor::Rng;
+
+/// CPU-scaled Point Cloud Transformer segmentation (the paper's §VI
+/// "Other models" extension: "We expect our attacks to be applicable to
+/// the models which generate gradients. One example is Point Cloud
+/// Transformer (PCT)"). Local self-attention over kNN neighborhoods with
+/// learned relative-position encodings and residual blocks — gradients
+/// flow to both color and coordinates exactly as for the other families,
+/// so the full attack framework applies unchanged.
+struct PctConfig {
+  int num_classes = 13;
+  int k = 12;       ///< attention neighborhood
+  int layers = 2;   ///< residual attention blocks
+  std::int64_t dim = 32;
+  std::uint64_t dropout_seed = 13;
+  float dropout = 0.3f;
+};
+
+class PctSeg : public SegmentationModel {
+ public:
+  PctSeg(PctConfig config, Rng& rng);
+
+  std::string name() const override { return "PCT"; }
+  int num_classes() const override { return config_.num_classes; }
+  Tensor forward(const ModelInput& input, bool training) override;
+  std::vector<pcss::tensor::nn::NamedParam> named_params() override;
+  std::vector<pcss::tensor::nn::NamedBuffer> named_buffers() override;
+
+  const PctConfig& config() const { return config_; }
+
+ private:
+  /// One local self-attention block's parameters.
+  struct Block {
+    std::unique_ptr<pcss::tensor::nn::Linear> q, k, v;
+    std::unique_ptr<pcss::tensor::nn::Mlp> pos;  ///< rel-pos encoding 3 -> dim
+    std::unique_ptr<pcss::tensor::nn::Mlp> out;  ///< post-attention LBR
+  };
+
+  PctConfig config_;
+  pcss::tensor::nn::Mlp stem_;
+  std::vector<Block> blocks_;
+  pcss::tensor::nn::Mlp head_;
+  Rng dropout_rng_;
+};
+
+}  // namespace pcss::models

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <memory>
+
+#include "pcss/models/model.h"
+#include "pcss/tensor/nn.h"
+#include "pcss/tensor/rng.h"
+
+namespace pcss::models {
+
+using pcss::tensor::Rng;
+
+/// CPU-scaled PointNet++ semantic segmentation (paper target #1).
+///
+/// Encoder: two set-abstraction levels (farthest-point sampling + kNN
+/// grouping + shared MLP + max pool). Decoder: two feature-propagation
+/// levels (3-NN inverse-distance interpolation + skip concat + MLP).
+/// Input follows the S3DIS 9-feature convention with coordinates
+/// normalized to [0,3] and color to [0,1] (paper §V-A).
+struct PointNet2Config {
+  int num_classes = 13;
+  int k = 16;           ///< grouping neighborhood
+  int sa1_ratio = 4;    ///< N -> N/sa1_ratio centroids
+  int sa2_ratio = 4;    ///< N/sa1_ratio -> /sa2_ratio
+  std::int64_t c1 = 32;
+  std::int64_t c2 = 64;
+  std::int64_t head = 64;
+  float dropout = 0.5f;
+  std::uint64_t dropout_seed = 7;
+};
+
+class PointNet2Seg : public SegmentationModel {
+ public:
+  PointNet2Seg(PointNet2Config config, Rng& rng);
+
+  std::string name() const override { return "PointNet++"; }
+  int num_classes() const override { return config_.num_classes; }
+  Tensor forward(const ModelInput& input, bool training) override;
+  std::vector<pcss::tensor::nn::NamedParam> named_params() override;
+  std::vector<pcss::tensor::nn::NamedBuffer> named_buffers() override;
+
+  const PointNet2Config& config() const { return config_; }
+
+ private:
+  PointNet2Config config_;
+  pcss::tensor::nn::Mlp sa1_mlp_;
+  pcss::tensor::nn::Mlp sa2_mlp_;
+  pcss::tensor::nn::Mlp fp1_mlp_;
+  pcss::tensor::nn::Mlp fp2_mlp_;
+  pcss::tensor::nn::Mlp head_mlp_;
+  Rng dropout_rng_;
+};
+
+}  // namespace pcss::models

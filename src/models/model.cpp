@@ -1,0 +1,13 @@
+#include "pcss/models/model.h"
+
+#include "pcss/tensor/ops.h"
+
+namespace pcss::models {
+
+std::vector<int> SegmentationModel::predict(const PointCloud& cloud) {
+  ModelInput input = ModelInput::plain(cloud);
+  Tensor logits = forward(input, /*training=*/false);
+  return pcss::tensor::ops::argmax_rows(logits);
+}
+
+}  // namespace pcss::models

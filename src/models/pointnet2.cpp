@@ -1,0 +1,117 @@
+#include "pcss/models/pointnet2.h"
+
+#include <algorithm>
+
+#include "pcss/models/assembler.h"
+#include "pcss/models/common.h"
+#include "pcss/pointcloud/knn.h"
+#include "pcss/pointcloud/sampling.h"
+#include "pcss/tensor/ops.h"
+
+namespace pcss::models {
+
+namespace ops = pcss::tensor::ops;
+using pcss::pointcloud::farthest_point_sample;
+using pcss::pointcloud::knn_query;
+using pcss::tensor::Tensor;
+
+PointNet2Seg::PointNet2Seg(PointNet2Config config, Rng& rng)
+    : config_(config),
+      sa1_mlp_({3 + 9, config.c1, config.c1}, rng),
+      sa2_mlp_({3 + config.c1, config.c2, config.c2}, rng),
+      fp1_mlp_({config.c2 + config.c1, config.c2}, rng),
+      fp2_mlp_({config.c2 + 9, config.head}, rng),
+      head_mlp_({config.head, config.head, config.num_classes}, rng,
+                /*final_activation=*/false),
+      dropout_rng_(config.dropout_seed) {}
+
+namespace {
+
+/// One set-abstraction level: FPS centroids, kNN grouping, shared MLP on
+/// [relative position | neighbor features], max pool per group.
+struct SaResult {
+  Tensor features;                 // [M, C_out]
+  Tensor positions;                // [M, 3] autograd
+  std::vector<Vec3> graph_positions;  // plain values for the next level
+};
+
+SaResult set_abstraction(const Tensor& feats, const Tensor& pos_tensor,
+                         const std::vector<Vec3>& graph_pos, int ratio, int k,
+                         pcss::tensor::nn::Mlp& mlp, bool training) {
+  const std::int64_t n = static_cast<std::int64_t>(graph_pos.size());
+  const std::int64_t m = std::max<std::int64_t>(n / ratio, 1);
+  const auto centroid_idx = farthest_point_sample(graph_pos, m);
+  std::vector<Vec3> centroid_pos(static_cast<size_t>(m));
+  for (std::int64_t i = 0; i < m; ++i) {
+    centroid_pos[static_cast<size_t>(i)] = graph_pos[static_cast<size_t>(centroid_idx[i])];
+  }
+  const int kk = static_cast<int>(std::min<std::int64_t>(k, n));
+  const auto nbr_idx = knn_query(graph_pos, centroid_pos, kk);
+
+  Tensor cent_pos = ops::gather_rows(pos_tensor, centroid_idx);
+  Tensor nbr_pos = ops::gather_rows(pos_tensor, nbr_idx);
+  Tensor rel = ops::sub(nbr_pos, ops::repeat_rows(cent_pos, kk));
+  Tensor grouped = ops::concat_cols(rel, ops::gather_rows(feats, nbr_idx));
+  Tensor h = mlp.forward(grouped, training);
+  SaResult out;
+  out.features = ops::segment_max(h, kk);
+  out.positions = cent_pos;
+  out.graph_positions = std::move(centroid_pos);
+  return out;
+}
+
+/// Feature propagation: 3-NN inverse-distance upsample + skip concat + MLP.
+Tensor feature_propagation(const Tensor& coarse_feats,
+                           const std::vector<Vec3>& coarse_pos,
+                           const Tensor& skip_feats, const std::vector<Vec3>& fine_pos,
+                           pcss::tensor::nn::Mlp& mlp, bool training) {
+  std::vector<std::int64_t> idx;
+  std::vector<float> w;
+  interpolation_weights(coarse_pos, fine_pos, 3, idx, w);
+  const std::int64_t kk = static_cast<std::int64_t>(idx.size()) /
+                          static_cast<std::int64_t>(fine_pos.size());
+  Tensor up = ops::weighted_gather_rows(coarse_feats, idx, w, kk);
+  return mlp.forward(ops::concat_cols(up, skip_feats), training);
+}
+
+}  // namespace
+
+Tensor PointNet2Seg::forward(const ModelInput& input, bool training) {
+  AssembledInput a = assemble_input(input, CoordConvention::kZeroToThree,
+                                    /*with_normalized_extra=*/true);
+
+  SaResult sa1 = set_abstraction(a.features, a.positions, a.graph_positions,
+                                 config_.sa1_ratio, config_.k, sa1_mlp_, training);
+  SaResult sa2 = set_abstraction(sa1.features, sa1.positions, sa1.graph_positions,
+                                 config_.sa2_ratio, config_.k, sa2_mlp_, training);
+
+  Tensor fp1 = feature_propagation(sa2.features, sa2.graph_positions, sa1.features,
+                                   sa1.graph_positions, fp1_mlp_, training);
+  Tensor fp2 = feature_propagation(fp1, sa1.graph_positions, a.features,
+                                   a.graph_positions, fp2_mlp_, training);
+
+  Tensor h = ops::dropout(fp2, config_.dropout, dropout_rng_, training);
+  return head_mlp_.forward(h, training);
+}
+
+std::vector<pcss::tensor::nn::NamedParam> PointNet2Seg::named_params() {
+  std::vector<pcss::tensor::nn::NamedParam> out;
+  sa1_mlp_.collect_params("sa1.", out);
+  sa2_mlp_.collect_params("sa2.", out);
+  fp1_mlp_.collect_params("fp1.", out);
+  fp2_mlp_.collect_params("fp2.", out);
+  head_mlp_.collect_params("head.", out);
+  return out;
+}
+
+std::vector<pcss::tensor::nn::NamedBuffer> PointNet2Seg::named_buffers() {
+  std::vector<pcss::tensor::nn::NamedBuffer> out;
+  sa1_mlp_.collect_buffers("sa1.", out);
+  sa2_mlp_.collect_buffers("sa2.", out);
+  fp1_mlp_.collect_buffers("fp1.", out);
+  fp2_mlp_.collect_buffers("fp2.", out);
+  head_mlp_.collect_buffers("head.", out);
+  return out;
+}
+
+}  // namespace pcss::models

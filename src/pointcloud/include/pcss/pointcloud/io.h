@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "pcss/pointcloud/point_cloud.h"
+
+namespace pcss::pointcloud {
+
+/// Writes "x y z r g b label" per line (colors in [0,1]).
+void save_xyzrgbl(const PointCloud& cloud, const std::string& path);
+
+/// Reads the format written by save_xyzrgbl. Throws on parse errors.
+PointCloud load_xyzrgbl(const std::string& path);
+
+/// ASCII PLY export with uchar colors, viewable in MeshLab/CloudCompare.
+void save_ply(const PointCloud& cloud, const std::string& path);
+
+}  // namespace pcss::pointcloud

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pcss/pointcloud/point_cloud.h"
+
+namespace pcss::pointcloud {
+
+/// k nearest neighbors of each point within the same set, brute force.
+/// Returns a flat [n*k] row-major index array. When include_self is false
+/// the point itself is excluded from its own neighbor list. If fewer than
+/// k candidates exist, the last found index is repeated to keep the layout
+/// rectangular.
+std::vector<std::int64_t> knn_self(const std::vector<Vec3>& points, int k,
+                                   bool include_self = true);
+
+/// k nearest neighbors of each query point among `reference` points.
+/// Returns a flat [queries.size()*k] index array into `reference`.
+std::vector<std::int64_t> knn_query(const std::vector<Vec3>& reference,
+                                    const std::vector<Vec3>& queries, int k);
+
+/// Grid-accelerated variant of knn_self for large clouds (outdoor scenes).
+/// Exact: expands cell shells until the k-th distance is provably final.
+std::vector<std::int64_t> knn_self_grid(const std::vector<Vec3>& points, int k,
+                                        bool include_self = true);
+
+/// Fraction of points whose neighbor *set* changed between two [n*k] kNN
+/// index arrays. Used for the paper's §V-B evidence that coordinate
+/// perturbation disturbs >88% of neighborhoods.
+double neighborhood_change_fraction(const std::vector<std::int64_t>& before,
+                                    const std::vector<std::int64_t>& after, int k);
+
+/// Mean distance from each point to its k nearest neighbors (excluding
+/// self) — the statistic used by the SOR defense.
+std::vector<float> mean_knn_distance(const std::vector<Vec3>& points, int k);
+
+}  // namespace pcss::pointcloud

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pcss::pointcloud {
+
+using Vec3 = std::array<float, 3>;
+
+inline Vec3 operator+(const Vec3& a, const Vec3& b) {
+  return {a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+}
+inline Vec3 operator-(const Vec3& a, const Vec3& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+inline Vec3 operator*(const Vec3& a, float s) { return {a[0] * s, a[1] * s, a[2] * s}; }
+
+float dot(const Vec3& a, const Vec3& b);
+float norm(const Vec3& a);
+float squared_distance(const Vec3& a, const Vec3& b);
+
+/// Axis-aligned bounding box of a point set.
+struct BBox {
+  Vec3 min{0, 0, 0};
+  Vec3 max{0, 0, 0};
+
+  Vec3 extent() const { return max - min; }
+  Vec3 center() const { return (min + max) * 0.5f; }
+  /// Longest axis length (used for isotropic normalization).
+  float max_extent() const;
+};
+
+BBox compute_bbox(const std::vector<Vec3>& positions);
+
+/// A labeled, colored point cloud — the unit every model, attack, and
+/// metric in this library operates on. Colors live in [0, 1]^3 (the paper
+/// perturbs this field); labels are dataset class indices.
+struct PointCloud {
+  std::vector<Vec3> positions;
+  std::vector<Vec3> colors;
+  std::vector<int> labels;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(positions.size()); }
+  bool empty() const { return positions.empty(); }
+
+  void reserve(std::int64_t n);
+  void push_back(const Vec3& pos, const Vec3& color, int label);
+  /// Cloud restricted to the given point indices (order preserved).
+  PointCloud subset(const std::vector<std::int64_t>& indices) const;
+  /// Throws if the three arrays disagree in length or colors leave [0,1].
+  void validate() const;
+  /// Clamps all color channels into [0, 1].
+  void clamp_colors();
+};
+
+}  // namespace pcss::pointcloud

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pcss/pointcloud/point_cloud.h"
+#include "pcss/tensor/rng.h"
+
+namespace pcss::pointcloud {
+
+using pcss::tensor::Rng;
+
+/// Farthest point sampling: greedily selects m points maximizing the
+/// minimum pairwise distance, starting from `start`. This is the
+/// PointNet++ set-abstraction sampler.
+std::vector<std::int64_t> farthest_point_sample(const std::vector<Vec3>& points,
+                                                std::int64_t m, std::int64_t start = 0);
+
+/// m indices drawn uniformly without replacement (RandLA-Net sampler and
+/// the SRS defense).
+std::vector<std::int64_t> random_sample(std::int64_t n, std::int64_t m, Rng& rng);
+
+/// RandLA-Net input regeneration: produces exactly m indices by random
+/// selection when n >= m and by random duplication when n < m.
+std::vector<std::int64_t> duplicate_or_select(std::int64_t n, std::int64_t m, Rng& rng);
+
+/// Voxel-grid downsample: keeps one (arbitrary) point per occupied voxel
+/// of the given edge length. Used to thin huge outdoor clouds before the
+/// model-specific samplers run.
+std::vector<std::int64_t> voxel_downsample(const std::vector<Vec3>& points, float voxel);
+
+}  // namespace pcss::pointcloud

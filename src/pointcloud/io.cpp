@@ -1,0 +1,53 @@
+#include "pcss/pointcloud/io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace pcss::pointcloud {
+
+void save_xyzrgbl(const PointCloud& cloud, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_xyzrgbl: cannot open " + path);
+  for (std::int64_t i = 0; i < cloud.size(); ++i) {
+    const auto& p = cloud.positions[static_cast<size_t>(i)];
+    const auto& c = cloud.colors[static_cast<size_t>(i)];
+    out << p[0] << ' ' << p[1] << ' ' << p[2] << ' ' << c[0] << ' ' << c[1] << ' ' << c[2]
+        << ' ' << cloud.labels[static_cast<size_t>(i)] << '\n';
+  }
+  if (!out) throw std::runtime_error("save_xyzrgbl: write failure for " + path);
+}
+
+PointCloud load_xyzrgbl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_xyzrgbl: cannot open " + path);
+  PointCloud cloud;
+  Vec3 p, c;
+  int label = 0;
+  while (in >> p[0] >> p[1] >> p[2] >> c[0] >> c[1] >> c[2] >> label) {
+    cloud.push_back(p, c, label);
+  }
+  if (!in.eof() && in.fail()) throw std::runtime_error("load_xyzrgbl: parse error in " + path);
+  return cloud;
+}
+
+void save_ply(const PointCloud& cloud, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_ply: cannot open " + path);
+  out << "ply\nformat ascii 1.0\nelement vertex " << cloud.size()
+      << "\nproperty float x\nproperty float y\nproperty float z\n"
+         "property uchar red\nproperty uchar green\nproperty uchar blue\nend_header\n";
+  for (std::int64_t i = 0; i < cloud.size(); ++i) {
+    const auto& p = cloud.positions[static_cast<size_t>(i)];
+    const auto& c = cloud.colors[static_cast<size_t>(i)];
+    auto to_byte = [](float v) {
+      return static_cast<int>(std::lround(std::clamp(v, 0.0f, 1.0f) * 255.0f));
+    };
+    out << p[0] << ' ' << p[1] << ' ' << p[2] << ' ' << to_byte(c[0]) << ' ' << to_byte(c[1])
+        << ' ' << to_byte(c[2]) << '\n';
+  }
+  if (!out) throw std::runtime_error("save_ply: write failure for " + path);
+}
+
+}  // namespace pcss::pointcloud

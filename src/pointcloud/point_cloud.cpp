@@ -1,0 +1,77 @@
+#include "pcss/pointcloud/point_cloud.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pcss::pointcloud {
+
+float dot(const Vec3& a, const Vec3& b) { return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]; }
+
+float norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+float squared_distance(const Vec3& a, const Vec3& b) {
+  const Vec3 d = a - b;
+  return dot(d, d);
+}
+
+float BBox::max_extent() const {
+  const Vec3 e = extent();
+  return std::max({e[0], e[1], e[2]});
+}
+
+BBox compute_bbox(const std::vector<Vec3>& positions) {
+  if (positions.empty()) return {};
+  BBox box{positions[0], positions[0]};
+  for (const Vec3& p : positions) {
+    for (int a = 0; a < 3; ++a) {
+      box.min[a] = std::min(box.min[a], p[a]);
+      box.max[a] = std::max(box.max[a], p[a]);
+    }
+  }
+  return box;
+}
+
+void PointCloud::reserve(std::int64_t n) {
+  positions.reserve(static_cast<size_t>(n));
+  colors.reserve(static_cast<size_t>(n));
+  labels.reserve(static_cast<size_t>(n));
+}
+
+void PointCloud::push_back(const Vec3& pos, const Vec3& color, int label) {
+  positions.push_back(pos);
+  colors.push_back(color);
+  labels.push_back(label);
+}
+
+PointCloud PointCloud::subset(const std::vector<std::int64_t>& indices) const {
+  PointCloud out;
+  out.reserve(static_cast<std::int64_t>(indices.size()));
+  for (std::int64_t i : indices) {
+    if (i < 0 || i >= size()) throw std::out_of_range("PointCloud::subset: bad index");
+    out.push_back(positions[static_cast<size_t>(i)], colors[static_cast<size_t>(i)],
+                  labels[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+void PointCloud::validate() const {
+  if (positions.size() != colors.size() || positions.size() != labels.size()) {
+    throw std::runtime_error("PointCloud: arrays have inconsistent lengths");
+  }
+  for (const Vec3& c : colors) {
+    for (int a = 0; a < 3; ++a) {
+      if (!(c[a] >= 0.0f && c[a] <= 1.0f)) {
+        throw std::runtime_error("PointCloud: color channel outside [0,1]");
+      }
+    }
+  }
+}
+
+void PointCloud::clamp_colors() {
+  for (Vec3& c : colors) {
+    for (int a = 0; a < 3; ++a) c[a] = std::clamp(c[a], 0.0f, 1.0f);
+  }
+}
+
+}  // namespace pcss::pointcloud

@@ -1,0 +1,81 @@
+#include "pcss/pointcloud/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pcss::pointcloud {
+
+std::vector<std::int64_t> farthest_point_sample(const std::vector<Vec3>& points,
+                                                std::int64_t m, std::int64_t start) {
+  const std::int64_t n = static_cast<std::int64_t>(points.size());
+  if (m <= 0 || m > n) throw std::invalid_argument("farthest_point_sample: bad m");
+  if (start < 0 || start >= n) throw std::invalid_argument("farthest_point_sample: bad start");
+  std::vector<std::int64_t> selected;
+  selected.reserve(static_cast<size_t>(m));
+  std::vector<float> min_d2(static_cast<size_t>(n), std::numeric_limits<float>::infinity());
+  std::int64_t current = start;
+  for (std::int64_t s = 0; s < m; ++s) {
+    selected.push_back(current);
+    const Vec3& c = points[static_cast<size_t>(current)];
+    std::int64_t next = -1;
+    float best = -1.0f;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float d2 = squared_distance(points[static_cast<size_t>(i)], c);
+      if (d2 < min_d2[static_cast<size_t>(i)]) min_d2[static_cast<size_t>(i)] = d2;
+      if (min_d2[static_cast<size_t>(i)] > best) {
+        best = min_d2[static_cast<size_t>(i)];
+        next = i;
+      }
+    }
+    current = next;
+  }
+  return selected;
+}
+
+std::vector<std::int64_t> random_sample(std::int64_t n, std::int64_t m, Rng& rng) {
+  if (m < 0 || m > n) throw std::invalid_argument("random_sample: bad m");
+  // Partial Fisher-Yates over an index array.
+  std::vector<std::int64_t> idx(static_cast<size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t j = rng.randint(i, n - 1);
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  idx.resize(static_cast<size_t>(m));
+  return idx;
+}
+
+std::vector<std::int64_t> duplicate_or_select(std::int64_t n, std::int64_t m, Rng& rng) {
+  if (n <= 0 || m <= 0) throw std::invalid_argument("duplicate_or_select: bad sizes");
+  if (n >= m) return random_sample(n, m, rng);
+  // Every original point appears at least once; the remainder is drawn
+  // with replacement, mirroring RandLA-Net's regeneration step.
+  std::vector<std::int64_t> idx(static_cast<size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  idx.reserve(static_cast<size_t>(m));
+  for (std::int64_t i = n; i < m; ++i) idx.push_back(rng.randint(0, n - 1));
+  std::shuffle(idx.begin(), idx.end(), rng.engine());
+  return idx;
+}
+
+std::vector<std::int64_t> voxel_downsample(const std::vector<Vec3>& points, float voxel) {
+  if (voxel <= 0.0f) throw std::invalid_argument("voxel_downsample: voxel must be positive");
+  const BBox box = compute_bbox(points);
+  std::unordered_set<std::int64_t> seen;
+  std::vector<std::int64_t> keep;
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(points.size()); ++i) {
+    const Vec3& p = points[static_cast<size_t>(i)];
+    const std::int64_t cx = static_cast<std::int64_t>((p[0] - box.min[0]) / voxel);
+    const std::int64_t cy = static_cast<std::int64_t>((p[1] - box.min[1]) / voxel);
+    const std::int64_t cz = static_cast<std::int64_t>((p[2] - box.min[2]) / voxel);
+    const std::int64_t key = (cx * 73856093) ^ (cy * 19349663) ^ (cz * 83492791);
+    if (seen.insert(key).second) keep.push_back(i);
+  }
+  return keep;
+}
+
+}  // namespace pcss::pointcloud

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "pcss/tensor/tensor.h"
+
+namespace pcss::tensor::optim {
+
+/// Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Clears gradients of all parameters.
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// SGD with classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+  void step() override;
+
+  float lr;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba). Used both for model training and for the paper's
+/// norm-unbounded (CW-style) attack inner loop (lr = 0.01 per §V-A).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f);
+  void step() override;
+
+  float lr;
+
+ private:
+  float beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace pcss::tensor::optim

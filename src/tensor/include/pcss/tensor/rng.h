@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace pcss::tensor {
+
+/// Deterministic random number source used across the library.
+///
+/// Every component that needs randomness (weight init, scene generation,
+/// random-sampling layers, attack restarts) takes an explicit Rng so that
+/// experiments are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo = 0.0f, float hi = 1.0f) {
+    std::uniform_real_distribution<float> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Standard normal scaled by stddev.
+  float normal(float stddev = 1.0f) {
+    std::normal_distribution<float> d(0.0f, stddev);
+    return d(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t randint(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Fork a child generator; child streams are independent of later
+  /// draws from the parent.
+  Rng fork() { return Rng(engine_() ^ 0xd1b54a32d192ed03ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pcss::tensor

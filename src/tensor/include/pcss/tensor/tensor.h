@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pcss/tensor/rng.h"
+
+namespace pcss::tensor {
+
+using Shape = std::vector<std::int64_t>;
+
+/// Returns the product of all dimensions in `shape` (1 for rank-0).
+std::int64_t shape_numel(const Shape& shape);
+
+/// Human-readable "[a, b, c]" form, used in error messages.
+std::string shape_str(const Shape& shape);
+
+struct TensorImpl;
+using TensorImplPtr = std::shared_ptr<TensorImpl>;
+
+/// Storage node shared by Tensor handles. Holds the value, the gradient
+/// (allocated lazily), and the reverse-mode closure linking it to its
+/// parents in the autograd graph.
+struct TensorImpl {
+  std::vector<float> data;
+  std::vector<float> grad;  ///< empty until touched by backward()
+  Shape shape;
+  bool requires_grad = false;
+  std::vector<TensorImplPtr> parents;
+  /// Reads this node's grad and accumulates into parents' grads.
+  std::function<void(TensorImpl&)> backward_fn;
+
+  std::int64_t numel() const { return static_cast<std::int64_t>(data.size()); }
+  /// Allocates (zero-filled) the gradient buffer if absent.
+  void ensure_grad();
+};
+
+/// Value-semantic handle to a TensorImpl. Copies alias the same storage;
+/// use detach()/clone() for independent copies.
+///
+/// Tensors are float32, row-major, with dynamic rank. The engine is
+/// define-by-run: ops build the graph as they execute, and
+/// Tensor::backward() runs reverse-mode accumulation from a scalar root.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorImplPtr impl) : impl_(std::move(impl)) {}
+
+  // -- Factories ----------------------------------------------------------
+  static Tensor zeros(Shape shape);
+  static Tensor full(Shape shape, float value);
+  static Tensor from_data(Shape shape, std::vector<float> data);
+  /// i.i.d. normal entries with the given stddev.
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f);
+  /// i.i.d. uniform entries in [lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo, float hi);
+
+  // -- Introspection -------------------------------------------------------
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const;
+  std::int64_t dim(int i) const;
+  int rank() const;
+  std::int64_t numel() const;
+  bool requires_grad() const;
+  Tensor& set_requires_grad(bool value);
+
+  // -- Data access ---------------------------------------------------------
+  float* data();
+  const float* data() const;
+  float item() const;  ///< value of a 1-element tensor
+  float at(std::int64_t i) const;
+
+  // -- Autograd ------------------------------------------------------------
+  /// Gradient buffer (empty vector if backward never reached this node).
+  const std::vector<float>& grad() const;
+  std::vector<float>& grad_ref();
+  void zero_grad();
+  /// Reverse-mode accumulation from this (scalar) tensor.
+  void backward();
+
+  /// Copy of the data with no autograd history.
+  Tensor detach() const;
+  /// Alias for detach(); reads naturally when an independent buffer is the
+  /// point rather than graph-cutting.
+  Tensor clone() const { return detach(); }
+
+  TensorImplPtr impl() const { return impl_; }
+
+ private:
+  TensorImplPtr impl_;
+};
+
+/// Raised on shape mismatches and misuse of the autograd API.
+[[noreturn]] void tensor_fail(const std::string& message);
+
+namespace detail {
+void check(bool condition, const std::string& message);
+}
+
+}  // namespace pcss::tensor

@@ -1,0 +1,928 @@
+#include "pcss/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace pcss::tensor::ops {
+
+namespace {
+
+using detail::check;
+
+/// Builds the result node, wiring parents and the backward closure only when
+/// some input participates in autograd.
+Tensor make_node(Shape shape, std::vector<float> data, std::vector<TensorImplPtr> parents,
+                 std::function<void(TensorImpl&)> backward_fn) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  bool rg = false;
+  for (const auto& p : parents) {
+    if (p && p->requires_grad) rg = true;
+  }
+  if (rg) {
+    impl->requires_grad = true;
+    impl->parents = std::move(parents);
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(std::move(impl));
+}
+
+/// Naive cache-friendly GEMM: C[n,m] += A[n,k] * B[k,m].
+void gemm_acc(const float* a, const float* b, float* c, std::int64_t n, std::int64_t k,
+              std::int64_t m) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * m;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + p * m;
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[n,m] += A^T where A is [k,n]: C += A(T) * B with A stored [k,n].
+void gemm_at_b(const float* a, const float* b, float* c, std::int64_t k, std::int64_t n,
+               std::int64_t m) {
+  // C[n,m] += sum_p A[p,n] * B[p,m]
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * n;
+    const float* brow = b + p * m;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * m;
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+/// C[n,k] += A[n,m] * B^T where B is [k,m].
+void gemm_a_bt(const float* a, const float* b, float* c, std::int64_t n, std::int64_t m,
+               std::int64_t k) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* arow = a + i * m;
+    float* crow = c + i * k;
+    for (std::int64_t j = 0; j < k; ++j) {
+      const float* brow = b + j * m;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < m; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+Tensor binary_same_shape(const Tensor& a, const Tensor& b, const char* name,
+                         float (*fwd)(float, float),
+                         std::pair<float, float> (*partials)(float, float)) {
+  check(a.defined() && b.defined(), std::string(name) + ": undefined input");
+  check(a.shape() == b.shape(), std::string(name) + ": shape mismatch " +
+                                    shape_str(a.shape()) + " vs " + shape_str(b.shape()));
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(pa[i], pb[i]);
+  auto ia = a.impl();
+  auto ib = b.impl();
+  return make_node(a.shape(), std::move(out), {ia, ib},
+                   [ia, ib, partials](TensorImpl& node) {
+                     const size_t n = node.grad.size();
+                     if (ia->requires_grad) ia->ensure_grad();
+                     if (ib->requires_grad) ib->ensure_grad();
+                     for (size_t i = 0; i < n; ++i) {
+                       auto [da, db] = partials(ia->data[i], ib->data[i]);
+                       if (ia->requires_grad) ia->grad[i] += node.grad[i] * da;
+                       if (ib->requires_grad) ib->grad[i] += node.grad[i] * db;
+                     }
+                   });
+}
+
+Tensor unary(const Tensor& a, const char* name, float (*fwd)(float),
+             float (*dfdx)(float)) {
+  check(a.defined(), std::string(name) + ": undefined input");
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(pa[i]);
+  auto ia = a.impl();
+  return make_node(a.shape(), std::move(out), {ia}, [ia, dfdx](TensorImpl& node) {
+    if (!ia->requires_grad) return;
+    ia->ensure_grad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      ia->grad[i] += node.grad[i] * dfdx(ia->data[i]);
+    }
+  });
+}
+
+void check_matrix(const Tensor& t, const char* name) {
+  check(t.defined() && t.rank() == 2, std::string(name) + ": expected rank-2 tensor");
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_same_shape(
+      a, b, "add", [](float x, float y) { return x + y; },
+      [](float, float) { return std::pair<float, float>{1.0f, 1.0f}; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_same_shape(
+      a, b, "sub", [](float x, float y) { return x - y; },
+      [](float, float) { return std::pair<float, float>{1.0f, -1.0f}; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_same_shape(
+      a, b, "mul", [](float x, float y) { return x * y; },
+      [](float x, float y) { return std::pair<float, float>{y, x}; });
+}
+
+Tensor scale(const Tensor& a, float s) {
+  check(a.defined(), "scale: undefined input");
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] * s;
+  auto ia = a.impl();
+  return make_node(a.shape(), std::move(out), {ia}, [ia, s](TensorImpl& node) {
+    if (!ia->requires_grad) return;
+    ia->ensure_grad();
+    for (size_t i = 0; i < node.grad.size(); ++i) ia->grad[i] += node.grad[i] * s;
+  });
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  check(a.defined(), "add_scalar: undefined input");
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] + s;
+  auto ia = a.impl();
+  return make_node(a.shape(), std::move(out), {ia}, [ia](TensorImpl& node) {
+    if (!ia->requires_grad) return;
+    ia->ensure_grad();
+    for (size_t i = 0; i < node.grad.size(); ++i) ia->grad[i] += node.grad[i];
+  });
+}
+
+Tensor neg(const Tensor& a) { return scale(a, -1.0f); }
+
+Tensor add_rowvec(const Tensor& x, const Tensor& bias) {
+  check_matrix(x, "add_rowvec");
+  check(bias.defined() && bias.numel() == x.dim(1),
+        "add_rowvec: bias size must equal column count");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  std::vector<float> out(static_cast<size_t>(n * c));
+  const float* px = x.data();
+  const float* pb = bias.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) out[i * c + j] = px[i * c + j] + pb[j];
+  }
+  auto ix = x.impl();
+  auto ib = bias.impl();
+  return make_node(x.shape(), std::move(out), {ix, ib}, [ix, ib, n, c](TensorImpl& node) {
+    if (ix->requires_grad) {
+      ix->ensure_grad();
+      for (size_t i = 0; i < node.grad.size(); ++i) ix->grad[i] += node.grad[i];
+    }
+    if (ib->requires_grad) {
+      ib->ensure_grad();
+      for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t j = 0; j < c; ++j) ib->grad[j] += node.grad[i * c + j];
+      }
+    }
+  });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  check_matrix(a, "matmul");
+  check_matrix(b, "matmul");
+  check(a.dim(1) == b.dim(0), "matmul: inner dimensions differ: " + shape_str(a.shape()) +
+                                  " x " + shape_str(b.shape()));
+  const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
+  gemm_acc(a.data(), b.data(), out.data(), n, k, m);
+  auto ia = a.impl();
+  auto ib = b.impl();
+  return make_node({n, m}, std::move(out), {ia, ib}, [ia, ib, n, k, m](TensorImpl& node) {
+    if (ia->requires_grad) {
+      ia->ensure_grad();
+      // dA = dY * B^T
+      gemm_a_bt(node.grad.data(), ib->data.data(), ia->grad.data(), n, m, k);
+    }
+    if (ib->requires_grad) {
+      ib->ensure_grad();
+      // dB = A^T * dY
+      gemm_at_b(ia->data.data(), node.grad.data(), ib->grad.data(), n, k, m);
+    }
+  });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary(
+      a, "relu", [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor leaky_relu(const Tensor& a, float negative_slope) {
+  check(a.defined(), "leaky_relu: undefined input");
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = pa[i] > 0.0f ? pa[i] : pa[i] * negative_slope;
+  }
+  auto ia = a.impl();
+  return make_node(a.shape(), std::move(out), {ia}, [ia, negative_slope](TensorImpl& node) {
+    if (!ia->requires_grad) return;
+    ia->ensure_grad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      ia->grad[i] += node.grad[i] * (ia->data[i] > 0.0f ? 1.0f : negative_slope);
+    }
+  });
+}
+
+Tensor tanh_op(const Tensor& a) {
+  check(a.defined(), "tanh: undefined input");
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(pa[i]);
+  auto ia = a.impl();
+  auto impl_out = std::make_shared<std::vector<float>>(out);
+  return make_node(a.shape(), std::move(out), {ia}, [ia, impl_out](TensorImpl& node) {
+    if (!ia->requires_grad) return;
+    ia->ensure_grad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      const float t = (*impl_out)[i];
+      ia->grad[i] += node.grad[i] * (1.0f - t * t);
+    }
+  });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  check(a.defined(), "sigmoid: undefined input");
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = 1.0f / (1.0f + std::exp(-pa[i]));
+  auto ia = a.impl();
+  auto saved = std::make_shared<std::vector<float>>(out);
+  return make_node(a.shape(), std::move(out), {ia}, [ia, saved](TensorImpl& node) {
+    if (!ia->requires_grad) return;
+    ia->ensure_grad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      const float s = (*saved)[i];
+      ia->grad[i] += node.grad[i] * s * (1.0f - s);
+    }
+  });
+}
+
+Tensor square(const Tensor& a) {
+  return unary(
+      a, "square", [](float x) { return x * x; }, [](float x) { return 2.0f * x; });
+}
+
+Tensor sum(const Tensor& a) {
+  check(a.defined(), "sum: undefined input");
+  double acc = 0.0;
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += pa[i];
+  auto ia = a.impl();
+  return make_node({1}, {static_cast<float>(acc)}, {ia}, [ia](TensorImpl& node) {
+    if (!ia->requires_grad) return;
+    ia->ensure_grad();
+    const float g = node.grad[0];
+    for (auto& v : ia->grad) v += g;
+  });
+}
+
+Tensor mean(const Tensor& a) {
+  check(a.defined() && a.numel() > 0, "mean: undefined or empty input");
+  return scale(sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor row_sum(const Tensor& a) {
+  check_matrix(a, "row_sum");
+  const std::int64_t n = a.dim(0), c = a.dim(1);
+  std::vector<float> out(static_cast<size_t>(n), 0.0f);
+  const float* pa = a.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) out[i] += pa[i * c + j];
+  }
+  auto ia = a.impl();
+  return make_node({n, 1}, std::move(out), {ia}, [ia, n, c](TensorImpl& node) {
+    if (!ia->requires_grad) return;
+    ia->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float g = node.grad[i];
+      for (std::int64_t j = 0; j < c; ++j) ia->grad[i * c + j] += g;
+    }
+  });
+}
+
+Tensor sqrt_op(const Tensor& a, float eps) {
+  check(a.defined(), "sqrt_op: undefined input");
+  std::vector<float> out(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = std::sqrt(std::max(pa[i] + eps, 0.0f));
+  auto saved = std::make_shared<std::vector<float>>(out);
+  auto ia = a.impl();
+  return make_node(a.shape(), std::move(out), {ia}, [ia, saved](TensorImpl& node) {
+    if (!ia->requires_grad) return;
+    ia->ensure_grad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      const float y = std::max((*saved)[i], 1e-8f);
+      ia->grad[i] += node.grad[i] * 0.5f / y;
+    }
+  });
+}
+
+Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& idx) {
+  check_matrix(x, "gather_rows");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  const std::int64_t m = static_cast<std::int64_t>(idx.size());
+  std::vector<float> out(static_cast<size_t>(m * c));
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    check(idx[i] >= 0 && idx[i] < n, "gather_rows: index out of range");
+    std::copy_n(px + idx[i] * c, c, out.data() + i * c);
+  }
+  auto ix = x.impl();
+  auto saved_idx = std::make_shared<std::vector<std::int64_t>>(idx);
+  return make_node({m, c}, std::move(out), {ix}, [ix, saved_idx, c](TensorImpl& node) {
+    if (!ix->requires_grad) return;
+    ix->ensure_grad();
+    const auto& id = *saved_idx;
+    for (size_t i = 0; i < id.size(); ++i) {
+      float* dst = ix->grad.data() + id[i] * c;
+      const float* src = node.grad.data() + static_cast<std::int64_t>(i) * c;
+      for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+    }
+  });
+}
+
+Tensor weighted_gather_rows(const Tensor& x, const std::vector<std::int64_t>& idx,
+                            const std::vector<float>& weights, std::int64_t k_per_row) {
+  check_matrix(x, "weighted_gather_rows");
+  check(idx.size() == weights.size(), "weighted_gather_rows: idx/weights size mismatch");
+  check(k_per_row > 0 && idx.size() % static_cast<size_t>(k_per_row) == 0,
+        "weighted_gather_rows: idx size must be a multiple of k_per_row");
+  const std::int64_t nsrc = x.dim(0), c = x.dim(1);
+  const std::int64_t nout = static_cast<std::int64_t>(idx.size()) / k_per_row;
+  std::vector<float> out(static_cast<size_t>(nout * c), 0.0f);
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < nout; ++i) {
+    float* dst = out.data() + i * c;
+    for (std::int64_t k = 0; k < k_per_row; ++k) {
+      const std::int64_t src_row = idx[i * k_per_row + k];
+      check(src_row >= 0 && src_row < nsrc, "weighted_gather_rows: index out of range");
+      const float w = weights[i * k_per_row + k];
+      const float* src = px + src_row * c;
+      for (std::int64_t j = 0; j < c; ++j) dst[j] += w * src[j];
+    }
+  }
+  auto ix = x.impl();
+  auto saved_idx = std::make_shared<std::vector<std::int64_t>>(idx);
+  auto saved_w = std::make_shared<std::vector<float>>(weights);
+  return make_node({nout, c}, std::move(out), {ix},
+                   [ix, saved_idx, saved_w, k_per_row, c](TensorImpl& node) {
+                     if (!ix->requires_grad) return;
+                     ix->ensure_grad();
+                     const auto& id = *saved_idx;
+                     const auto& w = *saved_w;
+                     const std::int64_t nout =
+                         static_cast<std::int64_t>(id.size()) / k_per_row;
+                     for (std::int64_t i = 0; i < nout; ++i) {
+                       const float* src = node.grad.data() + i * c;
+                       for (std::int64_t k = 0; k < k_per_row; ++k) {
+                         float* dst = ix->grad.data() + id[i * k_per_row + k] * c;
+                         const float wk = w[i * k_per_row + k];
+                         for (std::int64_t j = 0; j < c; ++j) dst[j] += wk * src[j];
+                       }
+                     }
+                   });
+}
+
+Tensor repeat_rows(const Tensor& x, std::int64_t k) {
+  check_matrix(x, "repeat_rows");
+  check(k > 0, "repeat_rows: k must be positive");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  std::vector<float> out(static_cast<size_t>(n * k * c));
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t r = 0; r < k; ++r) {
+      std::copy_n(px + i * c, c, out.data() + (i * k + r) * c);
+    }
+  }
+  auto ix = x.impl();
+  return make_node({n * k, c}, std::move(out), {ix}, [ix, n, k, c](TensorImpl& node) {
+    if (!ix->requires_grad) return;
+    ix->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      float* dst = ix->grad.data() + i * c;
+      for (std::int64_t r = 0; r < k; ++r) {
+        const float* src = node.grad.data() + (i * k + r) * c;
+        for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+      }
+    }
+  });
+}
+
+Tensor concat_cols(const Tensor& a, const Tensor& b) {
+  check_matrix(a, "concat_cols");
+  check_matrix(b, "concat_cols");
+  check(a.dim(0) == b.dim(0), "concat_cols: row counts differ");
+  const std::int64_t n = a.dim(0), ca = a.dim(1), cb = b.dim(1);
+  std::vector<float> out(static_cast<size_t>(n * (ca + cb)));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::copy_n(pa + i * ca, ca, out.data() + i * (ca + cb));
+    std::copy_n(pb + i * cb, cb, out.data() + i * (ca + cb) + ca);
+  }
+  auto ia = a.impl();
+  auto ib = b.impl();
+  return make_node({n, ca + cb}, std::move(out), {ia, ib},
+                   [ia, ib, n, ca, cb](TensorImpl& node) {
+                     if (ia->requires_grad) {
+                       ia->ensure_grad();
+                       for (std::int64_t i = 0; i < n; ++i) {
+                         const float* src = node.grad.data() + i * (ca + cb);
+                         float* dst = ia->grad.data() + i * ca;
+                         for (std::int64_t j = 0; j < ca; ++j) dst[j] += src[j];
+                       }
+                     }
+                     if (ib->requires_grad) {
+                       ib->ensure_grad();
+                       for (std::int64_t i = 0; i < n; ++i) {
+                         const float* src = node.grad.data() + i * (ca + cb) + ca;
+                         float* dst = ib->grad.data() + i * cb;
+                         for (std::int64_t j = 0; j < cb; ++j) dst[j] += src[j];
+                       }
+                     }
+                   });
+}
+
+Tensor slice_cols(const Tensor& x, std::int64_t c0, std::int64_t c1) {
+  check_matrix(x, "slice_cols");
+  check(0 <= c0 && c0 < c1 && c1 <= x.dim(1), "slice_cols: bad column range");
+  const std::int64_t n = x.dim(0), c = x.dim(1), w = c1 - c0;
+  std::vector<float> out(static_cast<size_t>(n * w));
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < n; ++i) std::copy_n(px + i * c + c0, w, out.data() + i * w);
+  auto ix = x.impl();
+  return make_node({n, w}, std::move(out), {ix}, [ix, n, c, c0, w](TensorImpl& node) {
+    if (!ix->requires_grad) return;
+    ix->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* src = node.grad.data() + i * w;
+      float* dst = ix->grad.data() + i * c + c0;
+      for (std::int64_t j = 0; j < w; ++j) dst[j] += src[j];
+    }
+  });
+}
+
+Tensor scatter_add_cols(const Tensor& base, const Tensor& delta, std::int64_t col0) {
+  check_matrix(base, "scatter_add_cols");
+  check_matrix(delta, "scatter_add_cols");
+  check(base.dim(0) == delta.dim(0), "scatter_add_cols: row counts differ");
+  check(col0 >= 0 && col0 + delta.dim(1) <= base.dim(1),
+        "scatter_add_cols: delta columns exceed base");
+  const std::int64_t n = base.dim(0), c = base.dim(1), d = delta.dim(1);
+  std::vector<float> out(base.data(), base.data() + n * c);
+  const float* pd = delta.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) out[i * c + col0 + j] += pd[i * d + j];
+  }
+  auto ibase = base.impl();
+  auto idelta = delta.impl();
+  return make_node(base.shape(), std::move(out), {ibase, idelta},
+                   [ibase, idelta, n, c, d, col0](TensorImpl& node) {
+                     if (ibase->requires_grad) {
+                       ibase->ensure_grad();
+                       for (size_t i = 0; i < node.grad.size(); ++i) {
+                         ibase->grad[i] += node.grad[i];
+                       }
+                     }
+                     if (idelta->requires_grad) {
+                       idelta->ensure_grad();
+                       for (std::int64_t i = 0; i < n; ++i) {
+                         for (std::int64_t j = 0; j < d; ++j) {
+                           idelta->grad[i * d + j] += node.grad[i * c + col0 + j];
+                         }
+                       }
+                     }
+                   });
+}
+
+namespace {
+
+void check_segments(const Tensor& x, std::int64_t k, const char* name) {
+  check_matrix(x, name);
+  check(k > 0 && x.dim(0) % k == 0,
+        std::string(name) + ": row count must be a multiple of k");
+}
+
+}  // namespace
+
+Tensor segment_max(const Tensor& x, std::int64_t k) {
+  check_segments(x, k, "segment_max");
+  const std::int64_t n = x.dim(0) / k, c = x.dim(1);
+  std::vector<float> out(static_cast<size_t>(n * c));
+  auto arg = std::make_shared<std::vector<std::int64_t>>(static_cast<size_t>(n * c));
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      float best = px[(i * k) * c + j];
+      std::int64_t best_r = 0;
+      for (std::int64_t r = 1; r < k; ++r) {
+        const float v = px[(i * k + r) * c + j];
+        if (v > best) {
+          best = v;
+          best_r = r;
+        }
+      }
+      out[i * c + j] = best;
+      (*arg)[i * c + j] = best_r;
+    }
+  }
+  auto ix = x.impl();
+  return make_node({n, c}, std::move(out), {ix}, [ix, arg, n, k, c](TensorImpl& node) {
+    if (!ix->requires_grad) return;
+    ix->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < c; ++j) {
+        const std::int64_t r = (*arg)[i * c + j];
+        ix->grad[(i * k + r) * c + j] += node.grad[i * c + j];
+      }
+    }
+  });
+}
+
+Tensor segment_sum(const Tensor& x, std::int64_t k) {
+  check_segments(x, k, "segment_sum");
+  const std::int64_t n = x.dim(0) / k, c = x.dim(1);
+  std::vector<float> out(static_cast<size_t>(n * c), 0.0f);
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t r = 0; r < k; ++r) {
+      const float* src = px + (i * k + r) * c;
+      float* dst = out.data() + i * c;
+      for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+    }
+  }
+  auto ix = x.impl();
+  return make_node({n, c}, std::move(out), {ix}, [ix, n, k, c](TensorImpl& node) {
+    if (!ix->requires_grad) return;
+    ix->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* src = node.grad.data() + i * c;
+      for (std::int64_t r = 0; r < k; ++r) {
+        float* dst = ix->grad.data() + (i * k + r) * c;
+        for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+      }
+    }
+  });
+}
+
+Tensor segment_mean(const Tensor& x, std::int64_t k) {
+  return scale(segment_sum(x, k), 1.0f / static_cast<float>(k));
+}
+
+Tensor segment_softmax(const Tensor& x, std::int64_t k) {
+  check_segments(x, k, "segment_softmax");
+  const std::int64_t n = x.dim(0) / k, c = x.dim(1);
+  std::vector<float> out(static_cast<size_t>(x.numel()));
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      float mx = px[(i * k) * c + j];
+      for (std::int64_t r = 1; r < k; ++r) mx = std::max(mx, px[(i * k + r) * c + j]);
+      float denom = 0.0f;
+      for (std::int64_t r = 0; r < k; ++r) {
+        const float e = std::exp(px[(i * k + r) * c + j] - mx);
+        out[(i * k + r) * c + j] = e;
+        denom += e;
+      }
+      for (std::int64_t r = 0; r < k; ++r) out[(i * k + r) * c + j] /= denom;
+    }
+  }
+  auto saved = std::make_shared<std::vector<float>>(out);
+  auto ix = x.impl();
+  return make_node(x.shape(), std::move(out), {ix}, [ix, saved, n, k, c](TensorImpl& node) {
+    if (!ix->requires_grad) return;
+    ix->ensure_grad();
+    const auto& y = *saved;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < c; ++j) {
+        float dot = 0.0f;
+        for (std::int64_t r = 0; r < k; ++r) {
+          const std::int64_t off = (i * k + r) * c + j;
+          dot += node.grad[off] * y[off];
+        }
+        for (std::int64_t r = 0; r < k; ++r) {
+          const std::int64_t off = (i * k + r) * c + j;
+          ix->grad[off] += y[off] * (node.grad[off] - dot);
+        }
+      }
+    }
+  });
+}
+
+Tensor log_softmax_rows(const Tensor& x) {
+  check_matrix(x, "log_softmax_rows");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  std::vector<float> out(static_cast<size_t>(n * c));
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    float mx = px[i * c];
+    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, px[i * c + j]);
+    float denom = 0.0f;
+    for (std::int64_t j = 0; j < c; ++j) denom += std::exp(px[i * c + j] - mx);
+    const float log_denom = std::log(denom) + mx;
+    for (std::int64_t j = 0; j < c; ++j) out[i * c + j] = px[i * c + j] - log_denom;
+  }
+  auto saved = std::make_shared<std::vector<float>>(out);
+  auto ix = x.impl();
+  return make_node(x.shape(), std::move(out), {ix}, [ix, saved, n, c](TensorImpl& node) {
+    if (!ix->requires_grad) return;
+    ix->ensure_grad();
+    const auto& logp = *saved;
+    for (std::int64_t i = 0; i < n; ++i) {
+      float gsum = 0.0f;
+      for (std::int64_t j = 0; j < c; ++j) gsum += node.grad[i * c + j];
+      for (std::int64_t j = 0; j < c; ++j) {
+        ix->grad[i * c + j] += node.grad[i * c + j] - std::exp(logp[i * c + j]) * gsum;
+      }
+    }
+  });
+}
+
+Tensor nll_loss_masked(const Tensor& log_probs, const std::vector<int>& labels,
+                       const std::vector<std::uint8_t>& mask) {
+  check_matrix(log_probs, "nll_loss_masked");
+  const std::int64_t n = log_probs.dim(0), c = log_probs.dim(1);
+  check(static_cast<std::int64_t>(labels.size()) == n, "nll_loss_masked: labels size");
+  check(mask.empty() || static_cast<std::int64_t>(mask.size()) == n,
+        "nll_loss_masked: mask size");
+  double acc = 0.0;
+  std::int64_t count = 0;
+  const float* p = log_probs.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    check(labels[i] >= 0 && labels[i] < c, "nll_loss_masked: label out of range");
+    acc -= p[i * c + labels[i]];
+    ++count;
+  }
+  check(count > 0, "nll_loss_masked: empty selection");
+  auto ix = log_probs.impl();
+  auto saved_labels = std::make_shared<std::vector<int>>(labels);
+  auto saved_mask = std::make_shared<std::vector<std::uint8_t>>(mask);
+  const float inv = 1.0f / static_cast<float>(count);
+  return make_node({1}, {static_cast<float>(acc * inv)}, {ix},
+                   [ix, saved_labels, saved_mask, n, c, inv](TensorImpl& node) {
+                     if (!ix->requires_grad) return;
+                     ix->ensure_grad();
+                     const float g = node.grad[0] * inv;
+                     for (std::int64_t i = 0; i < n; ++i) {
+                       if (!saved_mask->empty() && !(*saved_mask)[i]) continue;
+                       ix->grad[i * c + (*saved_labels)[i]] -= g;
+                     }
+                   });
+}
+
+Tensor hinge_margin_loss(const Tensor& logits, const std::vector<int>& labels,
+                         const std::vector<std::uint8_t>& mask, bool targeted) {
+  check_matrix(logits, "hinge_margin_loss");
+  const std::int64_t n = logits.dim(0), c = logits.dim(1);
+  check(static_cast<std::int64_t>(labels.size()) == n, "hinge_margin_loss: labels size");
+  check(mask.empty() || static_cast<std::int64_t>(mask.size()) == n,
+        "hinge_margin_loss: mask size");
+  check(c >= 2, "hinge_margin_loss: needs at least 2 classes");
+  const float* z = logits.data();
+  double total = 0.0;
+  // For each active row, remember the competing argmax (j != y) and whether
+  // the hinge is active, for the backward pass.
+  auto best_j = std::make_shared<std::vector<std::int64_t>>(static_cast<size_t>(n), -1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!mask.empty() && !mask[i]) continue;
+    const int y = labels[i];
+    check(y >= 0 && y < c, "hinge_margin_loss: label out of range");
+    float best = -std::numeric_limits<float>::infinity();
+    std::int64_t bj = -1;
+    for (std::int64_t j = 0; j < c; ++j) {
+      if (j == y) continue;
+      if (z[i * c + j] > best) {
+        best = z[i * c + j];
+        bj = j;
+      }
+    }
+    const float margin = targeted ? best - z[i * c + y] : z[i * c + y] - best;
+    if (margin > 0.0f) {
+      total += margin;
+      (*best_j)[i] = bj;
+    }
+  }
+  auto ix = logits.impl();
+  auto saved_labels = std::make_shared<std::vector<int>>(labels);
+  return make_node({1}, {static_cast<float>(total)}, {ix},
+                   [ix, saved_labels, best_j, n, c, targeted](TensorImpl& node) {
+                     if (!ix->requires_grad) return;
+                     ix->ensure_grad();
+                     const float g = node.grad[0];
+                     const float sy = targeted ? -1.0f : 1.0f;
+                     for (std::int64_t i = 0; i < n; ++i) {
+                       const std::int64_t bj = (*best_j)[i];
+                       if (bj < 0) continue;  // hinge inactive or masked out
+                       ix->grad[i * c + (*saved_labels)[i]] += g * sy;
+                       ix->grad[i * c + bj] -= g * sy;
+                     }
+                   });
+}
+
+Tensor smoothness_penalty(const Tensor& x, const std::vector<std::int64_t>& neighbor_idx,
+                          std::int64_t alpha) {
+  check_matrix(x, "smoothness_penalty");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  check(alpha > 0 && static_cast<std::int64_t>(neighbor_idx.size()) == n * alpha,
+        "smoothness_penalty: neighbor_idx must have N*alpha entries");
+  constexpr float kEps = 1e-8f;
+  const float* px = x.data();
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t k = 0; k < alpha; ++k) {
+      const std::int64_t j = neighbor_idx[i * alpha + k];
+      check(j >= 0 && j < n, "smoothness_penalty: neighbor index out of range");
+      double d2 = 0.0;
+      for (std::int64_t t = 0; t < c; ++t) {
+        const double d = px[i * c + t] - px[j * c + t];
+        d2 += d * d;
+      }
+      total += std::sqrt(d2);
+    }
+  }
+  auto ix = x.impl();
+  auto saved_idx = std::make_shared<std::vector<std::int64_t>>(neighbor_idx);
+  return make_node({1}, {static_cast<float>(total)}, {ix},
+                   [ix, saved_idx, n, c, alpha](TensorImpl& node) {
+                     if (!ix->requires_grad) return;
+                     ix->ensure_grad();
+                     const float g = node.grad[0];
+                     const float* px = ix->data.data();
+                     for (std::int64_t i = 0; i < n; ++i) {
+                       for (std::int64_t k = 0; k < alpha; ++k) {
+                         const std::int64_t j = (*saved_idx)[i * alpha + k];
+                         float d2 = 0.0f;
+                         for (std::int64_t t = 0; t < c; ++t) {
+                           const float d = px[i * c + t] - px[j * c + t];
+                           d2 += d * d;
+                         }
+                         const float dist = std::sqrt(std::max(d2, kEps * kEps));
+                         for (std::int64_t t = 0; t < c; ++t) {
+                           const float u = (px[i * c + t] - px[j * c + t]) / dist;
+                           ix->grad[i * c + t] += g * u;
+                           ix->grad[j * c + t] -= g * u;
+                         }
+                       }
+                     }
+                   });
+}
+
+Tensor batch_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                  std::vector<float>& running_mean, std::vector<float>& running_var,
+                  bool training, float momentum, float eps) {
+  check_matrix(x, "batch_norm");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  check(gamma.numel() == c && beta.numel() == c, "batch_norm: affine parameter size");
+  check(static_cast<std::int64_t>(running_mean.size()) == c &&
+            static_cast<std::int64_t>(running_var.size()) == c,
+        "batch_norm: running stats size");
+  const float* px = x.data();
+  std::vector<float> mean_v(static_cast<size_t>(c)), inv_std(static_cast<size_t>(c));
+  if (training) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      double m = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) m += px[i * c + j];
+      m /= static_cast<double>(n);
+      double var = 0.0;
+      for (std::int64_t i = 0; i < n; ++i) {
+        const double d = px[i * c + j] - m;
+        var += d * d;
+      }
+      var /= static_cast<double>(n);
+      mean_v[j] = static_cast<float>(m);
+      inv_std[j] = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+      running_mean[j] = (1.0f - momentum) * running_mean[j] + momentum * static_cast<float>(m);
+      running_var[j] = (1.0f - momentum) * running_var[j] + momentum * static_cast<float>(var);
+    }
+  } else {
+    for (std::int64_t j = 0; j < c; ++j) {
+      mean_v[j] = running_mean[j];
+      inv_std[j] = 1.0f / std::sqrt(running_var[j] + eps);
+    }
+  }
+  std::vector<float> out(static_cast<size_t>(n * c));
+  auto xhat = std::make_shared<std::vector<float>>(static_cast<size_t>(n * c));
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float h = (px[i * c + j] - mean_v[j]) * inv_std[j];
+      (*xhat)[i * c + j] = h;
+      out[i * c + j] = pg[j] * h + pb[j];
+    }
+  }
+  auto ix = x.impl();
+  auto ig = gamma.impl();
+  auto ib = beta.impl();
+  auto saved_inv_std = std::make_shared<std::vector<float>>(inv_std);
+  return make_node(
+      x.shape(), std::move(out), {ix, ig, ib},
+      [ix, ig, ib, xhat, saved_inv_std, n, c, training](TensorImpl& node) {
+        const float* pg = ig->data.data();
+        if (ig->requires_grad) {
+          ig->ensure_grad();
+          for (std::int64_t i = 0; i < n; ++i) {
+            for (std::int64_t j = 0; j < c; ++j) {
+              ig->grad[j] += node.grad[i * c + j] * (*xhat)[i * c + j];
+            }
+          }
+        }
+        if (ib->requires_grad) {
+          ib->ensure_grad();
+          for (std::int64_t i = 0; i < n; ++i) {
+            for (std::int64_t j = 0; j < c; ++j) ib->grad[j] += node.grad[i * c + j];
+          }
+        }
+        if (!ix->requires_grad) return;
+        ix->ensure_grad();
+        if (!training) {
+          for (std::int64_t i = 0; i < n; ++i) {
+            for (std::int64_t j = 0; j < c; ++j) {
+              ix->grad[i * c + j] +=
+                  node.grad[i * c + j] * pg[j] * (*saved_inv_std)[j];
+            }
+          }
+          return;
+        }
+        // Training mode: gradient through the batch statistics.
+        const float invn = 1.0f / static_cast<float>(n);
+        for (std::int64_t j = 0; j < c; ++j) {
+          float sum_dy = 0.0f, sum_dy_xhat = 0.0f;
+          for (std::int64_t i = 0; i < n; ++i) {
+            const float dyg = node.grad[i * c + j] * pg[j];
+            sum_dy += dyg;
+            sum_dy_xhat += dyg * (*xhat)[i * c + j];
+          }
+          for (std::int64_t i = 0; i < n; ++i) {
+            const float dyg = node.grad[i * c + j] * pg[j];
+            ix->grad[i * c + j] +=
+                (*saved_inv_std)[j] *
+                (dyg - invn * sum_dy - (*xhat)[i * c + j] * invn * sum_dy_xhat);
+          }
+        }
+      });
+}
+
+Tensor dropout(const Tensor& x, float p, Rng& rng, bool training) {
+  check(x.defined(), "dropout: undefined input");
+  check(p >= 0.0f && p < 1.0f, "dropout: p must be in [0, 1)");
+  if (!training || p == 0.0f) {
+    // Identity that still participates in the graph.
+    return scale(x, 1.0f);
+  }
+  const float keep = 1.0f - p;
+  auto mask = std::make_shared<std::vector<float>>(static_cast<size_t>(x.numel()));
+  std::vector<float> out(static_cast<size_t>(x.numel()));
+  const float* px = x.data();
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float m = rng.uniform() < p ? 0.0f : 1.0f / keep;
+    (*mask)[i] = m;
+    out[i] = px[i] * m;
+  }
+  auto ix = x.impl();
+  return make_node(x.shape(), std::move(out), {ix}, [ix, mask](TensorImpl& node) {
+    if (!ix->requires_grad) return;
+    ix->ensure_grad();
+    for (size_t i = 0; i < node.grad.size(); ++i) {
+      ix->grad[i] += node.grad[i] * (*mask)[i];
+    }
+  });
+}
+
+std::vector<int> argmax_rows(const Tensor& x) {
+  check_matrix(x, "argmax_rows");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  std::vector<int> out(static_cast<size_t>(n));
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (px[i * c + j] > px[i * c + best]) best = j;
+    }
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
+}  // namespace pcss::tensor::ops

@@ -1,0 +1,58 @@
+#include "pcss/tensor/optim.h"
+
+#include <cmath>
+
+namespace pcss::tensor::optim {
+
+Sgd::Sgd(std::vector<Tensor> params, float lr_in, float momentum)
+    : Optimizer(std::move(params)), lr(lr_in), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (auto& p : params_) velocity_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+}
+
+void Sgd::step() {
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    const auto& g = p.grad();
+    if (g.empty()) continue;
+    float* data = p.data();
+    auto& vel = velocity_[pi];
+    for (size_t i = 0; i < g.size(); ++i) {
+      vel[i] = momentum_ * vel[i] + g[i];
+      data[i] -= lr * vel[i];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float lr_in, float beta1, float beta2, float eps)
+    : Optimizer(std::move(params)), lr(lr_in), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+    v_.emplace_back(static_cast<size_t>(p.numel()), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    Tensor& p = params_[pi];
+    const auto& g = p.grad();
+    if (g.empty()) continue;
+    float* data = p.data();
+    auto& m = m_[pi];
+    auto& v = v_[pi];
+    for (size_t i = 0; i < g.size(); ++i) {
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      data[i] -= lr * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace pcss::tensor::optim

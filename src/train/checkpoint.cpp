@@ -1,0 +1,101 @@
+#include "pcss/train/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace pcss::train {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'C', 'S', 'S', 'C', 'K', 'P', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_blob(std::ofstream& out, const std::string& name, const float* data,
+                std::uint64_t count) {
+  const auto name_len = static_cast<std::uint32_t>(name.size());
+  out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(float)));
+}
+
+void read_blob(std::ifstream& in, const std::string& expected_name, float* data,
+               std::uint64_t expected_count, const std::string& path) {
+  std::uint32_t name_len = 0;
+  in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+  std::string name(name_len, '\0');
+  in.read(name.data(), name_len);
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || name != expected_name || count != expected_count) {
+    throw std::runtime_error("checkpoint mismatch in " + path + ": expected '" +
+                             expected_name + "' (" + std::to_string(expected_count) +
+                             "), found '" + name + "' (" + std::to_string(count) + ")");
+  }
+  in.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(count * sizeof(float)));
+  if (!in) throw std::runtime_error("checkpoint truncated: " + path);
+}
+
+}  // namespace
+
+void save_checkpoint(pcss::models::SegmentationModel& model, const std::string& path) {
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+
+  auto params = model.named_params();
+  auto buffers = model.named_buffers();
+  const auto np = static_cast<std::uint64_t>(params.size());
+  const auto nb = static_cast<std::uint64_t>(buffers.size());
+  out.write(reinterpret_cast<const char*>(&np), sizeof(np));
+  for (auto& p : params) {
+    write_blob(out, p.name, p.tensor.data(), static_cast<std::uint64_t>(p.tensor.numel()));
+  }
+  out.write(reinterpret_cast<const char*>(&nb), sizeof(nb));
+  for (auto& b : buffers) {
+    write_blob(out, b.name, b.values->data(), static_cast<std::uint64_t>(b.values->size()));
+  }
+  if (!out) throw std::runtime_error("save_checkpoint: write failure for " + path);
+}
+
+void load_checkpoint(pcss::models::SegmentationModel& model, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_checkpoint: cannot open " + path);
+  char magic[8];
+  std::uint32_t version = 0;
+  in.read(magic, sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0 || version != kVersion) {
+    throw std::runtime_error("load_checkpoint: bad header in " + path);
+  }
+
+  auto params = model.named_params();
+  auto buffers = model.named_buffers();
+  std::uint64_t np = 0, nb = 0;
+  in.read(reinterpret_cast<char*>(&np), sizeof(np));
+  if (np != params.size()) {
+    throw std::runtime_error("load_checkpoint: parameter count mismatch in " + path);
+  }
+  for (auto& p : params) {
+    read_blob(in, p.name, p.tensor.data(), static_cast<std::uint64_t>(p.tensor.numel()), path);
+  }
+  in.read(reinterpret_cast<char*>(&nb), sizeof(nb));
+  if (nb != buffers.size()) {
+    throw std::runtime_error("load_checkpoint: buffer count mismatch in " + path);
+  }
+  for (auto& b : buffers) {
+    read_blob(in, b.name, b.values->data(), static_cast<std::uint64_t>(b.values->size()), path);
+  }
+}
+
+bool checkpoint_exists(const std::string& path) {
+  return std::filesystem::exists(path);
+}
+
+}  // namespace pcss::train

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "pcss/models/model.h"
+
+namespace pcss::train {
+
+/// Binary checkpoint of a model's named parameters and buffers.
+/// Load verifies that every name and element count matches the target
+/// model, so architecture drift is caught loudly.
+void save_checkpoint(pcss::models::SegmentationModel& model, const std::string& path);
+void load_checkpoint(pcss::models::SegmentationModel& model, const std::string& path);
+
+bool checkpoint_exists(const std::string& path);
+
+}  // namespace pcss::train

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "pcss/models/model.h"
+#include "pcss/tensor/rng.h"
+
+namespace pcss::train {
+
+using pcss::models::PointCloud;
+using pcss::models::SegmentationModel;
+using pcss::tensor::Rng;
+
+/// A function producing one training scene per call.
+using SceneSource = std::function<PointCloud(Rng&)>;
+
+struct TrainConfig {
+  int iterations = 300;      ///< optimizer steps (one scene per step)
+  int scene_pool = 24;       ///< distinct scenes cycled during training
+  float lr = 0.01f;          ///< Adam learning rate
+  std::uint64_t seed = 1234; ///< scene-generation seed
+  bool verbose = false;
+};
+
+struct TrainStats {
+  float final_loss = 0.0f;
+  double final_train_accuracy = 0.0;
+};
+
+/// Trains `model` with per-point cross-entropy over procedurally
+/// generated scenes. This is how the repo produces its "pre-trained"
+/// models (see DESIGN.md substitutions).
+TrainStats train_model(SegmentationModel& model, const SceneSource& source,
+                       const TrainConfig& config);
+
+/// Mean per-point accuracy over the given clouds (eval mode).
+double evaluate_accuracy(SegmentationModel& model, const std::vector<PointCloud>& clouds);
+
+}  // namespace pcss::train

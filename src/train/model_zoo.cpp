@@ -1,0 +1,115 @@
+#include "pcss/train/model_zoo.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "pcss/train/checkpoint.h"
+
+namespace pcss::train {
+
+using pcss::data::IndoorSceneConfig;
+using pcss::data::IndoorSceneGenerator;
+using pcss::data::OutdoorSceneConfig;
+using pcss::data::OutdoorSceneGenerator;
+using pcss::data::PointCloud;
+using pcss::tensor::Rng;
+
+pcss::data::IndoorSceneConfig zoo_indoor_config() {
+  IndoorSceneConfig config;
+  config.num_points = 512;
+  return config;
+}
+
+pcss::data::OutdoorSceneConfig zoo_outdoor_config() {
+  OutdoorSceneConfig config;
+  config.num_points = 1024;  // 2x the indoor budget; CPU-scaled from 1e8
+  return config;
+}
+
+std::string ModelZoo::default_cache_dir() {
+  if (const char* env = std::getenv("PCSS_ARTIFACTS")) return env;
+  return "artifacts";
+}
+
+ModelZoo::ModelZoo(std::string cache_dir) : cache_dir_(std::move(cache_dir)) {}
+
+template <typename ModelT, typename ConfigT, typename GenT>
+std::shared_ptr<ModelT> ModelZoo::get_or_train(const std::string& key,
+                                               const ConfigT& model_config,
+                                               const GenT& generator, int seed,
+                                               const TrainConfig& train_config) {
+  Rng init_rng(0x1000u + static_cast<std::uint64_t>(seed) * 7919u);
+  auto model = std::make_shared<ModelT>(model_config, init_rng);
+  const std::string path = cache_dir_ + "/" + key + "_seed" + std::to_string(seed) + ".ckpt";
+  if (checkpoint_exists(path)) {
+    load_checkpoint(*model, path);
+    return model;
+  }
+  std::printf("[model_zoo] training %s (no cached checkpoint at %s)...\n", key.c_str(),
+              path.c_str());
+  TrainConfig tc = train_config;
+  tc.seed = 1000 + static_cast<std::uint64_t>(seed) * 131;
+  const TrainStats stats =
+      train_model(*model, [&generator](Rng& rng) { return generator.generate(rng); }, tc);
+  std::printf("[model_zoo] %s trained: loss %.4f, train accuracy %.2f%%\n", key.c_str(),
+              stats.final_loss, 100.0 * stats.final_train_accuracy);
+  save_checkpoint(*model, path);
+  return model;
+}
+
+std::shared_ptr<pcss::models::PointNet2Seg> ModelZoo::pointnet2_indoor(int seed) {
+  pcss::models::PointNet2Config config;
+  config.num_classes = pcss::data::kIndoorNumClasses;
+  IndoorSceneGenerator gen(zoo_indoor_config());
+  TrainConfig tc;
+  tc.iterations = 400;
+  return get_or_train<pcss::models::PointNet2Seg>("pointnet2_indoor", config, gen, seed, tc);
+}
+
+std::shared_ptr<pcss::models::ResGCNSeg> ModelZoo::resgcn_indoor(int seed) {
+  pcss::models::ResGCNConfig config;
+  config.num_classes = pcss::data::kIndoorNumClasses;
+  IndoorSceneGenerator gen(zoo_indoor_config());
+  TrainConfig tc;
+  tc.iterations = 350;
+  return get_or_train<pcss::models::ResGCNSeg>("resgcn_indoor", config, gen, seed, tc);
+}
+
+std::shared_ptr<pcss::models::RandLANetSeg> ModelZoo::randla_indoor(int seed) {
+  pcss::models::RandLANetConfig config;
+  config.num_classes = pcss::data::kIndoorNumClasses;
+  IndoorSceneGenerator gen(zoo_indoor_config());
+  TrainConfig tc;
+  tc.iterations = 350;
+  return get_or_train<pcss::models::RandLANetSeg>("randla_indoor", config, gen, seed, tc);
+}
+
+std::shared_ptr<pcss::models::RandLANetSeg> ModelZoo::randla_outdoor(int seed) {
+  pcss::models::RandLANetConfig config;
+  config.num_classes = pcss::data::kOutdoorNumClasses;
+  OutdoorSceneGenerator gen(zoo_outdoor_config());
+  TrainConfig tc;
+  tc.iterations = 250;
+  tc.scene_pool = 16;
+  return get_or_train<pcss::models::RandLANetSeg>("randla_outdoor", config, gen, seed, tc);
+}
+
+std::vector<PointCloud> ModelZoo::indoor_eval_scenes(int count, std::uint64_t seed) const {
+  IndoorSceneGenerator gen(zoo_indoor_config());
+  Rng rng(seed);
+  std::vector<PointCloud> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(gen.generate(rng));
+  return out;
+}
+
+std::vector<PointCloud> ModelZoo::outdoor_eval_scenes(int count, std::uint64_t seed) const {
+  OutdoorSceneGenerator gen(zoo_outdoor_config());
+  Rng rng(seed);
+  std::vector<PointCloud> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(gen.generate(rng));
+  return out;
+}
+
+}  // namespace pcss::train

@@ -1,0 +1,53 @@
+#include "pcss/train/trainer.h"
+
+#include <cstdio>
+
+#include "pcss/tensor/ops.h"
+#include "pcss/tensor/optim.h"
+
+namespace pcss::train {
+
+namespace ops = pcss::tensor::ops;
+using pcss::models::ModelInput;
+using pcss::tensor::Tensor;
+
+TrainStats train_model(SegmentationModel& model, const SceneSource& source,
+                       const TrainConfig& config) {
+  Rng rng(config.seed);
+  std::vector<PointCloud> pool;
+  pool.reserve(static_cast<size_t>(config.scene_pool));
+  for (int i = 0; i < config.scene_pool; ++i) pool.push_back(source(rng));
+
+  pcss::tensor::optim::Adam opt(model.parameters(), config.lr);
+  TrainStats stats;
+  for (int it = 0; it < config.iterations; ++it) {
+    const PointCloud& cloud = pool[static_cast<size_t>(it) % pool.size()];
+    ModelInput input = ModelInput::plain(cloud);
+    Tensor logits = model.forward(input, /*training=*/true);
+    Tensor loss = ops::nll_loss_masked(ops::log_softmax_rows(logits), cloud.labels, {});
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+    stats.final_loss = loss.item();
+    if (config.verbose && (it % 25 == 0 || it + 1 == config.iterations)) {
+      std::printf("  [train %s] iter %4d  loss %.4f\n", model.name().c_str(), it,
+                  stats.final_loss);
+    }
+  }
+  stats.final_train_accuracy = evaluate_accuracy(model, pool);
+  return stats;
+}
+
+double evaluate_accuracy(SegmentationModel& model, const std::vector<PointCloud>& clouds) {
+  std::int64_t correct = 0, total = 0;
+  for (const PointCloud& cloud : clouds) {
+    const std::vector<int> pred = model.predict(cloud);
+    for (size_t i = 0; i < pred.size(); ++i) {
+      correct += pred[i] == cloud.labels[i] ? 1 : 0;
+    }
+    total += cloud.size();
+  }
+  return total ? static_cast<double>(correct) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace pcss::train

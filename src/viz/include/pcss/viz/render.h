@@ -1,0 +1,51 @@
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "pcss/pointcloud/point_cloud.h"
+
+namespace pcss::viz {
+
+using pcss::pointcloud::PointCloud;
+using pcss::pointcloud::Vec3;
+
+/// A simple RGB raster image with PPM output.
+class Image {
+ public:
+  Image(int width, int height, Vec3 background = {1, 1, 1});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  void set_pixel(int x, int y, const Vec3& rgb);
+  Vec3 pixel(int x, int y) const;
+
+  /// Binary PPM (P6) — viewable everywhere, zero dependencies.
+  void save_ppm(const std::string& path) const;
+
+  /// Horizontal concatenation (for the paper's before/after figures).
+  static Image hstack(const std::vector<Image>& images, int gap = 4);
+
+ private:
+  int width_, height_;
+  std::vector<Vec3> pixels_;
+};
+
+/// Orthographic projection axis for rendering.
+enum class ViewAxis { kTop, kFront, kSide };
+
+/// Renders the cloud's RGB colors (the "scene" panels of Figs. 1/3/4/5).
+Image render_cloud_colors(const PointCloud& cloud, int width, int height,
+                          ViewAxis view = ViewAxis::kTop, int point_radius = 1);
+
+/// Renders per-point labels with a categorical palette (the
+/// "segmentation result" panels). Pass model predictions or ground truth.
+Image render_cloud_labels(const PointCloud& cloud, const std::vector<int>& labels,
+                          int width, int height, ViewAxis view = ViewAxis::kTop,
+                          int point_radius = 1);
+
+/// Categorical palette color for a label (13 distinct hues, cycling).
+Vec3 label_color(int label);
+
+}  // namespace pcss::viz

@@ -1,0 +1,140 @@
+#include "pcss/viz/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace pcss::viz {
+
+Image::Image(int width, int height, Vec3 background)
+    : width_(width), height_(height),
+      pixels_(static_cast<size_t>(width) * static_cast<size_t>(height), background) {
+  if (width <= 0 || height <= 0) throw std::invalid_argument("Image: bad dimensions");
+}
+
+void Image::set_pixel(int x, int y, const Vec3& rgb) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) return;
+  pixels_[static_cast<size_t>(y) * static_cast<size_t>(width_) + static_cast<size_t>(x)] = rgb;
+}
+
+Vec3 Image::pixel(int x, int y) const {
+  return pixels_[static_cast<size_t>(y) * static_cast<size_t>(width_) +
+                 static_cast<size_t>(x)];
+}
+
+void Image::save_ppm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_ppm: cannot open " + path);
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  for (const Vec3& p : pixels_) {
+    for (int a = 0; a < 3; ++a) {
+      out.put(static_cast<char>(
+          std::lround(std::clamp(p[static_cast<size_t>(a)], 0.0f, 1.0f) * 255.0f)));
+    }
+  }
+  if (!out) throw std::runtime_error("save_ppm: write failure for " + path);
+}
+
+Image Image::hstack(const std::vector<Image>& images, int gap) {
+  if (images.empty()) throw std::invalid_argument("hstack: no images");
+  int total_w = gap * (static_cast<int>(images.size()) - 1);
+  int max_h = 0;
+  for (const Image& im : images) {
+    total_w += im.width();
+    max_h = std::max(max_h, im.height());
+  }
+  Image out(total_w, max_h, {0.2f, 0.2f, 0.2f});
+  int x0 = 0;
+  for (const Image& im : images) {
+    for (int y = 0; y < im.height(); ++y) {
+      for (int x = 0; x < im.width(); ++x) out.set_pixel(x0 + x, y, im.pixel(x, y));
+    }
+    x0 += im.width() + gap;
+  }
+  return out;
+}
+
+namespace {
+
+struct Projector {
+  ViewAxis view;
+  Vec3 min, max;
+
+  std::array<float, 3> project(const Vec3& p) const {
+    // Returns (u, v, depth) with u/v in [0,1].
+    auto norm = [&](float v, int axis) {
+      const float lo = min[static_cast<size_t>(axis)];
+      const float hi = max[static_cast<size_t>(axis)];
+      return hi - lo > 1e-6f ? (v - lo) / (hi - lo) : 0.5f;
+    };
+    switch (view) {
+      case ViewAxis::kTop:
+        return {norm(p[0], 0), norm(p[1], 1), norm(p[2], 2)};
+      case ViewAxis::kFront:
+        return {norm(p[0], 0), 1.0f - norm(p[2], 2), norm(p[1], 1)};
+      case ViewAxis::kSide:
+        return {norm(p[1], 1), 1.0f - norm(p[2], 2), norm(p[0], 0)};
+    }
+    return {0.5f, 0.5f, 0.5f};
+  }
+};
+
+Image render_points(const PointCloud& cloud, const std::vector<Vec3>& colors, int width,
+                    int height, ViewAxis view, int point_radius) {
+  const auto box = pcss::pointcloud::compute_bbox(cloud.positions);
+  Projector proj{view, box.min, box.max};
+  Image img(width, height, {0.08f, 0.08f, 0.10f});
+  // Painter's order by depth so nearer points overwrite farther ones.
+  std::vector<std::int64_t> order(static_cast<size_t>(cloud.size()));
+  std::vector<float> depth(static_cast<size_t>(cloud.size()));
+  for (std::int64_t i = 0; i < cloud.size(); ++i) {
+    order[static_cast<size_t>(i)] = i;
+    depth[static_cast<size_t>(i)] = proj.project(cloud.positions[static_cast<size_t>(i)])[2];
+  }
+  std::sort(order.begin(), order.end(), [&](std::int64_t a, std::int64_t b) {
+    return depth[static_cast<size_t>(a)] < depth[static_cast<size_t>(b)];
+  });
+  for (std::int64_t i : order) {
+    const auto uvd = proj.project(cloud.positions[static_cast<size_t>(i)]);
+    const int cx = static_cast<int>(uvd[0] * static_cast<float>(width - 1));
+    const int cy = static_cast<int>(uvd[1] * static_cast<float>(height - 1));
+    for (int dy = -point_radius; dy <= point_radius; ++dy) {
+      for (int dx = -point_radius; dx <= point_radius; ++dx) {
+        img.set_pixel(cx + dx, cy + dy, colors[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace
+
+Image render_cloud_colors(const PointCloud& cloud, int width, int height, ViewAxis view,
+                          int point_radius) {
+  return render_points(cloud, cloud.colors, width, height, view, point_radius);
+}
+
+Image render_cloud_labels(const PointCloud& cloud, const std::vector<int>& labels,
+                          int width, int height, ViewAxis view, int point_radius) {
+  if (labels.size() != static_cast<size_t>(cloud.size())) {
+    throw std::invalid_argument("render_cloud_labels: labels size mismatch");
+  }
+  std::vector<Vec3> colors(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) colors[i] = label_color(labels[i]);
+  return render_points(cloud, colors, width, height, view, point_radius);
+}
+
+Vec3 label_color(int label) {
+  static const Vec3 palette[] = {
+      {0.90f, 0.10f, 0.10f}, {0.10f, 0.60f, 0.95f}, {0.95f, 0.75f, 0.10f},
+      {0.15f, 0.75f, 0.30f}, {0.60f, 0.25f, 0.80f}, {0.95f, 0.45f, 0.10f},
+      {0.10f, 0.85f, 0.80f}, {0.85f, 0.30f, 0.60f}, {0.55f, 0.55f, 0.10f},
+      {0.35f, 0.35f, 0.95f}, {0.60f, 0.40f, 0.20f}, {0.20f, 0.45f, 0.45f},
+      {0.75f, 0.75f, 0.75f}};
+  constexpr int kCount = static_cast<int>(sizeof(palette) / sizeof(palette[0]));
+  const int idx = ((label % kCount) + kCount) % kCount;
+  return palette[idx];
+}
+
+}  // namespace pcss::viz

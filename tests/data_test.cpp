@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pcss/data/indoor.h"
+#include "pcss/data/outdoor.h"
+#include "pcss/data/primitives.h"
+
+using namespace pcss::data;
+using pcss::pointcloud::Vec3;
+using pcss::pointcloud::compute_bbox;
+using pcss::tensor::Rng;
+
+namespace {
+
+TEST(Primitives, RectSamplesStayInside) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 p = sample_rect({1, 1, 0}, {2, 0, 0}, {0, 3, 0}, rng);
+    EXPECT_GE(p[0], 1.0f);
+    EXPECT_LE(p[0], 3.0f);
+    EXPECT_GE(p[1], 1.0f);
+    EXPECT_LE(p[1], 4.0f);
+    EXPECT_FLOAT_EQ(p[2], 0.0f);
+  }
+}
+
+TEST(Primitives, BoxSurfaceOnFaces) {
+  Rng rng(2);
+  const Vec3 c{0, 0, 0}, h{1, 2, 3};
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p = sample_box_surface(c, h, rng);
+    const bool on_face = std::abs(std::abs(p[0]) - 1.0f) < 1e-5f ||
+                         std::abs(std::abs(p[1]) - 2.0f) < 1e-5f ||
+                         std::abs(std::abs(p[2]) - 3.0f) < 1e-5f;
+    EXPECT_TRUE(on_face);
+    EXPECT_LE(std::abs(p[0]), 1.0f + 1e-5f);
+    EXPECT_LE(std::abs(p[1]), 2.0f + 1e-5f);
+    EXPECT_LE(std::abs(p[2]), 3.0f + 1e-5f);
+  }
+}
+
+TEST(Primitives, SphereRadiusExact) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 p = sample_sphere({1, 2, 3}, 2.0f, rng);
+    const float r = std::sqrt(pcss::pointcloud::squared_distance(p, Vec3{1, 2, 3}));
+    EXPECT_NEAR(r, 2.0f, 1e-4f);
+  }
+}
+
+TEST(Primitives, CylinderAndConeBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 p = sample_cylinder_side({0, 0, 1}, 0.5f, 2.0f, rng);
+    EXPECT_NEAR(std::hypot(p[0], p[1]), 0.5f, 1e-4f);
+    EXPECT_GE(p[2], 1.0f);
+    EXPECT_LE(p[2], 3.0f);
+    const Vec3 q = sample_cone_side({0, 0, 0}, 1.0f, 2.0f, rng);
+    EXPECT_GE(q[2], 0.0f);
+    EXPECT_LE(q[2], 2.0f);
+    // Radius shrinks with height.
+    EXPECT_LE(std::hypot(q[0], q[1]), 1.0f * (1.0f - q[2] / 2.0f) + 1e-4f);
+  }
+}
+
+TEST(Primitives, ColorHelpersClamped) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3 c = vary_color({0.95f, 0.05f, 0.5f}, 0.3f, rng);
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_GE(c[a], 0.0f);
+      EXPECT_LE(c[a], 1.0f);
+    }
+  }
+  const Vec3 s = shade({0.8f, 0.8f, 0.8f}, 2.0f);
+  EXPECT_FLOAT_EQ(s[0], 1.0f);
+}
+
+TEST(IndoorGenerator, BasicInvariants) {
+  IndoorSceneGenerator gen({.num_points = 1024});
+  Rng rng(100);
+  const auto cloud = gen.generate(rng);
+  EXPECT_EQ(cloud.size(), 1024);
+  EXPECT_NO_THROW(cloud.validate());
+  for (int label : cloud.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, kIndoorNumClasses);
+  }
+  // The room should be of plausible size.
+  const auto box = compute_bbox(cloud.positions);
+  EXPECT_GT(box.extent()[0], 3.0f);
+  EXPECT_LT(box.extent()[2], 4.0f);
+}
+
+TEST(IndoorGenerator, DeterministicPerSeed) {
+  IndoorSceneGenerator gen({.num_points = 256});
+  Rng a(7), b(7);
+  const auto ca = gen.generate(a);
+  const auto cb = gen.generate(b);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::int64_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca.labels[static_cast<size_t>(i)], cb.labels[static_cast<size_t>(i)]);
+    EXPECT_FLOAT_EQ(ca.positions[static_cast<size_t>(i)][0],
+                    cb.positions[static_cast<size_t>(i)][0]);
+  }
+}
+
+TEST(IndoorGenerator, StructuralClassesAlwaysPresent) {
+  IndoorSceneGenerator gen({.num_points = 2048});
+  Rng rng(200);
+  const auto cloud = gen.generate(rng);
+  for (int c : {static_cast<int>(IndoorClass::kCeiling), static_cast<int>(IndoorClass::kFloor),
+                static_cast<int>(IndoorClass::kWall)}) {
+    EXPECT_GT(count_label(cloud, c), 50) << indoor_class_name(c);
+  }
+}
+
+// Every class used by the paper's object-hiding study must be obtainable.
+class HidingClasses : public ::testing::TestWithParam<IndoorClass> {};
+
+TEST_P(HidingClasses, GeneratorProvidesEnoughPoints) {
+  IndoorSceneGenerator gen({.num_points = 2048});
+  Rng rng(300 + static_cast<std::uint64_t>(GetParam()));
+  const auto cloud = gen.generate_with_class(rng, static_cast<int>(GetParam()), 20);
+  EXPECT_GE(count_label(cloud, static_cast<int>(GetParam())), 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSourceClasses, HidingClasses,
+                         ::testing::Values(IndoorClass::kWindow, IndoorClass::kDoor,
+                                           IndoorClass::kTable, IndoorClass::kChair,
+                                           IndoorClass::kBookcase, IndoorClass::kBoard));
+
+TEST(IndoorGenerator, ClassNamesMatchPaperIndices) {
+  EXPECT_STREQ(indoor_class_name(2), "wall");
+  EXPECT_STREQ(indoor_class_name(5), "window");
+  EXPECT_STREQ(indoor_class_name(6), "door");
+  EXPECT_STREQ(indoor_class_name(7), "table");
+  EXPECT_STREQ(indoor_class_name(8), "chair");
+  EXPECT_STREQ(indoor_class_name(10), "bookcase");
+  EXPECT_STREQ(indoor_class_name(11), "board");
+  EXPECT_STREQ(indoor_class_name(99), "unknown");
+}
+
+TEST(OutdoorGenerator, BasicInvariants) {
+  OutdoorSceneGenerator gen({.num_points = 2048});
+  Rng rng(400);
+  const auto cloud = gen.generate(rng);
+  EXPECT_EQ(cloud.size(), 2048);
+  EXPECT_NO_THROW(cloud.validate());
+  for (int label : cloud.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, kOutdoorNumClasses);
+  }
+  // Outdoor scenes are an order of magnitude larger than rooms.
+  const auto box = compute_bbox(cloud.positions);
+  EXPECT_GT(box.extent()[0], 20.0f);
+}
+
+TEST(OutdoorGenerator, CarsPresentForHidingStudy) {
+  OutdoorSceneGenerator gen({.num_points = 2048});
+  Rng rng(500);
+  const auto cloud =
+      gen.generate_with_class(rng, static_cast<int>(OutdoorClass::kCar), 50);
+  EXPECT_GE(count_label(cloud, static_cast<int>(OutdoorClass::kCar)), 50);
+}
+
+TEST(OutdoorGenerator, Semantic3dLabelMapping) {
+  EXPECT_EQ(to_semantic3d_label(static_cast<int>(OutdoorClass::kCar)), 8);
+  EXPECT_EQ(to_semantic3d_label(static_cast<int>(OutdoorClass::kManMadeTerrain)), 1);
+  EXPECT_EQ(from_semantic3d_label(3), static_cast<int>(OutdoorClass::kHighVegetation));
+  EXPECT_STREQ(outdoor_class_name(7), "car");
+}
+
+TEST(OutdoorGenerator, TerrainClassesDominateAsInSemantic3d) {
+  OutdoorSceneGenerator gen({.num_points = 4096});
+  Rng rng(600);
+  const auto cloud = gen.generate(rng);
+  const auto terrain = count_label(cloud, 0) + count_label(cloud, 1);
+  EXPECT_GT(terrain, cloud.size() / 4);
+}
+
+TEST(Generators, RejectBadConfig) {
+  EXPECT_THROW(IndoorSceneGenerator({.num_points = 0}), std::invalid_argument);
+  EXPECT_THROW(OutdoorSceneGenerator({.num_points = -5}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "pcss/tensor/ops.h"
+#include "pcss/tensor/tensor.h"
+
+namespace pcss::testing {
+
+using pcss::tensor::Shape;
+using pcss::tensor::Tensor;
+
+/// Builds a scalar loss from an input tensor. The function must rebuild
+/// the whole graph from the given input (define-by-run).
+using LossFn = std::function<Tensor(const Tensor&)>;
+
+/// Finite-difference gradient check: compares reverse-mode gradients of
+/// `loss_fn` at `x0` against central differences.
+inline void expect_gradcheck(const LossFn& loss_fn, const Shape& shape,
+                             std::vector<float> x0, float h = 1e-3f, float tol = 2e-2f) {
+  Tensor x = Tensor::from_data(shape, x0);
+  x.set_requires_grad(true);
+  Tensor loss = loss_fn(x);
+  ASSERT_EQ(loss.numel(), 1) << "loss_fn must return a scalar";
+  loss.backward();
+  const std::vector<float> analytic = x.grad();
+  ASSERT_EQ(analytic.size(), x0.size());
+
+  for (size_t i = 0; i < x0.size(); ++i) {
+    std::vector<float> plus = x0, minus = x0;
+    plus[i] += h;
+    minus[i] -= h;
+    const float fp = loss_fn(Tensor::from_data(shape, plus)).item();
+    const float fm = loss_fn(Tensor::from_data(shape, minus)).item();
+    const float numeric = (fp - fm) / (2.0f * h);
+    const float scale = std::max({1.0f, std::abs(numeric), std::abs(analytic[i])});
+    EXPECT_NEAR(analytic[i], numeric, tol * scale)
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+/// Convenience: random input in [lo, hi).
+inline std::vector<float> random_values(std::int64_t count, pcss::tensor::Rng& rng,
+                                        float lo = -1.0f, float hi = 1.0f) {
+  std::vector<float> out(static_cast<size_t>(count));
+  for (auto& v : out) v = rng.uniform(lo, hi);
+  return out;
+}
+
+}  // namespace pcss::testing

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "pcss/core/experiment.h"
+#include "pcss/core/metrics.h"
+
+using namespace pcss::core;
+
+namespace {
+
+TEST(Metrics, PerfectPrediction) {
+  const std::vector<int> gt{0, 1, 2, 1, 0};
+  const SegMetrics m = evaluate_segmentation(gt, gt, 3);
+  EXPECT_DOUBLE_EQ(m.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.aiou, 1.0);
+  for (int c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m.per_class_iou[static_cast<size_t>(c)], 1.0);
+}
+
+TEST(Metrics, HandcraftedConfusion) {
+  // gt:   0 0 1 1
+  // pred: 0 1 1 0
+  const std::vector<int> gt{0, 0, 1, 1};
+  const std::vector<int> pred{0, 1, 1, 0};
+  const SegMetrics m = evaluate_segmentation(pred, gt, 2);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.5);
+  // class 0: TP=1 FP=1 FN=1 -> IoU 1/3; class 1 symmetric.
+  EXPECT_NEAR(m.aiou, 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, AbsentClassSkippedInAiou) {
+  const std::vector<int> gt{0, 0, 1};
+  const std::vector<int> pred{0, 0, 1};
+  const SegMetrics m = evaluate_segmentation(pred, gt, 5);
+  EXPECT_DOUBLE_EQ(m.aiou, 1.0);
+  EXPECT_DOUBLE_EQ(m.per_class_iou[4], -1.0);
+}
+
+TEST(Metrics, FalsePositiveIntoAbsentClassCountsAgainstIt) {
+  const std::vector<int> gt{0, 0, 0, 0};
+  const std::vector<int> pred{0, 0, 0, 3};
+  const SegMetrics m = evaluate_segmentation(pred, gt, 4);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.75);
+  // class 0: 3/(3+0+1)=0.75; class 3: 0/(0+1+0)=0.
+  EXPECT_NEAR(m.aiou, (0.75 + 0.0) / 2.0, 1e-12);
+}
+
+TEST(Metrics, SizeAndRangeValidation) {
+  EXPECT_THROW(evaluate_segmentation({0}, {0, 1}, 2), std::invalid_argument);
+  EXPECT_THROW(evaluate_segmentation({5}, {0}, 2), std::invalid_argument);
+}
+
+TEST(Metrics, MaskedEvaluation) {
+  const std::vector<int> gt{0, 1, 0, 1};
+  const std::vector<int> pred{0, 0, 0, 0};
+  const std::vector<std::uint8_t> mask{1, 1, 0, 0};
+  const SegMetrics m = evaluate_segmentation_masked(pred, gt, 2, mask);
+  EXPECT_DOUBLE_EQ(m.accuracy, 0.5);
+}
+
+TEST(Metrics, PointSuccessRate) {
+  const std::vector<int> pred{2, 2, 0, 2};
+  const std::vector<std::uint8_t> mask{1, 1, 1, 0};
+  EXPECT_NEAR(point_success_rate(pred, mask, 2), 2.0 / 3.0, 1e-12);
+  const std::vector<std::uint8_t> none(4, 0);
+  EXPECT_DOUBLE_EQ(point_success_rate(pred, none, 2), 0.0);
+}
+
+TEST(Metrics, OutOfBandExcludesTargets) {
+  const std::vector<int> gt{0, 0, 1, 1};
+  const std::vector<int> pred{9 % 2, 1, 1, 1};  // pred = {1,1,1,1}
+  const std::vector<std::uint8_t> mask{1, 1, 0, 0};
+  const SegMetrics oob = evaluate_oob(pred, gt, 2, mask);
+  EXPECT_DOUBLE_EQ(oob.accuracy, 1.0);  // unmasked points are the two 1s
+}
+
+TEST(Metrics, MaskForClass) {
+  const std::vector<int> gt{3, 1, 3, 0};
+  const auto mask = mask_for_class(gt, 3);
+  EXPECT_EQ(mask, (std::vector<std::uint8_t>{1, 0, 1, 0}));
+}
+
+// --- experiment aggregation -------------------------------------------------
+
+TEST(Experiment, AggregateBestAvgWorst) {
+  std::vector<CaseRecord> records{
+      {10.0, 0.50, 0.30}, {5.0, 0.10, 0.05}, {20.0, 0.90, 0.80}};
+  const BestAvgWorst agg = aggregate_cases(records);
+  EXPECT_DOUBLE_EQ(agg.best.accuracy, 0.10);  // most vulnerable cloud
+  EXPECT_DOUBLE_EQ(agg.best.distance, 5.0);
+  EXPECT_DOUBLE_EQ(agg.worst.accuracy, 0.90);
+  EXPECT_NEAR(agg.avg.accuracy, 0.5, 1e-12);
+  EXPECT_NEAR(agg.avg.distance, 35.0 / 3.0, 1e-12);
+}
+
+TEST(Experiment, AggregateRejectsEmpty) {
+  EXPECT_THROW(aggregate_cases({}), std::invalid_argument);
+}
+
+TEST(Experiment, AggregateSingleRecord) {
+  const BestAvgWorst agg = aggregate_cases({{1.0, 0.4, 0.2}});
+  EXPECT_DOUBLE_EQ(agg.best.accuracy, agg.worst.accuracy);
+  EXPECT_DOUBLE_EQ(agg.avg.aiou, 0.2);
+}
+
+}  // namespace

@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <set>
+
+#include "pcss/data/indoor.h"
+#include "pcss/models/assembler.h"
+#include "pcss/models/common.h"
+#include "pcss/models/pointnet2.h"
+#include "pcss/models/randlanet.h"
+#include "pcss/models/resgcn.h"
+#include "pcss/tensor/ops.h"
+#include "pcss/tensor/optim.h"
+#include "pcss/train/checkpoint.h"
+
+using namespace pcss::models;
+namespace ops = pcss::tensor::ops;
+using pcss::data::IndoorSceneGenerator;
+using pcss::tensor::Rng;
+using pcss::tensor::Tensor;
+
+namespace {
+
+PointCloud tiny_scene(int points = 128, std::uint64_t seed = 42) {
+  IndoorSceneGenerator gen({.num_points = points});
+  Rng rng(seed);
+  return gen.generate(rng);
+}
+
+// --- Feature assembler ---------------------------------------------------
+
+TEST(Assembler, ZeroToThreeConventionRanges) {
+  const PointCloud cloud = tiny_scene();
+  ModelInput input = ModelInput::plain(cloud);
+  const AssembledInput a = assemble_input(input, CoordConvention::kZeroToThree, true);
+  EXPECT_EQ(a.feature_count, 9);
+  EXPECT_EQ(a.features.dim(1), 9);
+  for (std::int64_t i = 0; i < a.features.dim(0); ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_GE(a.features.at(i * 9 + j), -1e-4f);
+      EXPECT_LE(a.features.at(i * 9 + j), 3.0f + 1e-4f);
+      EXPECT_GE(a.features.at(i * 9 + 6 + j), -1e-4f);   // normalized extra
+      EXPECT_LE(a.features.at(i * 9 + 6 + j), 1.0f + 1e-4f);
+    }
+  }
+}
+
+TEST(Assembler, MinusOneToOneConventionRanges) {
+  const PointCloud cloud = tiny_scene();
+  ModelInput input = ModelInput::plain(cloud);
+  const AssembledInput a = assemble_input(input, CoordConvention::kMinusOneToOne, false);
+  EXPECT_EQ(a.feature_count, 6);
+  for (std::int64_t i = 0; i < a.features.dim(0); ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_GE(a.features.at(i * 6 + j), -1.0f - 1e-4f);
+      EXPECT_LE(a.features.at(i * 6 + j), 1.0f + 1e-4f);
+    }
+  }
+}
+
+TEST(Assembler, CenteredConventionIsZeroMeanBox) {
+  const PointCloud cloud = tiny_scene();
+  ModelInput input = ModelInput::plain(cloud);
+  const AssembledInput a = assemble_input(input, CoordConvention::kCentered, false);
+  // bbox center maps to origin: min+max symmetric around 0 per axis.
+  float mn[3] = {1e9f, 1e9f, 1e9f}, mx[3] = {-1e9f, -1e9f, -1e9f};
+  for (std::int64_t i = 0; i < a.features.dim(0); ++i) {
+    for (int j = 0; j < 3; ++j) {
+      mn[j] = std::min(mn[j], a.features.at(i * 6 + j));
+      mx[j] = std::max(mx[j], a.features.at(i * 6 + j));
+    }
+  }
+  for (int j = 0; j < 3; ++j) EXPECT_NEAR(mn[j] + mx[j], 0.0f, 1e-3f);
+}
+
+TEST(Assembler, ColorDeltaInjectedOneToOne) {
+  const PointCloud cloud = tiny_scene();
+  const std::int64_t n = cloud.size();
+  Tensor delta = Tensor::zeros({n, 3});
+  delta.data()[5 * 3 + 1] = 0.25f;
+  ModelInput input{&cloud, delta, {}};
+  const AssembledInput a = assemble_input(input, CoordConvention::kMinusOneToOne, false);
+  ModelInput plain = ModelInput::plain(cloud);
+  const AssembledInput b = assemble_input(plain, CoordConvention::kMinusOneToOne, false);
+  EXPECT_NEAR(a.features.at(5 * 6 + 4) - b.features.at(5 * 6 + 4), 0.25f, 1e-5f);
+  EXPECT_NEAR(a.features.at(5 * 6 + 3), b.features.at(5 * 6 + 3), 1e-6f);
+}
+
+TEST(Assembler, CoordDeltaScaledByNormalization) {
+  const PointCloud cloud = tiny_scene();
+  const std::int64_t n = cloud.size();
+  Tensor delta = Tensor::zeros({n, 3});
+  delta.data()[0] = 0.5f;  // +0.5m in x on point 0
+  ModelInput input{&cloud, {}, delta};
+  const AssembledInput a = assemble_input(input, CoordConvention::kZeroToThree, true);
+  ModelInput plain = ModelInput::plain(cloud);
+  const AssembledInput b = assemble_input(plain, CoordConvention::kZeroToThree, true);
+  const auto box = pcss::pointcloud::compute_bbox(cloud.positions);
+  const float expected_main = 0.5f * 3.0f / box.max_extent();
+  EXPECT_NEAR(a.features.at(0) - b.features.at(0), expected_main, 1e-4f);
+  const float expected_extra = 0.5f / box.extent()[0];
+  EXPECT_NEAR(a.features.at(6) - b.features.at(6), expected_extra, 1e-4f);
+  // Graph positions follow the perturbation.
+  EXPECT_NEAR(a.graph_positions[0][0] - b.graph_positions[0][0], expected_main, 1e-4f);
+}
+
+TEST(Assembler, GradientFlowsToDeltas) {
+  const PointCloud cloud = tiny_scene();
+  const std::int64_t n = cloud.size();
+  Tensor cdelta = Tensor::zeros({n, 3});
+  cdelta.set_requires_grad(true);
+  Tensor pdelta = Tensor::zeros({n, 3});
+  pdelta.set_requires_grad(true);
+  ModelInput input{&cloud, cdelta, pdelta};
+  const AssembledInput a = assemble_input(input, CoordConvention::kZeroToThree, true);
+  ops::sum(ops::square(a.features)).backward();
+  ASSERT_FALSE(cdelta.grad().empty());
+  ASSERT_FALSE(pdelta.grad().empty());
+  float cnorm = 0.0f, pnorm = 0.0f;
+  for (float g : cdelta.grad()) cnorm += g * g;
+  for (float g : pdelta.grad()) pnorm += g * g;
+  EXPECT_GT(cnorm, 0.0f);
+  EXPECT_GT(pnorm, 0.0f);
+}
+
+// --- interpolation helper ---------------------------------------------------
+
+TEST(Interpolation, NearestAndInverseDistance) {
+  std::vector<Vec3> ref{{0, 0, 0}, {1, 0, 0}};
+  std::vector<Vec3> q{{0.1f, 0, 0}, {0.9f, 0, 0}};
+  std::vector<std::int64_t> idx;
+  std::vector<float> w;
+  interpolation_weights(ref, q, 1, idx, w);
+  EXPECT_EQ(idx[0], 0);
+  EXPECT_EQ(idx[1], 1);
+  EXPECT_FLOAT_EQ(w[0], 1.0f);
+
+  interpolation_weights(ref, q, 2, idx, w);
+  // Weights normalized and biased toward the closer reference.
+  EXPECT_NEAR(w[0] + w[1], 1.0f, 1e-5f);
+  EXPECT_GT(w[0], w[1]);
+}
+
+TEST(Interpolation, DilateNeighbors) {
+  // 2 points, wide table of 4 neighbors each.
+  std::vector<std::int64_t> wide{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto d2 = dilate_neighbors(wide, 2, 2, 2);
+  ASSERT_EQ(d2.size(), 4u);
+  EXPECT_EQ(d2[0], 0);
+  EXPECT_EQ(d2[1], 2);
+  EXPECT_EQ(d2[2], 4);
+  EXPECT_EQ(d2[3], 6);
+  EXPECT_THROW(dilate_neighbors(wide, 2, 3, 2), std::invalid_argument);
+}
+
+// --- Model behaviours (parameterized over the three families) -------------
+
+enum class Family { kPointNet2, kResGCN, kRandLA };
+
+std::unique_ptr<SegmentationModel> make_model(Family f, int num_classes, Rng& rng) {
+  switch (f) {
+    case Family::kPointNet2: {
+      PointNet2Config c;
+      c.num_classes = num_classes;
+      c.c1 = 12;
+      c.c2 = 16;
+      c.head = 16;
+      return std::make_unique<PointNet2Seg>(c, rng);
+    }
+    case Family::kResGCN: {
+      ResGCNConfig c;
+      c.num_classes = num_classes;
+      c.channels = 12;
+      c.blocks = 2;
+      return std::make_unique<ResGCNSeg>(c, rng);
+    }
+    case Family::kRandLA: {
+      RandLANetConfig c;
+      c.num_classes = num_classes;
+      c.c1 = 8;
+      c.c2 = 12;
+      c.c3 = 16;
+      return std::make_unique<RandLANetSeg>(c, rng);
+    }
+  }
+  return nullptr;
+}
+
+class ModelFamilies : public ::testing::TestWithParam<Family> {};
+
+TEST_P(ModelFamilies, ForwardShapeAndFiniteness) {
+  Rng rng(3);
+  auto model = make_model(GetParam(), 13, rng);
+  const PointCloud cloud = tiny_scene(96);
+  ModelInput input = ModelInput::plain(cloud);
+  Tensor logits = model->forward(input, false);
+  EXPECT_EQ(logits.dim(0), cloud.size());
+  EXPECT_EQ(logits.dim(1), 13);
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(logits.at(i)));
+  }
+}
+
+TEST_P(ModelFamilies, EvalForwardIsDeterministic) {
+  Rng rng(4);
+  auto model = make_model(GetParam(), 13, rng);
+  const PointCloud cloud = tiny_scene(96);
+  const auto p1 = model->predict(cloud);
+  const auto p2 = model->predict(cloud);
+  EXPECT_EQ(p1, p2);
+}
+
+TEST_P(ModelFamilies, GradientReachesColorDelta) {
+  Rng rng(5);
+  auto model = make_model(GetParam(), 13, rng);
+  const PointCloud cloud = tiny_scene(96);
+  Tensor delta = Tensor::zeros({cloud.size(), 3});
+  delta.set_requires_grad(true);
+  ModelInput input{&cloud, delta, {}};
+  Tensor logits = model->forward(input, false);
+  ops::sum(ops::square(logits)).backward();
+  ASSERT_FALSE(delta.grad().empty());
+  float norm = 0.0f;
+  for (float g : delta.grad()) norm += g * g;
+  EXPECT_GT(norm, 0.0f) << "color attack needs nonzero input gradients";
+}
+
+TEST_P(ModelFamilies, NamedParamsUniqueAndNonEmpty) {
+  Rng rng(6);
+  auto model = make_model(GetParam(), 13, rng);
+  auto params = model->named_params();
+  ASSERT_FALSE(params.empty());
+  std::set<std::string> names;
+  for (auto& p : params) {
+    EXPECT_TRUE(names.insert(p.name).second) << "duplicate param name " << p.name;
+    EXPECT_GT(p.tensor.numel(), 0);
+    EXPECT_TRUE(p.tensor.requires_grad());
+  }
+}
+
+TEST_P(ModelFamilies, CheckpointRoundTripPreservesPredictions) {
+  Rng rng(7);
+  auto model = make_model(GetParam(), 13, rng);
+  const PointCloud cloud = tiny_scene(96);
+  const auto before = model->predict(cloud);
+
+  const std::string path = (std::filesystem::temp_directory_path() /
+                            ("pcss_ckpt_" + model->name() + ".bin"))
+                               .string();
+  pcss::train::save_checkpoint(*model, path);
+
+  Rng rng2(999);  // different init
+  auto restored = make_model(GetParam(), 13, rng2);
+  pcss::train::load_checkpoint(*restored, path);
+  EXPECT_EQ(restored->predict(cloud), before);
+  std::filesystem::remove(path);
+}
+
+TEST_P(ModelFamilies, OverfitsTinyScene) {
+  // A few Adam steps on one tiny cloud should clearly beat chance --
+  // the basic "can this architecture learn" sanity check.
+  Rng rng(8);
+  auto model = make_model(GetParam(), 13, rng);
+  const PointCloud cloud = tiny_scene(96);
+  pcss::tensor::optim::Adam opt(model->parameters(), 0.02f);
+  for (int it = 0; it < 60; ++it) {
+    ModelInput input = ModelInput::plain(cloud);
+    Tensor logits = model->forward(input, true);
+    Tensor loss = ops::nll_loss_masked(ops::log_softmax_rows(logits), cloud.labels, {});
+    opt.zero_grad();
+    loss.backward();
+    opt.step();
+  }
+  const auto pred = model->predict(cloud);
+  std::int64_t correct = 0;
+  for (size_t i = 0; i < pred.size(); ++i) correct += pred[i] == cloud.labels[i];
+  const double acc = static_cast<double>(correct) / static_cast<double>(pred.size());
+  EXPECT_GT(acc, 0.4) << "model failed to overfit a single tiny scene";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ModelFamilies,
+                         ::testing::Values(Family::kPointNet2, Family::kResGCN,
+                                           Family::kRandLA),
+                         [](const ::testing::TestParamInfo<Family>& info) {
+                           switch (info.param) {
+                             case Family::kPointNet2: return "PointNet2";
+                             case Family::kResGCN: return "ResGCN";
+                             case Family::kRandLA: return "RandLA";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(ResGCN, CoordinatePerturbationChangesGraph) {
+  // The dynamic-graph property the paper's Finding 1 rests on: moving
+  // points changes the kNN structure, hence the logits, even with color
+  // fixed.
+  Rng rng(9);
+  ResGCNConfig c;
+  c.num_classes = 13;
+  c.channels = 12;
+  c.blocks = 2;
+  ResGCNSeg model(c, rng);
+  const PointCloud cloud = tiny_scene(96);
+  ModelInput plain = ModelInput::plain(cloud);
+  Tensor base = model.forward(plain, false);
+
+  Rng noise(10);
+  Tensor delta = Tensor::zeros({cloud.size(), 3});
+  for (std::int64_t i = 0; i < delta.numel(); ++i) {
+    delta.data()[i] = noise.uniform(-0.3f, 0.3f);
+  }
+  ModelInput moved{&cloud, {}, delta};
+  Tensor shifted = model.forward(moved, false);
+  double diff = 0.0;
+  for (std::int64_t i = 0; i < base.numel(); ++i) {
+    diff += std::abs(base.at(i) - shifted.at(i));
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(PointNet2, ConfigDefaultsMatchPaperConvention) {
+  PointNet2Config c;
+  EXPECT_EQ(c.num_classes, 13);
+  EXPECT_EQ(c.k, 16);  // paper's ResGCN uses k=16; PN++ grouping matches scale
+}
+
+TEST(RandLA, PermutationInvariantOutputOrder) {
+  // The regeneration shuffle must be undone: logits row i must describe
+  // input point i. Probe by checking prediction stability when we ask
+  // for the same cloud twice (fixed sample seed).
+  Rng rng(11);
+  RandLANetConfig c;
+  c.num_classes = 13;
+  c.c1 = 8;
+  c.c2 = 12;
+  c.c3 = 16;
+  RandLANetSeg model(c, rng);
+  const PointCloud cloud = tiny_scene(128);
+  const auto p1 = model.predict(cloud);
+  const auto p2 = model.predict(cloud);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(static_cast<std::int64_t>(p1.size()), cloud.size());
+}
+
+}  // namespace
