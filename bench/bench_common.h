@@ -1,5 +1,6 @@
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "pcss/core/attack.h"
+#include "pcss/core/attack_engine.h"
 #include "pcss/core/experiment.h"
 #include "pcss/core/metrics.h"
 #include "pcss/train/model_zoo.h"
@@ -83,6 +85,32 @@ inline std::string figures_dir() {
   const std::string dir = "figures";
   std::filesystem::create_directories(dir);
   return dir;
+}
+
+// -- Perf reporting -----------------------------------------------------------
+//
+// Every bench that drives attacks reports wall-clock and attack-step
+// throughput in a fixed "[perf]" format, so the batching speedup from
+// AttackEngine::run_batch can be tracked across PRs by grepping logs.
+
+struct WallTimer {
+  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+};
+
+inline void print_perf(const char* label, double wall_seconds, long long attack_steps) {
+  std::printf("  [perf] %-32s %8.2fs wall  %7lld steps  %8.1f steps/s\n", label,
+              wall_seconds, attack_steps,
+              wall_seconds > 0.0 ? static_cast<double>(attack_steps) / wall_seconds : 0.0);
+}
+
+/// Sum of steps_used over a batch of results.
+inline long long total_steps(const std::vector<pcss::core::AttackResult>& results) {
+  long long steps = 0;
+  for (const auto& r : results) steps += r.steps_used;
+  return steps;
 }
 
 }  // namespace pcss::bench

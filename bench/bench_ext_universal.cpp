@@ -4,12 +4,14 @@
 // color perturbation across several scenes and compares it with
 // per-scene attacks and random noise.
 #include "bench_common.h"
-#include "pcss/core/universal.h"
 
 using namespace pcss::core;
 using pcss::bench::base_config;
 using pcss::bench::print_header;
+using pcss::bench::print_perf;
 using pcss::bench::scale;
+using pcss::bench::total_steps;
+using pcss::bench::WallTimer;
 
 int main() {
   print_header("Extension (SSVI-L4) - universal multi-cloud color perturbation, ResGCN");
@@ -18,7 +20,12 @@ int main() {
   const auto clouds = zoo.indoor_eval_scenes(scale().scenes, 9700);
 
   AttackConfig config = base_config(AttackNorm::kBounded, AttackField::kColor);
-  const auto universal = universal_color_attack(*model, clouds, config);
+  const AttackEngine engine(*model, config);
+  WallTimer shared_timer;
+  const SharedDeltaResult universal = engine.run_shared(clouds);
+  print_perf("shared-delta run_shared", shared_timer.seconds(),
+             static_cast<long long>(universal.steps_used) *
+                 static_cast<long long>(clouds.size()));
 
   double before = 0.0, after = 0.0;
   for (size_t i = 0; i < clouds.size(); ++i) {
@@ -29,10 +36,13 @@ int main() {
   after /= static_cast<double>(clouds.size());
 
   // Per-scene (non-universal) attacks as the upper bound.
+  WallTimer batch_timer;
+  const std::vector<AttackResult> results = engine.run_batch(clouds);
+  print_perf("per-scene run_batch", batch_timer.seconds(), total_steps(results));
   double per_scene = 0.0;
-  for (const auto& cloud : clouds) {
-    const auto r = run_attack(*model, cloud, config);
-    per_scene += evaluate_segmentation(r.predictions, cloud.labels, 13).accuracy;
+  for (size_t i = 0; i < clouds.size(); ++i) {
+    per_scene +=
+        evaluate_segmentation(results[i].predictions, clouds[i].labels, 13).accuracy;
   }
   per_scene /= static_cast<double>(clouds.size());
 

@@ -17,11 +17,14 @@ struct HidingRow {
   double oob_acc = 0.0, acc = 0.0;
   double oob_aiou = 0.0, aiou = 0.0;
   int scenes = 0;
+  double wall_seconds = 0.0;     ///< attack time across the row's scenes
+  long long attack_steps = 0;    ///< optimizer steps across the row's scenes
 };
 
 /// Runs the hiding attack over `scenes` clouds supplied by `make_scene`
 /// (each must contain source-class points) and averages the paper's
-/// Table IV/V row metrics.
+/// Table IV/V row metrics. Each scene gets its own AttackEngine because
+/// the target_mask is scene-specific.
 inline HidingRow hiding_row(pcss::core::SegmentationModel& model,
                             const std::function<pcss::core::PointCloud(int)>& make_scene,
                             int scenes, int source_class, int target_class,
@@ -34,7 +37,11 @@ inline HidingRow hiding_row(pcss::core::SegmentationModel& model,
     config.objective = AttackObjective::kObjectHiding;
     config.target_class = target_class;
     config.target_mask = mask;
-    const AttackResult result = run_attack(model, cloud, config);
+    const AttackEngine engine(model, config);
+    const WallTimer timer;
+    const AttackResult result = engine.run(cloud);
+    row.wall_seconds += timer.seconds();
+    row.attack_steps += result.steps_used;
 
     const SegMetrics overall =
         evaluate_segmentation(result.predictions, cloud.labels, model.num_classes());
@@ -63,6 +70,7 @@ inline void print_hiding_row(const char* source_name, const HidingRow& r) {
               "OOB/aIoU=%6.2f/%6.2f%%\n",
               source_name, r.l2, 100.0 * r.psr, 100.0 * r.oob_acc, 100.0 * r.acc,
               100.0 * r.oob_aiou, 100.0 * r.aiou);
+  print_perf(source_name, r.wall_seconds, r.attack_steps);
 }
 
 }  // namespace pcss::bench

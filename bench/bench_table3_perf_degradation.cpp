@@ -10,7 +10,10 @@ using namespace pcss::core;
 using pcss::bench::base_config;
 using pcss::bench::print_baw;
 using pcss::bench::print_header;
+using pcss::bench::print_perf;
 using pcss::bench::scale;
+using pcss::bench::total_steps;
+using pcss::bench::WallTimer;
 
 namespace {
 
@@ -20,12 +23,18 @@ void run_for_model(SegmentationModel& model, const std::vector<PointCloud>& clou
               100.0 * clean.accuracy, 100.0 * clean.aiou);
 
   // Norm-unbounded first; its per-scene L2 calibrates the noise baseline,
-  // as the paper matches baseline and attack at the same distance.
+  // as the paper matches baseline and attack at the same distance. The
+  // whole batch is scheduled across the engine's worker pool.
   AttackConfig unbounded = base_config(AttackNorm::kUnbounded, AttackField::kColor);
   unbounded.success_accuracy = 1.0f / 13.0f;
+  const AttackEngine unb_engine(model, unbounded);
+  WallTimer unb_timer;
+  const std::vector<AttackResult> unb_results = unb_engine.run_batch(clouds);
+  print_perf("norm-unbounded run_batch", unb_timer.seconds(), total_steps(unb_results));
+
   std::vector<CaseRecord> unb_records, noise_records;
   for (size_t i = 0; i < clouds.size(); ++i) {
-    const AttackResult adv = run_attack(model, clouds[i], unbounded);
+    const AttackResult& adv = unb_results[i];
     const SegMetrics m =
         evaluate_segmentation(adv.predictions, clouds[i].labels, model.num_classes());
     unb_records.push_back({adv.l2_color, m.accuracy, m.aiou});
@@ -39,7 +48,16 @@ void run_for_model(SegmentationModel& model, const std::vector<PointCloud>& clou
 
   AttackConfig bounded = base_config(AttackNorm::kBounded, AttackField::kColor);
   bounded.success_accuracy = 1.0f / 13.0f;
-  const auto bnd_records = attack_cases(model, clouds, bounded, /*use_l0_distance=*/false);
+  const AttackEngine bnd_engine(model, bounded);
+  WallTimer bnd_timer;
+  const std::vector<AttackResult> bnd_results = bnd_engine.run_batch(clouds);
+  print_perf("norm-bounded run_batch", bnd_timer.seconds(), total_steps(bnd_results));
+  std::vector<CaseRecord> bnd_records;
+  for (size_t i = 0; i < clouds.size(); ++i) {
+    const SegMetrics m = evaluate_segmentation(bnd_results[i].predictions,
+                                               clouds[i].labels, model.num_classes());
+    bnd_records.push_back({bnd_results[i].l2_color, m.accuracy, m.aiou});
+  }
 
   std::printf("[Random noise]\n");
   print_baw(aggregate_cases(noise_records), "L2");

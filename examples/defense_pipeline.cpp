@@ -5,7 +5,7 @@
 // alongside the attack/defense APIs.
 #include <cstdio>
 
-#include "pcss/core/attack.h"
+#include "pcss/core/attack_engine.h"
 #include "pcss/core/defense.h"
 #include "pcss/core/metrics.h"
 #include "pcss/data/indoor.h"
@@ -44,7 +44,7 @@ int main() {
   config.norm = AttackNorm::kUnbounded;
   config.field = AttackField::kColor;
   config.cw_steps = 100;
-  const AttackResult adv = run_attack(model, cloud, config);
+  const AttackResult adv = AttackEngine(model, config).run(cloud);
   const double adv_acc =
       evaluate_segmentation(adv.predictions, cloud.labels, 13).accuracy;
 

@@ -4,7 +4,7 @@
 // PLY (open in MeshLab/CloudCompare) and a 4-panel PPM.
 #include <cstdio>
 
-#include "pcss/core/attack.h"
+#include "pcss/core/attack_engine.h"
 #include "pcss/core/metrics.h"
 #include "pcss/data/indoor.h"
 #include "pcss/pointcloud/io.h"
@@ -39,7 +39,16 @@ int main() {
   config.target_mask = mask_for_class(cloud.labels, source);
   config.success_psr = 0.95f;
 
-  const AttackResult result = run_attack(*model, cloud, config);
+  // The engine validates the config against the model (target class in
+  // range, mask present) and reports optimization progress through the
+  // observer callback.
+  AttackEngine engine(*model, config);
+  engine.set_observer([](const AttackProgress& p) {
+    if (p.step % 25 == 0) {
+      std::printf("  step %3d: PSR=%5.1f%%\n", p.step, 100.0 * p.gain);
+    }
+  });
+  const AttackResult result = engine.run(cloud);
   const double psr = point_success_rate(result.predictions, config.target_mask, target);
   const SegMetrics oob = evaluate_oob(result.predictions, cloud.labels, 13,
                                       config.target_mask);

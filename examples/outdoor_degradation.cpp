@@ -4,7 +4,7 @@
 // classes (car, building) collapse along with the rest.
 #include <cstdio>
 
-#include "pcss/core/attack.h"
+#include "pcss/core/attack_engine.h"
 #include "pcss/core/metrics.h"
 #include "pcss/data/outdoor.h"
 #include "pcss/train/model_zoo.h"
@@ -28,7 +28,7 @@ int main() {
   config.field = AttackField::kColor;
   config.cw_steps = 150;
   config.success_accuracy = 1.0f / 8.0f;
-  const AttackResult adv = run_attack(*model, cloud, config);
+  const AttackResult adv = AttackEngine(*model, config).run(cloud);
   const SegMetrics attacked =
       evaluate_segmentation(adv.predictions, cloud.labels, kOutdoorNumClasses);
 

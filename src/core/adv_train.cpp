@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "pcss/core/attack_engine.h"
 #include "pcss/tensor/ops.h"
 #include "pcss/tensor/optim.h"
 
@@ -23,6 +24,10 @@ AdvTrainStats adversarial_train(SegmentationModel& model,
   attack.field = AttackField::kColor;
   attack.steps = config.attack_steps;
   attack.epsilon = config.epsilon;
+  // One engine for the whole loop; the engine freezes parameter-gradient
+  // accumulation during each inner attack and restores it for the outer
+  // training step below.
+  const AttackEngine engine(model, attack);
 
   pcss::tensor::optim::Adam opt(model.parameters(), config.lr);
   AdvTrainStats stats;
@@ -31,8 +36,7 @@ AdvTrainStats adversarial_train(SegmentationModel& model,
     const bool adversarial_step = rng.uniform() < config.adv_fraction;
     PointCloud scene = clean;
     if (adversarial_step) {
-      attack.seed = config.seed + static_cast<std::uint64_t>(it);
-      scene = run_attack(model, clean, attack).perturbed;
+      scene = engine.run(clean, config.seed + static_cast<std::uint64_t>(it)).perturbed;
       ++stats.adversarial_steps;
     }
     pcss::models::ModelInput input = pcss::models::ModelInput::plain(scene);

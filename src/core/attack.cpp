@@ -4,14 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "pcss/pointcloud/knn.h"
-#include "pcss/tensor/ops.h"
-#include "pcss/tensor/optim.h"
+#include "pcss/core/attack_engine.h"
 
 namespace pcss::core {
-
-namespace ops = pcss::tensor::ops;
-using pcss::pointcloud::Vec3;
 
 const char* to_string(AttackObjective o) {
   return o == AttackObjective::kPerformanceDegradation ? "performance-degradation"
@@ -29,29 +24,61 @@ const char* to_string(AttackField f) {
   return "?";
 }
 
-namespace {
+std::vector<std::string> AttackConfig::validate(int num_classes,
+                                               std::int64_t num_points) const {
+  std::vector<std::string> errors;
+  const bool use_color = field != AttackField::kCoordinate;
+  const bool use_coord = field != AttackField::kColor;
 
-float atanh_clamped(float x) {
-  const float c = std::clamp(x, -1.0f + 1e-6f, 1.0f - 1e-6f);
-  return 0.5f * std::log((1.0f + c) / (1.0f - c));
+  if (norm == AttackNorm::kBounded) {
+    if (steps <= 0) errors.push_back("steps must be positive for the bounded attack");
+    if (step_size <= 0.0f) errors.push_back("step_size must be positive");
+    if (use_color && epsilon <= 0.0f) {
+      errors.push_back("epsilon must be positive for a bounded color attack");
+    }
+    if (use_coord && coord_epsilon <= 0.0f) {
+      errors.push_back("coord_epsilon must be positive for a bounded coordinate attack");
+    }
+  } else {
+    if (cw_steps <= 0) errors.push_back("cw_steps must be positive for the unbounded attack");
+    if (adam_lr <= 0.0f) errors.push_back("adam_lr must be positive");
+    if (stall_patience <= 0) errors.push_back("stall_patience must be positive");
+    if (smooth_alpha < 0) errors.push_back("smooth_alpha must be non-negative");
+  }
+
+  if (min_impact_fraction < 0.0f) {
+    errors.push_back("min_impact_fraction must be non-negative");
+  }
+  if (success_accuracy > 1.0f) {
+    errors.push_back("success_accuracy is a fraction; values above 1 never trigger");
+  }
+  if (success_psr > 1.0f) {
+    errors.push_back("success_psr is a fraction; values above 1 never trigger");
+  }
+
+  if (objective == AttackObjective::kObjectHiding) {
+    if (target_class < 0) {
+      errors.push_back("object hiding needs target_class set (it is " +
+                       std::to_string(target_class) + ")");
+    } else if (num_classes >= 0 && target_class >= num_classes) {
+      errors.push_back("target_class " + std::to_string(target_class) +
+                       " out of range [0, " + std::to_string(num_classes) + ")");
+    }
+    if (target_mask.empty()) {
+      errors.push_back("object hiding needs a target_mask (X_T membership)");
+    }
+  }
+  if (num_points >= 0 && !target_mask.empty() &&
+      target_mask.size() != static_cast<size_t>(num_points)) {
+    errors.push_back("target_mask has " + std::to_string(target_mask.size()) +
+                     " entries but the cloud has " + std::to_string(num_points) +
+                     " points");
+  }
+  return errors;
 }
 
-/// Initialization variant: saturated channels (exactly 0 or 1) would map
-/// to |w| ~ 7 where tanh' ~ 1e-6 and Adam cannot move them. Pulling the
-/// start point into tanh's live region costs at most ~2% initial color
-/// shift and keeps every channel attackable.
-float atanh_init(float x) { return atanh_clamped(std::clamp(x, -0.96f, 0.96f)); }
-
-std::vector<std::uint8_t> full_mask_if_empty(const std::vector<std::uint8_t>& mask,
-                                             std::int64_t n) {
-  if (!mask.empty()) return mask;
-  return std::vector<std::uint8_t>(static_cast<size_t>(n), 1);
-}
-
-/// Applies raw-unit deltas to a cloud; colors are clamped to [0,1]
-/// (invalid adversarial colors cannot exist physically).
-PointCloud apply_deltas(const PointCloud& cloud, const std::vector<float>* color_delta,
-                        const std::vector<float>* coord_delta) {
+PointCloud apply_field_deltas(const PointCloud& cloud, const std::vector<float>* color_delta,
+                              const std::vector<float>* coord_delta) {
   PointCloud out = cloud;
   const std::int64_t n = cloud.size();
   for (std::int64_t i = 0; i < n; ++i) {
@@ -68,422 +95,9 @@ PointCloud apply_deltas(const PointCloud& cloud, const std::vector<float>* color
   return out;
 }
 
-/// Attack progress measure: lower accuracy is better for degradation,
-/// higher PSR is better for hiding. Returned so that "improved" always
-/// means "value increased".
-double attack_gain(const std::vector<int>& pred, const PointCloud& cloud,
-                   const AttackConfig& config, const std::vector<std::uint8_t>& mask,
-                   int num_classes) {
-  if (config.objective == AttackObjective::kObjectHiding) {
-    return point_success_rate(pred, mask, config.target_class);
-  }
-  const SegMetrics m = evaluate_segmentation_masked(pred, cloud.labels, num_classes, mask);
-  return 1.0 - m.accuracy;
-}
-
-bool converged(double gain, const AttackConfig& config) {
-  if (config.objective == AttackObjective::kObjectHiding) {
-    return config.success_psr >= 0.0f && gain >= config.success_psr;
-  }
-  return config.success_accuracy >= 0.0f && (1.0 - gain) <= config.success_accuracy;
-}
-
-/// The adversarial loss of §IV-A: Eq. 10 for hiding, Eq. 11 for
-/// degradation, over the targeted points.
-Tensor adversarial_loss(const Tensor& logits, const PointCloud& cloud,
-                        const AttackConfig& config, const std::vector<std::uint8_t>& mask) {
-  if (config.objective == AttackObjective::kObjectHiding) {
-    std::vector<int> targets(static_cast<size_t>(cloud.size()), config.target_class);
-    return ops::hinge_margin_loss(logits, targets, mask, /*targeted=*/true);
-  }
-  return ops::hinge_margin_loss(logits, cloud.labels, mask, /*targeted=*/false);
-}
-
-/// Eq. 12 L0 schedule state for coordinate attacks.
-struct MinImpactSchedule {
-  std::vector<std::uint8_t> allowed;
-  std::int64_t initial_count = 0;
-  std::int64_t current_count = 0;
-  std::int64_t n_per_iter = 0;
-  bool restoring = true;
-
-  void init(const std::vector<std::uint8_t>& mask, float fraction) {
-    allowed = mask;
-    initial_count = std::count(mask.begin(), mask.end(), std::uint8_t{1});
-    current_count = initial_count;
-    n_per_iter = std::max<std::int64_t>(
-        1, static_cast<std::int64_t>(static_cast<float>(initial_count) * fraction));
-  }
-
-  /// Removes the n least impactful (|g . r| smallest) allowed points;
-  /// returns their indices so the caller can restore their perturbation.
-  std::vector<std::int64_t> restore_step(const std::vector<float>& grad,
-                                         const std::vector<float>& delta) {
-    if (!restoring) return {};
-    std::vector<std::pair<float, std::int64_t>> impact;
-    for (size_t i = 0; i < allowed.size(); ++i) {
-      if (!allowed[i]) continue;
-      float dot = 0.0f;
-      for (int a = 0; a < 3; ++a) dot += grad[i * 3 + a] * delta[i * 3 + a];
-      impact.emplace_back(std::abs(dot), static_cast<std::int64_t>(i));
-    }
-    const auto n = static_cast<size_t>(std::min<std::int64_t>(
-        n_per_iter, static_cast<std::int64_t>(impact.size())));
-    std::partial_sort(impact.begin(), impact.begin() + static_cast<std::ptrdiff_t>(n),
-                      impact.end());
-    std::vector<std::int64_t> removed;
-    for (size_t i = 0; i < n; ++i) {
-      allowed[static_cast<size_t>(impact[i].second)] = 0;
-      removed.push_back(impact[i].second);
-    }
-    current_count -= static_cast<std::int64_t>(n);
-    // Once fewer than 10% of X_T remain, perturb without restoration.
-    if (current_count < initial_count / 10 + 1) restoring = false;
-    return removed;
-  }
-};
-
-// ---------------------------------------------------------------------------
-// Norm-bounded attack (Algorithm 1, PGD-adjusted).
-// ---------------------------------------------------------------------------
-
-AttackResult norm_bounded_attack(SegmentationModel& model, const PointCloud& cloud,
-                                 const AttackConfig& config) {
-  const std::int64_t n = cloud.size();
-  const auto mask = full_mask_if_empty(config.target_mask, n);
-  const bool use_color = config.field != AttackField::kCoordinate;
-  const bool use_coord = config.field != AttackField::kColor;
-  Rng rng(config.seed);
-
-  std::vector<float> cdelta(static_cast<size_t>(n * 3), 0.0f);
-  std::vector<float> pdelta(static_cast<size_t>(n * 3), 0.0f);
-  auto project_color = [&] {
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (int a = 0; a < 3; ++a) {
-        float& d = cdelta[static_cast<size_t>(i * 3 + a)];
-        d = std::clamp(d, -config.epsilon, config.epsilon);
-        const float c = cloud.colors[static_cast<size_t>(i)][a];
-        d = std::clamp(c + d, 0.0f, 1.0f) - c;  // keep color physically valid
-      }
-    }
-  };
-  // Random initialization (Algorithm 1).
-  for (std::int64_t i = 0; i < n; ++i) {
-    if (!mask[static_cast<size_t>(i)]) continue;
-    for (int a = 0; a < 3; ++a) {
-      if (use_color) {
-        cdelta[static_cast<size_t>(i * 3 + a)] =
-            rng.uniform(-config.epsilon, config.epsilon);
-      }
-      if (use_coord) {
-        pdelta[static_cast<size_t>(i * 3 + a)] =
-            rng.uniform(-config.coord_epsilon, config.coord_epsilon);
-      }
-    }
-  }
-  if (use_color) project_color();
-
-  MinImpactSchedule schedule;
-  if (use_coord) schedule.init(mask, config.min_impact_fraction);
-  MinImpactSchedule color_schedule;
-  const bool sparsify_color = use_color && config.l0_on_color;
-  if (sparsify_color) color_schedule.init(mask, config.min_impact_fraction);
-
-  AttackResult result;
-  int step = 0;
-  for (; step < config.steps; ++step) {
-    Tensor cd, pd;
-    if (use_color) {
-      cd = Tensor::from_data({n, 3}, cdelta);
-      cd.set_requires_grad(true);
-    }
-    if (use_coord) {
-      pd = Tensor::from_data({n, 3}, pdelta);
-      pd.set_requires_grad(true);
-    }
-    ModelInput input{&cloud, cd, pd};
-    Tensor logits = model.forward(input, /*training=*/false);
-    const std::vector<int> pred = ops::argmax_rows(logits);
-    const double gain = attack_gain(pred, cloud, config, mask, model.num_classes());
-    if (converged(gain, config)) break;
-
-    Tensor loss = adversarial_loss(logits, cloud, config, mask);
-    loss.backward();
-
-    // Sign-of-gradient step. Both hinges (Eq. 10 and Eq. 11) are positive
-    // while the attack has not yet succeeded on a point, so the working
-    // update direction is descent for both objectives. (Eq. 4 writes
-    // "arg max L_NT", but maximizing the Eq. 11 hinge would *increase* the
-    // correct-class margin; Algorithm 1's two clip branches reduce to this
-    // descent once the loss signs are reconciled.)
-    const float dir = -1.0f;
-    if (use_color) {
-      const auto& g = cd.grad();
-      const auto& active = sparsify_color ? color_schedule.allowed : mask;
-      for (std::int64_t i = 0; i < n; ++i) {
-        if (!active[static_cast<size_t>(i)]) continue;
-        for (int a = 0; a < 3; ++a) {
-          const float gv = g.empty() ? 0.0f : g[static_cast<size_t>(i * 3 + a)];
-          if (gv != 0.0f) {
-            cdelta[static_cast<size_t>(i * 3 + a)] +=
-                dir * config.step_size * (gv > 0.0f ? 1.0f : -1.0f);
-          }
-        }
-      }
-      project_color();
-      if (sparsify_color && !g.empty()) {
-        for (std::int64_t removed : color_schedule.restore_step(g, cdelta)) {
-          for (int a = 0; a < 3; ++a) cdelta[static_cast<size_t>(removed * 3 + a)] = 0.0f;
-        }
-      }
-    }
-    if (use_coord) {
-      const auto& g = pd.grad();
-      for (std::int64_t i = 0; i < n; ++i) {
-        if (!schedule.allowed[static_cast<size_t>(i)]) continue;
-        for (int a = 0; a < 3; ++a) {
-          const float gv = g.empty() ? 0.0f : g[static_cast<size_t>(i * 3 + a)];
-          if (gv != 0.0f) {
-            float& d = pdelta[static_cast<size_t>(i * 3 + a)];
-            d += dir * config.step_size * (gv > 0.0f ? 1.0f : -1.0f);
-            d = std::clamp(d, -config.coord_epsilon, config.coord_epsilon);
-          }
-        }
-      }
-      if (!g.empty()) {
-        for (std::int64_t removed : schedule.restore_step(g, pdelta)) {
-          for (int a = 0; a < 3; ++a) pdelta[static_cast<size_t>(removed * 3 + a)] = 0.0f;
-        }
-      }
-    }
-  }
-  result.steps_used = step;
-
-  result.perturbed =
-      apply_deltas(cloud, use_color ? &cdelta : nullptr, use_coord ? &pdelta : nullptr);
-  result.predictions = model.predict(result.perturbed);
-  measure_perturbation(cloud, result.perturbed, result);
-  return result;
-}
-
-// ---------------------------------------------------------------------------
-// Norm-unbounded attack (CW-adjusted, Eq. 3 / Eq. 5 with Adam).
-// ---------------------------------------------------------------------------
-
-AttackResult norm_unbounded_attack(SegmentationModel& model, const PointCloud& cloud,
-                                   const AttackConfig& config) {
-  const std::int64_t n = cloud.size();
-  const auto mask = full_mask_if_empty(config.target_mask, n);
-  const bool use_color = config.field != AttackField::kCoordinate;
-  const bool use_coord = config.field != AttackField::kColor;
-  Rng rng(config.seed);
-
-  // tanh reparameterization (Eq. 7): color maps to [0,1]; coordinates map
-  // into the cloud's bounding box per axis.
-  const auto box = pcss::pointcloud::compute_bbox(cloud.positions);
-  Vec3 lo = box.min, hi = box.max;
-  for (int a = 0; a < 3; ++a) {
-    if (hi[a] - lo[a] < 1e-4f) hi[a] = lo[a] + 1e-4f;
-  }
-
-  std::vector<float> w_color0(static_cast<size_t>(n * 3), 0.0f);
-  std::vector<float> w_coord0(static_cast<size_t>(n * 3), 0.0f);
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (int a = 0; a < 3; ++a) {
-      const float c = cloud.colors[static_cast<size_t>(i)][a];
-      w_color0[static_cast<size_t>(i * 3 + a)] = atanh_init(2.0f * c - 1.0f);
-      const float p = cloud.positions[static_cast<size_t>(i)][a];
-      w_coord0[static_cast<size_t>(i * 3 + a)] =
-          atanh_init(2.0f * (p - lo[a]) / (hi[a] - lo[a]) - 1.0f);
-    }
-  }
-  Tensor w_color = Tensor::from_data({n, 3}, w_color0);
-  Tensor w_coord = Tensor::from_data({n, 3}, w_coord0);
-  // Small random start so the optimizer does not begin exactly at zero
-  // perturbation (mirrors the bounded attack's random init).
-  for (std::int64_t i = 0; i < n * 3; ++i) {
-    if (!mask[static_cast<size_t>(i / 3)]) continue;
-    if (use_color) w_color.data()[i] += rng.normal(0.05f);
-    if (use_coord) w_coord.data()[i] += rng.normal(0.05f);
-  }
-  w_color.set_requires_grad(use_color);
-  w_coord.set_requires_grad(use_coord);
-
-  std::vector<Tensor> vars;
-  if (use_color) vars.push_back(w_color);
-  if (use_coord) vars.push_back(w_coord);
-  pcss::tensor::optim::Adam opt(vars, config.adam_lr);
-
-  // Constant tensors reused every step.
-  std::vector<float> color0(static_cast<size_t>(n * 3)), coord0(static_cast<size_t>(n * 3));
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (int a = 0; a < 3; ++a) {
-      color0[static_cast<size_t>(i * 3 + a)] = cloud.colors[static_cast<size_t>(i)][a];
-      coord0[static_cast<size_t>(i * 3 + a)] = cloud.positions[static_cast<size_t>(i)][a];
-    }
-  }
-  const Tensor color0_t = Tensor::from_data({n, 3}, color0);
-  const Tensor coord0_t = Tensor::from_data({n, 3}, coord0);
-  std::vector<float> coord_scale(static_cast<size_t>(n * 3)),
-      coord_offset(static_cast<size_t>(n * 3));
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (int a = 0; a < 3; ++a) {
-      coord_scale[static_cast<size_t>(i * 3 + a)] = (hi[a] - lo[a]) * 0.5f;
-      coord_offset[static_cast<size_t>(i * 3 + a)] = lo[a] + (hi[a] - lo[a]) * 0.5f;
-    }
-  }
-  const Tensor coord_scale_t = Tensor::from_data({n, 3}, coord_scale);
-  const Tensor coord_offset_t = Tensor::from_data({n, 3}, coord_offset);
-
-  // Smoothness (Eq. 9) neighborhoods from the unperturbed geometry.
-  const int alpha = static_cast<int>(std::min<std::int64_t>(config.smooth_alpha, n - 1));
-  const auto smooth_idx =
-      alpha > 0 ? pcss::pointcloud::knn_self(cloud.positions, alpha, /*include_self=*/false)
-                : std::vector<std::int64_t>{};
-
-  MinImpactSchedule schedule;
-  if (use_coord) schedule.init(mask, config.min_impact_fraction);
-  MinImpactSchedule color_schedule;
-  const bool sparsify_color = use_color && config.l0_on_color;
-  if (sparsify_color) color_schedule.init(mask, config.min_impact_fraction);
-
-  auto mask_tensor = [&](const std::vector<std::uint8_t>& m) {
-    std::vector<float> md(static_cast<size_t>(n * 3), 0.0f);
-    for (std::int64_t i = 0; i < n; ++i) {
-      if (m[static_cast<size_t>(i)]) {
-        for (int a = 0; a < 3; ++a) md[static_cast<size_t>(i * 3 + a)] = 1.0f;
-      }
-    }
-    return Tensor::from_data({n, 3}, std::move(md));
-  };
-
-  double best_gain = -1.0;
-  std::vector<float> best_cdelta, best_pdelta;
-  int stall = 0;
-  int step = 0;
-  for (; step < config.cw_steps; ++step) {
-    // Perturbed fields via the tanh box map.
-    Tensor cdelta_t, pdelta_t;
-    if (use_color) {
-      Tensor mapped = ops::scale(ops::add_scalar(ops::tanh_op(w_color), 1.0f), 0.5f);
-      cdelta_t = ops::mul(ops::sub(mapped, color0_t),
-                          mask_tensor(sparsify_color ? color_schedule.allowed : mask));
-    }
-    if (use_coord) {
-      Tensor mapped = ops::add(
-          ops::mul(ops::tanh_op(w_coord), coord_scale_t), coord_offset_t);
-      pdelta_t = ops::mul(ops::sub(mapped, coord0_t), mask_tensor(schedule.allowed));
-    }
-
-    ModelInput input{&cloud, cdelta_t, pdelta_t};
-    Tensor logits = model.forward(input, /*training=*/false);
-    const std::vector<int> pred = ops::argmax_rows(logits);
-    const double gain = attack_gain(pred, cloud, config, mask, model.num_classes());
-    if (gain > best_gain + 1e-9) {
-      best_gain = gain;
-      stall = 0;
-      if (use_color) {
-        best_cdelta.assign(cdelta_t.data(), cdelta_t.data() + n * 3);
-      }
-      if (use_coord) {
-        best_pdelta.assign(pdelta_t.data(), pdelta_t.data() + n * 3);
-      }
-    } else {
-      ++stall;
-    }
-    if (converged(gain, config)) break;
-
-    // Loss of Eq. 3 (hiding) / Eq. 5 (degradation):
-    //   D(R) + lambda1 * L + lambda2 * S(X').
-    // Both hinge losses are minimized (see the sign note in the bounded
-    // attack); Eq. 5's "- lambda1 * L_NT" reads as descent on the hinge
-    // once Eq. 11's orientation is taken into account.
-    Tensor distance = Tensor::from_data({1}, {0.0f});
-    if (use_color) distance = ops::add(distance, ops::sum(ops::square(cdelta_t)));
-    if (use_coord) distance = ops::add(distance, ops::sum(ops::square(pdelta_t)));
-    Tensor adv = adversarial_loss(logits, cloud, config, mask);
-    Tensor loss = ops::add(distance, ops::scale(adv, config.lambda1));
-    if (alpha > 0) {
-      if (use_color) {
-        Tensor smooth = ops::smoothness_penalty(ops::add(color0_t, cdelta_t), smooth_idx,
-                                                alpha);
-        loss = ops::add(loss, ops::scale(smooth, config.lambda2));
-      }
-      if (use_coord) {
-        Tensor smooth = ops::smoothness_penalty(ops::add(coord0_t, pdelta_t), smooth_idx,
-                                                alpha);
-        loss = ops::add(loss, ops::scale(smooth, config.lambda2));
-      }
-    }
-
-    opt.zero_grad();
-    loss.backward();
-    opt.step();
-
-    // Random restart when the gain stalls (paper §IV-B): add uniform
-    // noise to the optimization variable on the attacked points.
-    if (stall >= config.stall_patience) {
-      stall = 0;
-      for (std::int64_t i = 0; i < n; ++i) {
-        if (!mask[static_cast<size_t>(i)]) continue;
-        for (int a = 0; a < 3; ++a) {
-          if (use_color) w_color.data()[i * 3 + a] += rng.uniform(0.0f, 1.0f) - 0.5f;
-          if (use_coord) w_coord.data()[i * 3 + a] += rng.uniform(0.0f, 1.0f) - 0.5f;
-        }
-      }
-    }
-
-    // Eq. 12 restoration for coordinate (and optionally color) attacks.
-    if (use_coord && !w_coord.grad().empty()) {
-      std::vector<float> pdata(pdelta_t.data(), pdelta_t.data() + n * 3);
-      for (std::int64_t removed : schedule.restore_step(w_coord.grad(), pdata)) {
-        for (int a = 0; a < 3; ++a) {
-          w_coord.data()[removed * 3 + a] = w_coord0[static_cast<size_t>(removed * 3 + a)];
-        }
-      }
-    }
-    if (sparsify_color && !w_color.grad().empty()) {
-      std::vector<float> cdata(cdelta_t.data(), cdelta_t.data() + n * 3);
-      for (std::int64_t removed : color_schedule.restore_step(w_color.grad(), cdata)) {
-        for (int a = 0; a < 3; ++a) {
-          w_color.data()[removed * 3 + a] = w_color0[static_cast<size_t>(removed * 3 + a)];
-        }
-      }
-    }
-  }
-
-  AttackResult result;
-  result.steps_used = step;
-  if (best_gain < 0.0) {  // no step ran; fall back to zero perturbation
-    best_cdelta.assign(static_cast<size_t>(n * 3), 0.0f);
-    best_pdelta.assign(static_cast<size_t>(n * 3), 0.0f);
-  }
-  result.perturbed = apply_deltas(cloud, use_color ? &best_cdelta : nullptr,
-                                  use_coord ? &best_pdelta : nullptr);
-  result.predictions = model.predict(result.perturbed);
-  measure_perturbation(cloud, result.perturbed, result);
-  return result;
-}
-
-}  // namespace
-
 AttackResult run_attack(SegmentationModel& model, const PointCloud& cloud,
                         const AttackConfig& config) {
-  if (cloud.empty()) throw std::invalid_argument("run_attack: empty cloud");
-  if (config.objective == AttackObjective::kObjectHiding) {
-    if (config.target_class < 0 || config.target_class >= model.num_classes()) {
-      throw std::invalid_argument("run_attack: object hiding needs a valid target_class");
-    }
-    if (config.target_mask.empty()) {
-      throw std::invalid_argument("run_attack: object hiding needs a target_mask (X_T)");
-    }
-  }
-  if (!config.target_mask.empty() &&
-      config.target_mask.size() != static_cast<size_t>(cloud.size())) {
-    throw std::invalid_argument("run_attack: target_mask size mismatch");
-  }
-  return config.norm == AttackNorm::kBounded ? norm_bounded_attack(model, cloud, config)
-                                             : norm_unbounded_attack(model, cloud, config);
+  return AttackEngine(model, config).run(cloud);
 }
 
 AttackResult random_noise_baseline(SegmentationModel& model, const PointCloud& cloud,
@@ -501,7 +115,7 @@ AttackResult random_noise_baseline(SegmentationModel& model, const PointCloud& c
   for (auto& v : noise) v *= scale;
 
   AttackResult result;
-  result.perturbed = apply_deltas(cloud, &noise, nullptr);
+  result.perturbed = apply_field_deltas(cloud, &noise, nullptr);
   result.predictions = model.predict(result.perturbed);
   result.steps_used = 0;
   measure_perturbation(cloud, result.perturbed, result);

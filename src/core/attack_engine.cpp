@@ -1,0 +1,912 @@
+#include "pcss/core/attack_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "pcss/pointcloud/knn.h"
+#include "pcss/tensor/ops.h"
+#include "pcss/tensor/optim.h"
+
+namespace pcss::core {
+
+namespace ops = pcss::tensor::ops;
+using pcss::pointcloud::Vec3;
+
+namespace {
+
+float atanh_clamped(float x) {
+  const float c = std::clamp(x, -1.0f + 1e-6f, 1.0f - 1e-6f);
+  return 0.5f * std::log((1.0f + c) / (1.0f - c));
+}
+
+/// Initialization variant: saturated channels (exactly 0 or 1) would map
+/// to |w| ~ 7 where tanh' ~ 1e-6 and Adam cannot move them. Pulling the
+/// start point into tanh's live region costs at most ~2% initial color
+/// shift and keeps every channel attackable.
+float atanh_init(float x) { return atanh_clamped(std::clamp(x, -0.96f, 0.96f)); }
+
+std::vector<std::uint8_t> full_mask_if_empty(const std::vector<std::uint8_t>& mask,
+                                             std::int64_t n) {
+  if (!mask.empty()) return mask;
+  return std::vector<std::uint8_t>(static_cast<size_t>(n), 1);
+}
+
+/// Eq. 12 L0 schedule: per iteration the least impactful points are
+/// removed from the perturbable set until fewer than 10% of X_T remain.
+struct MinImpactSchedule {
+  std::vector<std::uint8_t> allowed;
+  std::int64_t initial_count = 0;
+  std::int64_t current_count = 0;
+  std::int64_t n_per_iter = 0;
+  bool restoring = true;
+
+  void init(const std::vector<std::uint8_t>& mask, float fraction) {
+    allowed = mask;
+    initial_count = std::count(mask.begin(), mask.end(), std::uint8_t{1});
+    current_count = initial_count;
+    n_per_iter = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(static_cast<float>(initial_count) * fraction));
+  }
+
+  /// Removes the n least impactful (|g . r| smallest) allowed points;
+  /// returns their indices so the caller can restore their perturbation.
+  std::vector<std::int64_t> restore_step(const std::vector<float>& grad,
+                                         const std::vector<float>& delta) {
+    if (!restoring) return {};
+    std::vector<std::pair<float, std::int64_t>> impact;
+    for (size_t i = 0; i < allowed.size(); ++i) {
+      if (!allowed[i]) continue;
+      float dot = 0.0f;
+      for (int a = 0; a < 3; ++a) dot += grad[i * 3 + a] * delta[i * 3 + a];
+      impact.emplace_back(std::abs(dot), static_cast<std::int64_t>(i));
+    }
+    const auto n = static_cast<size_t>(std::min<std::int64_t>(
+        n_per_iter, static_cast<std::int64_t>(impact.size())));
+    std::partial_sort(impact.begin(), impact.begin() + static_cast<std::ptrdiff_t>(n),
+                      impact.end());
+    std::vector<std::int64_t> removed;
+    for (size_t i = 0; i < n; ++i) {
+      allowed[static_cast<size_t>(impact[i].second)] = 0;
+      removed.push_back(impact[i].second);
+    }
+    current_count -= static_cast<std::int64_t>(n);
+    // Once fewer than 10% of X_T remain, perturb without restoration.
+    if (current_count < initial_count / 10 + 1) restoring = false;
+    return removed;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Objectives (Eq. 10 / Eq. 11)
+// ---------------------------------------------------------------------------
+
+class DegradationObjective final : public Objective {
+ public:
+  explicit DegradationObjective(float success_accuracy)
+      : success_accuracy_(success_accuracy) {}
+
+  const char* name() const override { return "performance-degradation"; }
+
+  Tensor loss(const Tensor& logits, const PointCloud& cloud,
+              const std::vector<std::uint8_t>& mask) const override {
+    return ops::hinge_margin_loss(logits, cloud.labels, mask, /*targeted=*/false);
+  }
+
+  double gain(const std::vector<int>& predictions, const PointCloud& cloud,
+              const std::vector<std::uint8_t>& mask, int num_classes) const override {
+    const SegMetrics m =
+        evaluate_segmentation_masked(predictions, cloud.labels, num_classes, mask);
+    return 1.0 - m.accuracy;
+  }
+
+  bool converged(double gain) const override {
+    return success_accuracy_ >= 0.0f && (1.0 - gain) <= success_accuracy_;
+  }
+
+ private:
+  float success_accuracy_;
+};
+
+class HidingObjective final : public Objective {
+ public:
+  HidingObjective(int target_class, float success_psr)
+      : target_class_(target_class), success_psr_(success_psr) {}
+
+  const char* name() const override { return "object-hiding"; }
+
+  Tensor loss(const Tensor& logits, const PointCloud& cloud,
+              const std::vector<std::uint8_t>& mask) const override {
+    std::vector<int> targets(static_cast<size_t>(cloud.size()), target_class_);
+    return ops::hinge_margin_loss(logits, targets, mask, /*targeted=*/true);
+  }
+
+  double gain(const std::vector<int>& predictions, const PointCloud& /*cloud*/,
+              const std::vector<std::uint8_t>& mask, int /*num_classes*/) const override {
+    return point_success_rate(predictions, mask, target_class_);
+  }
+
+  bool converged(double gain) const override {
+    return success_psr_ >= 0.0f && gain >= success_psr_;
+  }
+
+ private:
+  int target_class_;
+  float success_psr_;
+};
+
+// ---------------------------------------------------------------------------
+// Bounded epsilon-clip parameterization (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+class ClipProjection final : public Projection {
+ public:
+  explicit ClipProjection(const AttackConfig& config) : config_(config) {}
+
+  void init(const PointCloud& cloud, const std::vector<std::uint8_t>& mask,
+            Rng& rng) override {
+    cloud_ = &cloud;
+    mask_ = mask;
+    n_ = cloud.size();
+    use_color_ = config_.field != AttackField::kCoordinate;
+    use_coord_ = config_.field != AttackField::kColor;
+    cdelta_.assign(static_cast<size_t>(n_ * 3), 0.0f);
+    pdelta_.assign(static_cast<size_t>(n_ * 3), 0.0f);
+
+    // Random initialization (Algorithm 1); color and coordinate draws are
+    // interleaved per point to keep the RNG stream stable across fields.
+    for (std::int64_t i = 0; i < n_; ++i) {
+      if (!mask_[static_cast<size_t>(i)]) continue;
+      for (int a = 0; a < 3; ++a) {
+        if (use_color_) {
+          cdelta_[static_cast<size_t>(i * 3 + a)] =
+              rng.uniform(-config_.epsilon, config_.epsilon);
+        }
+        if (use_coord_) {
+          pdelta_[static_cast<size_t>(i * 3 + a)] =
+              rng.uniform(-config_.coord_epsilon, config_.coord_epsilon);
+        }
+      }
+    }
+    if (use_color_) project_color();
+
+    if (use_coord_) coord_schedule_.init(mask_, config_.min_impact_fraction);
+    sparsify_color_ = use_color_ && config_.l0_on_color;
+    if (sparsify_color_) color_schedule_.init(mask_, config_.min_impact_fraction);
+  }
+
+  FieldDeltas make_deltas() override {
+    FieldDeltas deltas;
+    if (use_color_) {
+      cd_ = Tensor::from_data({n_, 3}, cdelta_);
+      cd_.set_requires_grad(true);
+      deltas.color = cd_;
+    }
+    if (use_coord_) {
+      pd_ = Tensor::from_data({n_, 3}, pdelta_);
+      pd_.set_requires_grad(true);
+      deltas.coord = pd_;
+    }
+    return deltas;
+  }
+
+  std::vector<Tensor> variables() override {
+    // Variables live in raw storage and are re-tensorized every step;
+    // tensor-based step rules (Adam) cannot bind to them.
+    return {};
+  }
+
+  std::vector<VarView> views() override {
+    std::vector<VarView> out;
+    if (use_color_) {
+      const auto& g = cd_.grad();
+      out.push_back({cdelta_.data(), g.empty() ? nullptr : g.data(),
+                     sparsify_color_ ? &color_schedule_.allowed : &mask_, n_});
+    }
+    if (use_coord_) {
+      const auto& g = pd_.grad();
+      out.push_back({pdelta_.data(), g.empty() ? nullptr : g.data(),
+                     &coord_schedule_.allowed, n_});
+    }
+    return out;
+  }
+
+  void project() override {
+    if (use_color_) project_color();
+    if (use_coord_) {
+      for (auto& d : pdelta_) d = std::clamp(d, -config_.coord_epsilon,
+                                             config_.coord_epsilon);
+    }
+  }
+
+  void post_step() override {
+    if (use_color_ && sparsify_color_ && !cd_.grad().empty()) {
+      for (std::int64_t removed : color_schedule_.restore_step(cd_.grad(), cdelta_)) {
+        for (int a = 0; a < 3; ++a) cdelta_[static_cast<size_t>(removed * 3 + a)] = 0.0f;
+      }
+    }
+    if (use_coord_ && !pd_.grad().empty()) {
+      for (std::int64_t removed : coord_schedule_.restore_step(pd_.grad(), pdelta_)) {
+        for (int a = 0; a < 3; ++a) pdelta_[static_cast<size_t>(removed * 3 + a)] = 0.0f;
+      }
+    }
+  }
+
+  const std::vector<float>* final_color_delta() override {
+    return use_color_ ? &cdelta_ : nullptr;
+  }
+  const std::vector<float>* final_coord_delta() override {
+    return use_coord_ ? &pdelta_ : nullptr;
+  }
+
+ private:
+  void project_color() {
+    for (std::int64_t i = 0; i < n_; ++i) {
+      for (int a = 0; a < 3; ++a) {
+        float& d = cdelta_[static_cast<size_t>(i * 3 + a)];
+        d = std::clamp(d, -config_.epsilon, config_.epsilon);
+        const float c = cloud_->colors[static_cast<size_t>(i)][a];
+        d = std::clamp(c + d, 0.0f, 1.0f) - c;  // keep color physically valid
+      }
+    }
+  }
+
+  AttackConfig config_;
+  const PointCloud* cloud_ = nullptr;
+  std::vector<std::uint8_t> mask_;
+  std::int64_t n_ = 0;
+  bool use_color_ = false, use_coord_ = false, sparsify_color_ = false;
+  std::vector<float> cdelta_, pdelta_;
+  Tensor cd_, pd_;  ///< this step's leaf tensors (gradients land here)
+  MinImpactSchedule coord_schedule_, color_schedule_;
+};
+
+// ---------------------------------------------------------------------------
+// CW tanh reparameterization (Eq. 7) with Eq. 3/5 penalties
+// ---------------------------------------------------------------------------
+
+class TanhProjection final : public Projection {
+ public:
+  explicit TanhProjection(const AttackConfig& config) : config_(config) {}
+
+  void init(const PointCloud& cloud, const std::vector<std::uint8_t>& mask,
+            Rng& rng) override {
+    cloud_ = &cloud;
+    mask_ = mask;
+    n_ = cloud.size();
+    use_color_ = config_.field != AttackField::kCoordinate;
+    use_coord_ = config_.field != AttackField::kColor;
+
+    // Color maps to [0,1]; coordinates map into the cloud's bounding box.
+    const auto box = pcss::pointcloud::compute_bbox(cloud.positions);
+    Vec3 lo = box.min, hi = box.max;
+    for (int a = 0; a < 3; ++a) {
+      if (hi[a] - lo[a] < 1e-4f) hi[a] = lo[a] + 1e-4f;
+    }
+
+    w_color0_.assign(static_cast<size_t>(n_ * 3), 0.0f);
+    w_coord0_.assign(static_cast<size_t>(n_ * 3), 0.0f);
+    for (std::int64_t i = 0; i < n_; ++i) {
+      for (int a = 0; a < 3; ++a) {
+        const float c = cloud.colors[static_cast<size_t>(i)][a];
+        w_color0_[static_cast<size_t>(i * 3 + a)] = atanh_init(2.0f * c - 1.0f);
+        const float p = cloud.positions[static_cast<size_t>(i)][a];
+        w_coord0_[static_cast<size_t>(i * 3 + a)] =
+            atanh_init(2.0f * (p - lo[a]) / (hi[a] - lo[a]) - 1.0f);
+      }
+    }
+    w_color_ = Tensor::from_data({n_, 3}, w_color0_);
+    w_coord_ = Tensor::from_data({n_, 3}, w_coord0_);
+    // Small random start so the optimizer does not begin exactly at zero
+    // perturbation (mirrors the bounded attack's random init).
+    for (std::int64_t i = 0; i < n_ * 3; ++i) {
+      if (!mask_[static_cast<size_t>(i / 3)]) continue;
+      if (use_color_) w_color_.data()[i] += rng.normal(0.05f);
+      if (use_coord_) w_coord_.data()[i] += rng.normal(0.05f);
+    }
+    w_color_.set_requires_grad(use_color_);
+    w_coord_.set_requires_grad(use_coord_);
+
+    // Constant tensors reused every step.
+    std::vector<float> color0(static_cast<size_t>(n_ * 3)),
+        coord0(static_cast<size_t>(n_ * 3));
+    for (std::int64_t i = 0; i < n_; ++i) {
+      for (int a = 0; a < 3; ++a) {
+        color0[static_cast<size_t>(i * 3 + a)] = cloud.colors[static_cast<size_t>(i)][a];
+        coord0[static_cast<size_t>(i * 3 + a)] = cloud.positions[static_cast<size_t>(i)][a];
+      }
+    }
+    color0_t_ = Tensor::from_data({n_, 3}, color0);
+    coord0_t_ = Tensor::from_data({n_, 3}, coord0);
+    std::vector<float> coord_scale(static_cast<size_t>(n_ * 3)),
+        coord_offset(static_cast<size_t>(n_ * 3));
+    for (std::int64_t i = 0; i < n_; ++i) {
+      for (int a = 0; a < 3; ++a) {
+        coord_scale[static_cast<size_t>(i * 3 + a)] = (hi[a] - lo[a]) * 0.5f;
+        coord_offset[static_cast<size_t>(i * 3 + a)] = lo[a] + (hi[a] - lo[a]) * 0.5f;
+      }
+    }
+    coord_scale_t_ = Tensor::from_data({n_, 3}, coord_scale);
+    coord_offset_t_ = Tensor::from_data({n_, 3}, coord_offset);
+
+    // Smoothness (Eq. 9) neighborhoods from the unperturbed geometry.
+    alpha_ = static_cast<int>(std::min<std::int64_t>(config_.smooth_alpha, n_ - 1));
+    if (alpha_ > 0) {
+      smooth_idx_ = pcss::pointcloud::knn_self(cloud.positions, alpha_,
+                                               /*include_self=*/false);
+    }
+
+    if (use_coord_) coord_schedule_.init(mask_, config_.min_impact_fraction);
+    sparsify_color_ = use_color_ && config_.l0_on_color;
+    if (sparsify_color_) color_schedule_.init(mask_, config_.min_impact_fraction);
+  }
+
+  FieldDeltas make_deltas() override {
+    FieldDeltas deltas;
+    if (use_color_) {
+      Tensor mapped = ops::scale(ops::add_scalar(ops::tanh_op(w_color_), 1.0f), 0.5f);
+      cdelta_t_ = ops::mul(ops::sub(mapped, color0_t_),
+                           mask_tensor(sparsify_color_ ? color_schedule_.allowed : mask_));
+      deltas.color = cdelta_t_;
+    }
+    if (use_coord_) {
+      Tensor mapped =
+          ops::add(ops::mul(ops::tanh_op(w_coord_), coord_scale_t_), coord_offset_t_);
+      pdelta_t_ = ops::mul(ops::sub(mapped, coord0_t_), mask_tensor(coord_schedule_.allowed));
+      deltas.coord = pdelta_t_;
+    }
+    return deltas;
+  }
+
+  std::vector<Tensor> variables() override {
+    std::vector<Tensor> vars;
+    if (use_color_) vars.push_back(w_color_);
+    if (use_coord_) vars.push_back(w_coord_);
+    return vars;
+  }
+
+  std::vector<VarView> views() override {
+    std::vector<VarView> out;
+    if (use_color_) {
+      const auto& g = w_color_.grad();
+      out.push_back({w_color_.data(), g.empty() ? nullptr : g.data(), &mask_, n_});
+    }
+    if (use_coord_) {
+      const auto& g = w_coord_.grad();
+      out.push_back({w_coord_.data(), g.empty() ? nullptr : g.data(), &mask_, n_});
+    }
+    return out;
+  }
+
+  /// Loss of Eq. 3 (hiding) / Eq. 5 (degradation):
+  ///   D(R) + lambda1 * L + lambda2 * S(X').
+  /// Both hinge losses are minimized: Eq. 4 writes "arg max L_NT", but
+  /// maximizing the Eq. 11 hinge would *increase* the correct-class
+  /// margin; the working update is descent once the loss signs are
+  /// reconciled.
+  Tensor total_loss(const Tensor& adversarial) override {
+    Tensor distance = Tensor::from_data({1}, {0.0f});
+    if (use_color_) distance = ops::add(distance, ops::sum(ops::square(cdelta_t_)));
+    if (use_coord_) distance = ops::add(distance, ops::sum(ops::square(pdelta_t_)));
+    Tensor loss = ops::add(distance, ops::scale(adversarial, config_.lambda1));
+    if (alpha_ > 0) {
+      if (use_color_) {
+        Tensor smooth =
+            ops::smoothness_penalty(ops::add(color0_t_, cdelta_t_), smooth_idx_, alpha_);
+        loss = ops::add(loss, ops::scale(smooth, config_.lambda2));
+      }
+      if (use_coord_) {
+        Tensor smooth =
+            ops::smoothness_penalty(ops::add(coord0_t_, pdelta_t_), smooth_idx_, alpha_);
+        loss = ops::add(loss, ops::scale(smooth, config_.lambda2));
+      }
+    }
+    return loss;
+  }
+
+  void observe_gain(double gain) override {
+    if (gain > best_gain_ + 1e-9) {
+      best_gain_ = gain;
+      if (use_color_) {
+        best_cdelta_.assign(cdelta_t_.data(), cdelta_t_.data() + n_ * 3);
+      }
+      if (use_coord_) {
+        best_pdelta_.assign(pdelta_t_.data(), pdelta_t_.data() + n_ * 3);
+      }
+    }
+  }
+
+  /// Random restart when the gain stalls (paper §IV-B): add uniform
+  /// noise to the optimization variable on the attacked points.
+  void random_restart(Rng& rng) override {
+    for (std::int64_t i = 0; i < n_; ++i) {
+      if (!mask_[static_cast<size_t>(i)]) continue;
+      for (int a = 0; a < 3; ++a) {
+        if (use_color_) w_color_.data()[i * 3 + a] += rng.uniform(0.0f, 1.0f) - 0.5f;
+        if (use_coord_) w_coord_.data()[i * 3 + a] += rng.uniform(0.0f, 1.0f) - 0.5f;
+      }
+    }
+  }
+
+  /// Eq. 12 restoration: reset the restored points' variables to their
+  /// zero-perturbation value.
+  void post_step() override {
+    if (use_coord_ && !w_coord_.grad().empty()) {
+      std::vector<float> pdata(pdelta_t_.data(), pdelta_t_.data() + n_ * 3);
+      for (std::int64_t removed : coord_schedule_.restore_step(w_coord_.grad(), pdata)) {
+        for (int a = 0; a < 3; ++a) {
+          w_coord_.data()[removed * 3 + a] = w_coord0_[static_cast<size_t>(removed * 3 + a)];
+        }
+      }
+    }
+    if (sparsify_color_ && !w_color_.grad().empty()) {
+      std::vector<float> cdata(cdelta_t_.data(), cdelta_t_.data() + n_ * 3);
+      for (std::int64_t removed : color_schedule_.restore_step(w_color_.grad(), cdata)) {
+        for (int a = 0; a < 3; ++a) {
+          w_color_.data()[removed * 3 + a] = w_color0_[static_cast<size_t>(removed * 3 + a)];
+        }
+      }
+    }
+  }
+
+  const std::vector<float>* final_color_delta() override {
+    materialize();
+    return use_color_ ? &best_cdelta_ : nullptr;
+  }
+  const std::vector<float>* final_coord_delta() override {
+    materialize();
+    return use_coord_ ? &best_pdelta_ : nullptr;
+  }
+
+ private:
+  void materialize() {
+    if (best_gain_ < 0.0) {  // no step ran; fall back to zero perturbation
+      best_cdelta_.assign(static_cast<size_t>(n_ * 3), 0.0f);
+      best_pdelta_.assign(static_cast<size_t>(n_ * 3), 0.0f);
+      best_gain_ = 0.0;
+    }
+  }
+
+  Tensor mask_tensor(const std::vector<std::uint8_t>& m) const {
+    std::vector<float> md(static_cast<size_t>(n_ * 3), 0.0f);
+    for (std::int64_t i = 0; i < n_; ++i) {
+      if (m[static_cast<size_t>(i)]) {
+        for (int a = 0; a < 3; ++a) md[static_cast<size_t>(i * 3 + a)] = 1.0f;
+      }
+    }
+    return Tensor::from_data({n_, 3}, std::move(md));
+  }
+
+  AttackConfig config_;
+  const PointCloud* cloud_ = nullptr;
+  std::vector<std::uint8_t> mask_;
+  std::int64_t n_ = 0;
+  bool use_color_ = false, use_coord_ = false, sparsify_color_ = false;
+  int alpha_ = 0;
+  std::vector<float> w_color0_, w_coord0_;
+  Tensor w_color_, w_coord_;
+  Tensor color0_t_, coord0_t_, coord_scale_t_, coord_offset_t_;
+  std::vector<std::int64_t> smooth_idx_;
+  Tensor cdelta_t_, pdelta_t_;  ///< this step's mapped deltas
+  MinImpactSchedule coord_schedule_, color_schedule_;
+  double best_gain_ = -1.0;
+  std::vector<float> best_cdelta_, best_pdelta_;
+};
+
+// ---------------------------------------------------------------------------
+// Step rules
+// ---------------------------------------------------------------------------
+
+class SignStep final : public StepRule {
+ public:
+  explicit SignStep(float step_size) : step_size_(step_size) {}
+
+  void apply(Projection& projection) override {
+    // Sign-of-gradient descent; both hinges (Eq. 10 and Eq. 11) are
+    // positive while the attack has not yet succeeded on a point, so
+    // descent is the working direction for both objectives.
+    for (const auto& view : projection.views()) {
+      if (view.grad == nullptr) continue;
+      for (std::int64_t i = 0; i < view.points; ++i) {
+        if (!(*view.active)[static_cast<size_t>(i)]) continue;
+        for (int a = 0; a < 3; ++a) {
+          const float gv = view.grad[i * 3 + a];
+          if (gv != 0.0f) {
+            view.value[i * 3 + a] -= step_size_ * (gv > 0.0f ? 1.0f : -1.0f);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  float step_size_;
+};
+
+class AdamStep final : public StepRule {
+ public:
+  explicit AdamStep(float lr) : lr_(lr) {}
+
+  void zero_grad(Projection& projection) override {
+    ensure(projection);
+    opt_->zero_grad();
+  }
+
+  void apply(Projection& projection) override {
+    ensure(projection);
+    opt_->step();
+  }
+
+ private:
+  void ensure(Projection& projection) {
+    if (!opt_) {
+      auto vars = projection.variables();
+      if (vars.empty()) {
+        throw std::logic_error(
+            "AdamStep: projection exposes no persistent variables; "
+            "use a sign step or a tanh-style projection");
+      }
+      opt_ = std::make_unique<pcss::tensor::optim::Adam>(std::move(vars), lr_);
+    }
+  }
+
+  float lr_;
+  std::unique_ptr<pcss::tensor::optim::Adam> opt_;
+};
+
+// ---------------------------------------------------------------------------
+// Stop criterion
+// ---------------------------------------------------------------------------
+
+class StandardStop final : public StopCriterion {
+ public:
+  StandardStop(int max_steps, int stall_patience)
+      : max_steps_(max_steps), stall_patience_(stall_patience) {}
+
+  int max_steps() const override { return max_steps_; }
+
+  StepAction on_gain(int /*step*/, double gain, bool converged) override {
+    if (stall_patience_ > 0) {
+      if (gain > best_gain_ + 1e-9) {
+        best_gain_ = gain;
+        stall_ = 0;
+      } else {
+        ++stall_;
+      }
+    }
+    if (converged) return StepAction::kStop;
+    if (stall_patience_ > 0 && stall_ >= stall_patience_) {
+      stall_ = 0;
+      return StepAction::kRestart;
+    }
+    return StepAction::kContinue;
+  }
+
+ private:
+  int max_steps_;
+  int stall_patience_;
+  double best_gain_ = -1.0;
+  int stall_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+/// Temporarily disables gradient accumulation into the model's
+/// parameters. Attacks only need input gradients; skipping parameter
+/// accumulation makes concurrent backward passes over one shared model
+/// race-free (and saves work).
+class ScopedParamFreeze {
+ public:
+  explicit ScopedParamFreeze(SegmentationModel& model) : params_(model.parameters()) {
+    saved_.reserve(params_.size());
+    for (auto& p : params_) {
+      saved_.push_back(p.requires_grad());
+      p.set_requires_grad(false);
+    }
+  }
+  ~ScopedParamFreeze() {
+    for (size_t i = 0; i < params_.size(); ++i) params_[i].set_requires_grad(saved_[i]);
+  }
+  ScopedParamFreeze(const ScopedParamFreeze&) = delete;
+  ScopedParamFreeze& operator=(const ScopedParamFreeze&) = delete;
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<bool> saved_;
+};
+
+/// Runs fn(0..jobs-1) across `workers` threads (inline when <= 1).
+/// Deterministic for independent jobs: scheduling affects only timing.
+void parallel_for(std::size_t jobs, int workers,
+                  const std::function<void(std::size_t)>& fn) {
+  if (workers <= 1 || jobs <= 1) {
+    for (std::size_t i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::atomic<bool> failed{false};
+  auto work = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;  // fail fast
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers - 1));
+  for (int t = 0; t < workers - 1; ++t) pool.emplace_back(work);
+  work();
+  for (auto& thread : pool) thread.join();
+  if (error) std::rethrow_exception(error);
+}
+
+std::string join_errors(const std::vector<std::string>& errors) {
+  std::ostringstream os;
+  os << "invalid AttackConfig:";
+  for (const auto& e : errors) os << "\n  - " << e;
+  return os.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Built-in strategy factories
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Objective> make_degradation_objective(float success_accuracy) {
+  return std::make_unique<DegradationObjective>(success_accuracy);
+}
+std::unique_ptr<Objective> make_hiding_objective(int target_class, float success_psr) {
+  return std::make_unique<HidingObjective>(target_class, success_psr);
+}
+std::unique_ptr<Projection> make_clip_projection(const AttackConfig& config) {
+  return std::make_unique<ClipProjection>(config);
+}
+std::unique_ptr<Projection> make_tanh_projection(const AttackConfig& config) {
+  return std::make_unique<TanhProjection>(config);
+}
+std::unique_ptr<StepRule> make_sign_step(float step_size) {
+  return std::make_unique<SignStep>(step_size);
+}
+std::unique_ptr<StepRule> make_adam_step(float lr) {
+  return std::make_unique<AdamStep>(lr);
+}
+std::unique_ptr<StopCriterion> make_standard_stop(int max_steps, int stall_patience) {
+  return std::make_unique<StandardStop>(max_steps, stall_patience);
+}
+
+AttackRecipe AttackRecipe::from_config(const AttackConfig& config) {
+  AttackRecipe recipe;
+  recipe.make_objective = [config]() -> std::unique_ptr<Objective> {
+    if (config.objective == AttackObjective::kObjectHiding) {
+      return make_hiding_objective(config.target_class, config.success_psr);
+    }
+    return make_degradation_objective(config.success_accuracy);
+  };
+  recipe.make_projection = [config]() -> std::unique_ptr<Projection> {
+    return config.norm == AttackNorm::kBounded ? make_clip_projection(config)
+                                               : make_tanh_projection(config);
+  };
+  recipe.make_step_rule = [config]() -> std::unique_ptr<StepRule> {
+    return config.norm == AttackNorm::kBounded ? make_sign_step(config.step_size)
+                                               : make_adam_step(config.adam_lr);
+  };
+  recipe.make_stop = [config]() -> std::unique_ptr<StopCriterion> {
+    // The bounded attack never restarts (Algorithm 1); the unbounded
+    // CW loop uses the paper's stall-triggered restart.
+    return config.norm == AttackNorm::kBounded
+               ? make_standard_stop(config.steps, /*stall_patience=*/0)
+               : make_standard_stop(config.cw_steps, config.stall_patience);
+  };
+  return recipe;
+}
+
+// ---------------------------------------------------------------------------
+// AttackEngine
+// ---------------------------------------------------------------------------
+
+AttackEngine::AttackEngine(SegmentationModel& model, AttackConfig config)
+    : AttackEngine(model, std::move(config), AttackRecipe{}) {}
+
+AttackEngine::AttackEngine(SegmentationModel& model, AttackConfig config,
+                           AttackRecipe recipe)
+    : model_(model), config_(std::move(config)), recipe_(std::move(recipe)) {
+  const auto errors = config_.validate(model_.num_classes());
+  if (!errors.empty()) throw std::invalid_argument(join_errors(errors));
+  // Fill unset slots with the paper's default composition, so callers can
+  // override a single strategy without restating the rest.
+  AttackRecipe defaults = AttackRecipe::from_config(config_);
+  if (!recipe_.make_objective) recipe_.make_objective = std::move(defaults.make_objective);
+  if (!recipe_.make_projection) {
+    recipe_.make_projection = std::move(defaults.make_projection);
+  }
+  if (!recipe_.make_step_rule) recipe_.make_step_rule = std::move(defaults.make_step_rule);
+  if (!recipe_.make_stop) recipe_.make_stop = std::move(defaults.make_stop);
+}
+
+int AttackEngine::worker_count(std::size_t jobs) const {
+  int workers = num_threads_;
+  if (workers <= 0) {
+    workers = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers <= 0) workers = 1;
+  }
+  return static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(workers), std::max<std::size_t>(jobs, 1)));
+}
+
+void AttackEngine::emit(const AttackProgress& event) const {
+  if (!observer_) return;
+  const std::lock_guard<std::mutex> lock(observer_mutex_);
+  observer_(event);
+}
+
+AttackResult AttackEngine::run(const PointCloud& cloud) const {
+  return run(cloud, config_.seed);
+}
+
+AttackResult AttackEngine::run(const PointCloud& cloud, std::uint64_t seed) const {
+  ScopedParamFreeze freeze(model_);
+  return attack_cloud(cloud, seed, 0);
+}
+
+std::vector<AttackResult> AttackEngine::run_batch(
+    std::span<const PointCloud> clouds) const {
+  ScopedParamFreeze freeze(model_);
+  std::vector<AttackResult> results(clouds.size());
+  parallel_for(clouds.size(), worker_count(clouds.size()), [&](std::size_t i) {
+    results[i] = attack_cloud(clouds[i], config_.seed + i, i);
+  });
+  return results;
+}
+
+AttackResult AttackEngine::attack_cloud(const PointCloud& cloud, std::uint64_t seed,
+                                        std::size_t cloud_index) const {
+  if (cloud.empty()) throw std::invalid_argument("AttackEngine: empty cloud");
+  if (!config_.target_mask.empty() &&
+      config_.target_mask.size() != static_cast<size_t>(cloud.size())) {
+    throw std::invalid_argument("AttackEngine: target_mask size mismatch");
+  }
+  const auto mask = full_mask_if_empty(config_.target_mask, cloud.size());
+
+  Rng rng(seed);
+  auto objective = recipe_.make_objective();
+  auto projection = recipe_.make_projection();
+  auto step_rule = recipe_.make_step_rule();
+  auto stop = recipe_.make_stop();
+  projection->init(cloud, mask, rng);
+
+  int step = 0;
+  const int budget = stop->max_steps();
+  for (; step < budget; ++step) {
+    FieldDeltas deltas = projection->make_deltas();
+    ModelInput input{&cloud, deltas.color, deltas.coord};
+    Tensor logits = model_.forward(input, /*training=*/false);
+    const std::vector<int> pred = ops::argmax_rows(logits);
+    const double gain = objective->gain(pred, cloud, mask, model_.num_classes());
+    projection->observe_gain(gain);
+    emit({cloud_index, step, gain});
+
+    const StepAction action = stop->on_gain(step, gain, objective->converged(gain));
+    if (action == StepAction::kStop) break;
+
+    Tensor loss = projection->total_loss(objective->loss(logits, cloud, mask));
+    step_rule->zero_grad(*projection);
+    loss.backward();
+    step_rule->apply(*projection);
+    projection->project();
+    if (action == StepAction::kRestart) projection->random_restart(rng);
+    projection->post_step();
+  }
+
+  AttackResult result;
+  result.steps_used = step;
+  result.perturbed = apply_field_deltas(cloud, projection->final_color_delta(),
+                                        projection->final_coord_delta());
+  result.predictions = model_.predict(result.perturbed);
+  measure_perturbation(cloud, result.perturbed, result);
+  return result;
+}
+
+SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds) const {
+  if (clouds.empty()) throw std::invalid_argument("run_shared: no clouds");
+  // The shared-delta loop always runs sign-PGD on the color field, so it
+  // needs the bounded-attack fields even when config.norm is kUnbounded
+  // (where validate() does not require them).
+  if (config_.steps <= 0 || config_.epsilon <= 0.0f || config_.step_size <= 0.0f) {
+    throw std::invalid_argument(
+        "run_shared: needs positive steps, epsilon and step_size "
+        "(the shared delta is optimized with bounded sign-PGD)");
+  }
+  const std::int64_t n = clouds.front().size();
+  for (const auto& c : clouds) {
+    if (c.size() != n) {
+      throw std::invalid_argument("run_shared: clouds must be index-aligned");
+    }
+  }
+  ScopedParamFreeze freeze(model_);
+  const int workers = worker_count(clouds.size());
+
+  Rng rng(config_.seed);
+  SharedDeltaResult result;
+  result.color_delta.assign(static_cast<size_t>(n * 3), 0.0f);
+  for (auto& v : result.color_delta) v = rng.uniform(-config_.epsilon, config_.epsilon);
+
+  result.accuracy_before.resize(clouds.size());
+  parallel_for(clouds.size(), workers, [&](std::size_t ci) {
+    const auto pred = model_.predict(clouds[ci]);
+    result.accuracy_before[ci] =
+        evaluate_segmentation(pred, clouds[ci].labels, model_.num_classes()).accuracy;
+  });
+
+  // Min-max style weights: clouds whose hinge loss is still high (attack
+  // not yet succeeding) receive more of the shared update budget. The
+  // per-cloud gradient passes are independent and run on the pool; the
+  // weighted accumulation below walks clouds in index order, so the
+  // result is identical to sequential execution.
+  std::vector<double> weights(clouds.size(), 1.0);
+  std::vector<std::vector<float>> grads(clouds.size());
+  std::vector<float> losses(clouds.size(), 0.0f);
+  int step = 0;
+  for (; step < config_.steps; ++step) {
+    parallel_for(clouds.size(), workers, [&](std::size_t ci) {
+      Tensor delta = Tensor::from_data({n, 3}, result.color_delta);
+      delta.set_requires_grad(true);
+      ModelInput input{&clouds[ci], delta, {}};
+      Tensor logits = model_.forward(input, /*training=*/false);
+      Tensor loss = ops::hinge_margin_loss(logits, clouds[ci].labels, {},
+                                           /*targeted=*/false);
+      loss.backward();
+      losses[ci] = loss.item();
+      grads[ci] = delta.grad();
+    });
+
+    std::vector<double> grad_sum(static_cast<size_t>(n * 3), 0.0);
+    double weight_total = 0.0;
+    for (std::size_t ci = 0; ci < clouds.size(); ++ci) {
+      weights[ci] = 0.5 + static_cast<double>(losses[ci]) /
+                              (1.0 + static_cast<double>(losses[ci]));
+      weight_total += weights[ci];
+      const auto& g = grads[ci];
+      if (!g.empty()) {
+        for (size_t i = 0; i < grad_sum.size(); ++i) {
+          grad_sum[i] += weights[ci] * static_cast<double>(g[i]);
+        }
+      }
+    }
+    if (weight_total <= 0.0) break;
+    for (size_t i = 0; i < grad_sum.size(); ++i) {
+      const double g = grad_sum[i];
+      if (g == 0.0) continue;
+      float& d = result.color_delta[i];
+      // Descend the summed hinge (all clouds' margins shrink together).
+      d -= config_.step_size * (g > 0.0 ? 1.0f : -1.0f);
+      d = std::clamp(d, -config_.epsilon, config_.epsilon);
+    }
+  }
+  result.steps_used = step;
+
+  result.accuracy_after.resize(clouds.size());
+  parallel_for(clouds.size(), workers, [&](std::size_t ci) {
+    const PointCloud adv = apply_field_deltas(clouds[ci], &result.color_delta, nullptr);
+    const auto pred = model_.predict(adv);
+    result.accuracy_after[ci] =
+        evaluate_segmentation(pred, clouds[ci].labels, model_.num_classes()).accuracy;
+  });
+  return result;
+}
+
+}  // namespace pcss::core

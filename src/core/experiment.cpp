@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "pcss/core/attack_engine.h"
+
 namespace pcss::core {
 
 BestAvgWorst aggregate_cases(const std::vector<CaseRecord>& records) {
@@ -26,12 +28,17 @@ BestAvgWorst aggregate_cases(const std::vector<CaseRecord>& records) {
 std::vector<CaseRecord> attack_cases(SegmentationModel& model,
                                      const std::vector<PointCloud>& clouds,
                                      const AttackConfig& config, bool use_l0_distance) {
+  // Batched across the engine's worker pool; each cloud runs on its own
+  // RNG stream (config.seed + index), so records are deterministic
+  // regardless of thread count.
+  const AttackEngine engine(model, config);
+  const std::vector<AttackResult> results = engine.run_batch(clouds);
   std::vector<CaseRecord> records;
   records.reserve(clouds.size());
-  for (const PointCloud& cloud : clouds) {
-    const AttackResult result = run_attack(model, cloud, config);
+  for (size_t i = 0; i < clouds.size(); ++i) {
+    const AttackResult& result = results[i];
     const SegMetrics m =
-        evaluate_segmentation(result.predictions, cloud.labels, model.num_classes());
+        evaluate_segmentation(result.predictions, clouds[i].labels, model.num_classes());
     CaseRecord rec;
     if (use_l0_distance) {
       rec.distance = static_cast<double>(

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "pcss/core/metrics.h"
@@ -73,6 +74,15 @@ struct AttackConfig {
 
   int stall_patience = 10;  ///< CW random-restart trigger (paper §IV-B)
   std::uint64_t seed = 99;  ///< random init / restart noise
+
+  /// Checks every config-level invariant and returns a human-readable
+  /// description of each violation (empty = valid). `num_classes`, when
+  /// >= 0, additionally bounds target_class for object hiding;
+  /// `num_points`, when >= 0, checks the target_mask size against a
+  /// specific cloud. AttackEngine calls this at construction and throws
+  /// std::invalid_argument listing every problem at once.
+  std::vector<std::string> validate(int num_classes = -1,
+                                    std::int64_t num_points = -1) const;
 };
 
 /// Outcome of one attack run on one cloud.
@@ -90,6 +100,10 @@ struct AttackResult {
 /// Runs the configured attack against `model` on `cloud`.
 /// White-box: gradients are taken through the model's own input
 /// normalization (Eq. 7 handled per field inside).
+///
+/// Compatibility wrapper over pcss::core::AttackEngine (attack_engine.h):
+/// equivalent to `AttackEngine(model, config).run(cloud)`. Prefer the
+/// engine for batched, multi-cloud, or custom-strategy attacks.
 AttackResult run_attack(SegmentationModel& model, const PointCloud& cloud,
                         const AttackConfig& config);
 
@@ -101,5 +115,11 @@ AttackResult random_noise_baseline(SegmentationModel& model, const PointCloud& c
 /// The perturbation norms of a perturbed cloud relative to the original.
 void measure_perturbation(const PointCloud& original, const PointCloud& perturbed,
                           AttackResult& out);
+
+/// Applies raw-unit deltas (each [N*3] or null for "untouched") to a
+/// cloud; colors are clamped to [0,1] since invalid adversarial colors
+/// cannot exist physically.
+PointCloud apply_field_deltas(const PointCloud& cloud, const std::vector<float>* color_delta,
+                              const std::vector<float>* coord_delta);
 
 }  // namespace pcss::core

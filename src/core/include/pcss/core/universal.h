@@ -25,6 +25,9 @@ struct UniversalAttackResult {
 /// config.epsilon, config.step_size and config.seed; the objective is
 /// performance degradation (Eq. 11) summed over clouds with min-max
 /// weights. All clouds must have the same point count.
+///
+/// Compatibility wrapper over AttackEngine::run_shared (attack_engine.h),
+/// which batches the per-cloud gradient passes across a worker pool.
 UniversalAttackResult universal_color_attack(SegmentationModel& model,
                                              const std::vector<PointCloud>& clouds,
                                              const AttackConfig& config);

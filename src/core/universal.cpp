@@ -1,30 +1,18 @@
 #include "pcss/core/universal.h"
 
 #include <algorithm>
-#include <cmath>
 #include <stdexcept>
 
-#include "pcss/tensor/ops.h"
+#include "pcss/core/attack_engine.h"
 
 namespace pcss::core {
-
-namespace ops = pcss::tensor::ops;
 
 PointCloud apply_universal_delta(const PointCloud& cloud,
                                  const std::vector<float>& color_delta) {
   if (color_delta.size() != static_cast<size_t>(cloud.size() * 3)) {
     throw std::invalid_argument("apply_universal_delta: delta size mismatch");
   }
-  PointCloud out = cloud;
-  for (std::int64_t i = 0; i < cloud.size(); ++i) {
-    for (int a = 0; a < 3; ++a) {
-      out.colors[static_cast<size_t>(i)][a] =
-          std::clamp(cloud.colors[static_cast<size_t>(i)][a] +
-                         color_delta[static_cast<size_t>(i * 3 + a)],
-                     0.0f, 1.0f);
-    }
-  }
-  return out;
+  return apply_field_deltas(cloud, &color_delta, nullptr);
 }
 
 UniversalAttackResult universal_color_attack(SegmentationModel& model,
@@ -37,60 +25,12 @@ UniversalAttackResult universal_color_attack(SegmentationModel& model,
       throw std::invalid_argument("universal_color_attack: clouds must be index-aligned");
     }
   }
-  Rng rng(config.seed);
+  const SharedDeltaResult shared = AttackEngine(model, config).run_shared(clouds);
   UniversalAttackResult result;
-  result.color_delta.assign(static_cast<size_t>(n * 3), 0.0f);
-  for (auto& v : result.color_delta) v = rng.uniform(-config.epsilon, config.epsilon);
-
-  for (const auto& cloud : clouds) {
-    const auto pred = model.predict(cloud);
-    result.accuracy_before.push_back(
-        evaluate_segmentation(pred, cloud.labels, model.num_classes()).accuracy);
-  }
-
-  // Min-max style weights: clouds whose hinge loss is still high (attack
-  // not yet succeeding) receive more of the shared update budget.
-  std::vector<double> weights(clouds.size(), 1.0);
-  int step = 0;
-  for (; step < config.steps; ++step) {
-    std::vector<double> grad_sum(static_cast<size_t>(n * 3), 0.0);
-    double weight_total = 0.0;
-    for (size_t ci = 0; ci < clouds.size(); ++ci) {
-      Tensor delta = Tensor::from_data({n, 3}, result.color_delta);
-      delta.set_requires_grad(true);
-      ModelInput input{&clouds[ci], delta, {}};
-      Tensor logits = model.forward(input, /*training=*/false);
-      Tensor loss = ops::hinge_margin_loss(logits, clouds[ci].labels, {},
-                                           /*targeted=*/false);
-      loss.backward();
-      weights[ci] = 0.5 + static_cast<double>(loss.item()) /
-                              (1.0 + static_cast<double>(loss.item()));
-      weight_total += weights[ci];
-      const auto& g = delta.grad();
-      if (!g.empty()) {
-        for (size_t i = 0; i < grad_sum.size(); ++i) {
-          grad_sum[i] += weights[ci] * static_cast<double>(g[i]);
-        }
-      }
-    }
-    if (weight_total <= 0.0) break;
-    for (size_t i = 0; i < grad_sum.size(); ++i) {
-      const double g = grad_sum[i];
-      if (g == 0.0) continue;
-      float& d = result.color_delta[i];
-      // Descend the summed hinge (all clouds' margins shrink together).
-      d -= config.step_size * (g > 0.0 ? 1.0f : -1.0f);
-      d = std::clamp(d, -config.epsilon, config.epsilon);
-    }
-  }
-  result.steps_used = step;
-
-  for (const auto& cloud : clouds) {
-    const PointCloud adv = apply_universal_delta(cloud, result.color_delta);
-    const auto pred = model.predict(adv);
-    result.accuracy_after.push_back(
-        evaluate_segmentation(pred, cloud.labels, model.num_classes()).accuracy);
-  }
+  result.color_delta = shared.color_delta;
+  result.accuracy_before = shared.accuracy_before;
+  result.accuracy_after = shared.accuracy_after;
+  result.steps_used = shared.steps_used;
   return result;
 }
 

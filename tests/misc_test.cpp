@@ -5,6 +5,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "gradcheck.h"
 #include "pcss/core/experiment.h"
