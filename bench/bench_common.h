@@ -1,6 +1,5 @@
 #pragma once
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -11,41 +10,23 @@
 #include "pcss/core/attack_engine.h"
 #include "pcss/core/experiment.h"
 #include "pcss/core/metrics.h"
+#include "pcss/runner/perf.h"
+#include "pcss/runner/scale.h"
 #include "pcss/train/model_zoo.h"
 
 /// Shared configuration for the paper-reproduction benchmarks.
 ///
 /// Every bench binary regenerates one table or figure of the paper using
-/// the CPU-scaled substitutes documented in DESIGN.md. `PCSS_FAST=1`
-/// shrinks scene counts and step budgets for smoke runs; the defaults are
+/// the CPU-scaled substitutes documented in DESIGN.md. Sizing (including
+/// the PCSS_FAST smoke mode) lives in pcss::runner::Scale so the benches
+/// and the `pcss_run` CLI can never disagree about it; the defaults are
 /// tuned so the full suite finishes in tens of minutes on one core.
 namespace pcss::bench {
 
-struct Scale {
-  int scenes = 3;          ///< clouds per configuration
-  int hiding_scenes = 2;   ///< clouds per (model, source-class) pair
-  int pgd_steps = 50;      ///< paper: 50
-  int cw_steps = 150;      ///< paper: 1000 (CPU-scaled)
-  float eps_color = 0.15f; ///< bounded color clip
-  float eps_coord = 0.30f; ///< bounded coordinate clip (meters; about half
-                           ///< the mean point spacing of the 512-pt rooms)
-};
+using pcss::runner::fast_mode;
+using pcss::runner::Scale;
 
-inline bool fast_mode() {
-  const char* env = std::getenv("PCSS_FAST");
-  return env != nullptr && env[0] != '\0' && env[0] != '0';
-}
-
-inline Scale scale() {
-  Scale s;
-  if (fast_mode()) {
-    s.scenes = 2;
-    s.hiding_scenes = 1;
-    s.pgd_steps = 10;
-    s.cw_steps = 25;
-  }
-  return s;
-}
+inline Scale scale() { return pcss::runner::active_scale(); }
 
 inline pcss::core::AttackConfig base_config(pcss::core::AttackNorm norm,
                                             pcss::core::AttackField field) {
@@ -90,21 +71,12 @@ inline std::string figures_dir() {
 // -- Perf reporting -----------------------------------------------------------
 //
 // Every bench that drives attacks reports wall-clock and attack-step
-// throughput in a fixed "[perf]" format, so the batching speedup from
+// throughput in the fixed "[perf]" format of pcss/runner/perf.h (shared
+// with the pcss_run CLI), so the batching speedup from
 // AttackEngine::run_batch can be tracked across PRs by grepping logs.
 
-struct WallTimer {
-  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
-  double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  }
-};
-
-inline void print_perf(const char* label, double wall_seconds, long long attack_steps) {
-  std::printf("  [perf] %-32s %8.2fs wall  %7lld steps  %8.1f steps/s\n", label,
-              wall_seconds, attack_steps,
-              wall_seconds > 0.0 ? static_cast<double>(attack_steps) / wall_seconds : 0.0);
-}
+using pcss::runner::print_perf;
+using pcss::runner::WallTimer;
 
 /// Sum of steps_used over a batch of results.
 inline long long total_steps(const std::vector<pcss::core::AttackResult>& results) {

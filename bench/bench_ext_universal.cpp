@@ -2,56 +2,47 @@
 // attacker must fool a *sequence* of point clouds. Following the min-max
 // multi-input formulation the paper cites, this optimizes one shared
 // color perturbation across several scenes and compares it with
-// per-scene attacks and random noise.
+// per-scene attacks.
+//
+// Thin wrapper over the registered "ext_universal" spec: the runner
+// executes (or replays from artifacts/results/) and this binary only
+// formats. `pcss_run run ext_universal` shares the same cache.
 #include "bench_common.h"
+#include "pcss/runner/executor.h"
+#include "pcss/runner/zoo_provider.h"
 
-using namespace pcss::core;
-using pcss::bench::base_config;
 using pcss::bench::print_header;
 using pcss::bench::print_perf;
-using pcss::bench::scale;
-using pcss::bench::total_steps;
-using pcss::bench::WallTimer;
 
 int main() {
   print_header("Extension (SSVI-L4) - universal multi-cloud color perturbation, ResGCN");
-  pcss::train::ModelZoo zoo;
-  auto model = zoo.resgcn_indoor();
-  const auto clouds = zoo.indoor_eval_scenes(scale().scenes, 9700);
+  pcss::runner::ZooModelProvider provider;
+  pcss::runner::ResultStore store;
+  const pcss::runner::ExperimentSpec* spec = pcss::runner::find_spec("ext_universal");
+  const pcss::runner::RunOutcome out = pcss::runner::run_spec(*spec, provider, store);
 
-  AttackConfig config = base_config(AttackNorm::kBounded, AttackField::kColor);
-  const AttackEngine engine(*model, config);
-  WallTimer shared_timer;
-  const SharedDeltaResult universal = engine.run_shared(clouds);
-  print_perf("shared-delta run_shared", shared_timer.seconds(),
-             static_cast<long long>(universal.steps_used) *
-                 static_cast<long long>(clouds.size()));
+  const pcss::runner::ModelSection& resgcn = out.document.models.front();
+  const pcss::runner::VariantResult& universal =
+      pcss::runner::find_variant(resgcn, "universal");
+  const pcss::runner::VariantResult& per_scene =
+      pcss::runner::find_variant(resgcn, "per-scene");
 
+  const auto n = static_cast<double>(out.document.scene_count);
   double before = 0.0, after = 0.0;
-  for (size_t i = 0; i < clouds.size(); ++i) {
-    before += universal.accuracy_before[i];
-    after += universal.accuracy_after[i];
-  }
-  before /= static_cast<double>(clouds.size());
-  after /= static_cast<double>(clouds.size());
+  for (double a : universal.accuracy_before) before += a;
+  for (double a : universal.accuracy_after) after += a;
+  before /= n;
+  after /= n;
 
-  // Per-scene (non-universal) attacks as the upper bound.
-  WallTimer batch_timer;
-  const std::vector<AttackResult> results = engine.run_batch(clouds);
-  print_perf("per-scene run_batch", batch_timer.seconds(), total_steps(results));
-  double per_scene = 0.0;
-  for (size_t i = 0; i < clouds.size(); ++i) {
-    per_scene +=
-        evaluate_segmentation(results[i].predictions, clouds[i].labels, 13).accuracy;
-  }
-  per_scene /= static_cast<double>(clouds.size());
-
-  std::printf("\n  mean accuracy over %zu scenes:\n", clouds.size());
+  print_perf(out.cache_hit ? "ext_universal run_spec (cache hit)" : "ext_universal run_spec",
+             out.wall_seconds, out.attack_steps);
+  std::printf("\n  mean accuracy over %d scenes:\n", out.document.scene_count);
   std::printf("  clean                    %6.2f%%\n", 100.0 * before);
   std::printf("  one shared perturbation  %6.2f%%\n", 100.0 * after);
-  std::printf("  per-scene perturbations  %6.2f%%\n", 100.0 * per_scene);
-  std::printf("  (universal steps used: %d, epsilon=%.2f)\n", universal.steps_used,
-              config.epsilon);
+  std::printf("  per-scene perturbations  %6.2f%%\n", 100.0 * per_scene.aggregate.avg.accuracy);
+  std::printf("  (universal steps used: %d, epsilon=%.2f)\n", universal.shared_steps,
+              out.document.scale.eps_color);
+  std::printf("  result document: %s\n", out.path.c_str());
   std::printf("\nExpected shape: the shared perturbation sits between clean and the\n"
               "per-scene attacks — one delta transfers across scenes, as the 2D\n"
               "multi-image result the paper cites predicts for 3D.\n");

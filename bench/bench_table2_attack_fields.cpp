@@ -3,37 +3,36 @@
 // {unbounded, bounded}, reporting L0 distance (Eq. 8) and best/avg/worst
 // accuracy/aIoU. The paper's headline: color is the most vulnerable field
 // (Finding 1) because coordinate perturbation disturbs point sampling.
+//
+// Thin wrapper over the registered "table2" spec: the runner executes
+// (or replays from artifacts/results/) and this binary only formats.
+// `pcss_run run table2` produces the same numbers from the same cache.
 #include "bench_common.h"
+#include "pcss/runner/executor.h"
+#include "pcss/runner/zoo_provider.h"
 
-using namespace pcss::core;
-using pcss::bench::base_config;
 using pcss::bench::print_baw;
 using pcss::bench::print_header;
-using pcss::bench::scale;
+using pcss::bench::print_perf;
 
 int main() {
   print_header("Table II - attacked fields (color vs coordinate vs both), ResGCN");
-  pcss::train::ModelZoo zoo;
-  auto model = zoo.resgcn_indoor();
-  const auto clouds = zoo.indoor_eval_scenes(scale().scenes);
+  pcss::runner::ZooModelProvider provider;
+  pcss::runner::ResultStore store;
+  const pcss::runner::ExperimentSpec* spec = pcss::runner::find_spec("table2");
+  const pcss::runner::RunOutcome out = pcss::runner::run_spec(*spec, provider, store);
 
-  const SegMetrics clean = clean_metrics(*model, clouds);
-  std::printf("\nClean baseline: Acc=%.2f%%  aIoU=%.2f%%  (%d scenes, %lld pts each)\n",
-              100.0 * clean.accuracy, 100.0 * clean.aiou, scale().scenes,
-              static_cast<long long>(clouds.front().size()));
-
-  const AttackField fields[] = {AttackField::kColor, AttackField::kCoordinate,
-                                AttackField::kBoth};
-  const AttackNorm norms[] = {AttackNorm::kUnbounded, AttackNorm::kBounded};
-  for (AttackField field : fields) {
-    for (AttackNorm norm : norms) {
-      AttackConfig config = base_config(norm, field);
-      config.success_accuracy = 1.0f / 13.0f;  // random-guess threshold, S3DIS
-      const auto records = attack_cases(*model, clouds, config, /*use_l0_distance=*/true);
-      std::printf("\n[%s / %s]\n", to_string(field), to_string(norm));
-      print_baw(aggregate_cases(records), "L0");
-    }
+  const pcss::runner::ModelSection& resgcn = out.document.models.front();
+  std::printf("\nClean baseline: Acc=%.2f%%  aIoU=%.2f%%  (%d scenes)\n",
+              100.0 * resgcn.clean_accuracy, 100.0 * resgcn.clean_aiou,
+              out.document.scene_count);
+  for (const pcss::runner::VariantResult& vr : resgcn.variants) {
+    std::printf("\n[%s]\n", vr.label.c_str());
+    print_baw(vr.aggregate, "L0");
   }
+  print_perf(out.cache_hit ? "table2 run_spec (cache hit)" : "table2 run_spec",
+             out.wall_seconds, out.attack_steps);
+  std::printf("  result document: %s\n", out.path.c_str());
   std::printf("\nExpected shape (paper Table II): color reaches the lowest accuracy\n"
               "at the smallest L0; coordinate and both are weaker because point\n"
               "sampling scrambles the neighborhoods the gradient relied on.\n");

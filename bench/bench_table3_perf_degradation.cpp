@@ -2,91 +2,39 @@
 // PointNet++, ResGCN and RandLA-Net on indoor scenes, comparing the
 // random-noise baseline (at the unbounded attack's L2) with the
 // norm-unbounded and norm-bounded attacks.
-#include <memory>
-
+//
+// Thin wrapper over the registered "table3" spec: the runner executes
+// (or replays from artifacts/results/) and this binary only formats.
+// `pcss_run run table3` produces the same numbers from the same cache.
 #include "bench_common.h"
+#include "pcss/runner/executor.h"
+#include "pcss/runner/zoo_provider.h"
 
-using namespace pcss::core;
-using pcss::bench::base_config;
 using pcss::bench::print_baw;
 using pcss::bench::print_header;
 using pcss::bench::print_perf;
-using pcss::bench::scale;
-using pcss::bench::total_steps;
-using pcss::bench::WallTimer;
-
-namespace {
-
-void run_for_model(SegmentationModel& model, const std::vector<PointCloud>& clouds) {
-  const SegMetrics clean = clean_metrics(model, clouds);
-  std::printf("\n--- %s (clean Acc=%.2f%%, aIoU=%.2f%%) ---\n", model.name().c_str(),
-              100.0 * clean.accuracy, 100.0 * clean.aiou);
-
-  // Norm-unbounded first; its per-scene L2 calibrates the noise baseline,
-  // as the paper matches baseline and attack at the same distance. The
-  // whole batch is scheduled across the engine's worker pool.
-  AttackConfig unbounded = base_config(AttackNorm::kUnbounded, AttackField::kColor);
-  unbounded.success_accuracy = 1.0f / 13.0f;
-  const AttackEngine unb_engine(model, unbounded);
-  WallTimer unb_timer;
-  const std::vector<AttackResult> unb_results = unb_engine.run_batch(clouds);
-  print_perf("norm-unbounded run_batch", unb_timer.seconds(), total_steps(unb_results));
-
-  std::vector<CaseRecord> unb_records, noise_records;
-  for (size_t i = 0; i < clouds.size(); ++i) {
-    const AttackResult& adv = unb_results[i];
-    const SegMetrics m =
-        evaluate_segmentation(adv.predictions, clouds[i].labels, model.num_classes());
-    unb_records.push_back({adv.l2_color, m.accuracy, m.aiou});
-
-    const AttackResult noise =
-        random_noise_baseline(model, clouds[i], adv.l2_color, 7000 + i);
-    const SegMetrics mn =
-        evaluate_segmentation(noise.predictions, clouds[i].labels, model.num_classes());
-    noise_records.push_back({noise.l2_color, mn.accuracy, mn.aiou});
-  }
-
-  AttackConfig bounded = base_config(AttackNorm::kBounded, AttackField::kColor);
-  bounded.success_accuracy = 1.0f / 13.0f;
-  const AttackEngine bnd_engine(model, bounded);
-  WallTimer bnd_timer;
-  const std::vector<AttackResult> bnd_results = bnd_engine.run_batch(clouds);
-  print_perf("norm-bounded run_batch", bnd_timer.seconds(), total_steps(bnd_results));
-  std::vector<CaseRecord> bnd_records;
-  for (size_t i = 0; i < clouds.size(); ++i) {
-    const SegMetrics m = evaluate_segmentation(bnd_results[i].predictions,
-                                               clouds[i].labels, model.num_classes());
-    bnd_records.push_back({bnd_results[i].l2_color, m.accuracy, m.aiou});
-  }
-
-  std::printf("[Random noise]\n");
-  print_baw(aggregate_cases(noise_records), "L2");
-  std::printf("[Norm-unbounded]\n");
-  print_baw(aggregate_cases(unb_records), "L2");
-  std::printf("[Norm-bounded]\n");
-  print_baw(aggregate_cases(bnd_records), "L2");
-}
-
-}  // namespace
 
 int main() {
   print_header(
       "Table III - performance degradation on PointNet++/ResGCN/RandLA-Net (color, L2)");
-  pcss::train::ModelZoo zoo;
-  const auto clouds = zoo.indoor_eval_scenes(scale().scenes);
+  pcss::runner::ZooModelProvider provider;
+  pcss::runner::ResultStore store;
+  const pcss::runner::ExperimentSpec* spec = pcss::runner::find_spec("table3");
+  const pcss::runner::RunOutcome out = pcss::runner::run_spec(*spec, provider, store);
 
-  {
-    auto m = zoo.pointnet2_indoor();
-    run_for_model(*m, clouds);
+  for (const pcss::runner::ModelSection& section : out.document.models) {
+    std::printf("\n--- %s (clean Acc=%.2f%%, aIoU=%.2f%%) ---\n", section.model.c_str(),
+                100.0 * section.clean_accuracy, 100.0 * section.clean_aiou);
+    std::printf("[Random noise]\n");
+    print_baw(pcss::runner::find_variant(section, "random-noise").aggregate, "L2");
+    std::printf("[Norm-unbounded]\n");
+    print_baw(pcss::runner::find_variant(section, "norm-unbounded").aggregate, "L2");
+    std::printf("[Norm-bounded]\n");
+    print_baw(pcss::runner::find_variant(section, "norm-bounded").aggregate, "L2");
   }
-  {
-    auto m = zoo.resgcn_indoor();
-    run_for_model(*m, clouds);
-  }
-  {
-    auto m = zoo.randla_indoor();
-    run_for_model(*m, clouds);
-  }
+  print_perf(out.cache_hit ? "table3 run_spec (cache hit)" : "table3 run_spec",
+             out.wall_seconds, out.attack_steps);
+  std::printf("  result document: %s\n", out.path.c_str());
   std::printf("\nExpected shape (paper Table III): both optimized attacks collapse\n"
               "accuracy toward random guessing while random noise barely moves it;\n"
               "norm-unbounded wins on the hardest (worst-case) scenes.\n");

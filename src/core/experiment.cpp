@@ -25,6 +25,17 @@ BestAvgWorst aggregate_cases(const std::vector<CaseRecord>& records) {
   return out;
 }
 
+double case_distance(const AttackConfig& config, bool use_l0_distance,
+                     const AttackResult& result) {
+  if (use_l0_distance) {
+    return static_cast<double>(config.field == AttackField::kColor ? result.l0_color
+                               : config.field == AttackField::kCoordinate
+                                   ? result.l0_coord
+                                   : std::max(result.l0_color, result.l0_coord));
+  }
+  return config.field == AttackField::kCoordinate ? result.l2_coord : result.l2_color;
+}
+
 std::vector<CaseRecord> attack_cases(SegmentationModel& model,
                                      const std::vector<PointCloud>& clouds,
                                      const AttackConfig& config, bool use_l0_distance) {
@@ -40,16 +51,7 @@ std::vector<CaseRecord> attack_cases(SegmentationModel& model,
     const SegMetrics m =
         evaluate_segmentation(result.predictions, clouds[i].labels, model.num_classes());
     CaseRecord rec;
-    if (use_l0_distance) {
-      rec.distance = static_cast<double>(
-          config.field == AttackField::kColor ? result.l0_color
-          : config.field == AttackField::kCoordinate
-              ? result.l0_coord
-              : std::max(result.l0_color, result.l0_coord));
-    } else {
-      rec.distance = config.field == AttackField::kCoordinate ? result.l2_coord
-                                                              : result.l2_color;
-    }
+    rec.distance = case_distance(config, use_l0_distance, result);
     rec.accuracy = m.accuracy;
     rec.aiou = m.aiou;
     records.push_back(rec);

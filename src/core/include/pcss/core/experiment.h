@@ -28,6 +28,12 @@ struct BestAvgWorst {
 
 BestAvgWorst aggregate_cases(const std::vector<CaseRecord>& records);
 
+/// The reported distance for one attacked cloud: Eq. 8 L0 or Eq. 6 L2
+/// over the attacked field(s) of `config`. Shared by attack_cases and
+/// the runner's result documents so the selection policy cannot drift.
+double case_distance(const AttackConfig& config, bool use_l0_distance,
+                     const AttackResult& result);
+
 /// Runs `config` on every cloud and collects per-cloud records.
 /// `use_l0_distance` selects Eq. 8 (count of changed points) instead of
 /// Eq. 6 (L2) as the reported distance, as Table II does.

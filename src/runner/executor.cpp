@@ -1,0 +1,450 @@
+#include "pcss/runner/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <span>
+#include <stdexcept>
+
+#include "pcss/core/attack_engine.h"
+#include "pcss/runner/perf.h"
+
+namespace pcss::runner {
+
+using pcss::core::AttackConfig;
+using pcss::core::AttackEngine;
+using pcss::core::AttackResult;
+using pcss::core::BestAvgWorst;
+using pcss::core::CaseRecord;
+using pcss::core::SegMetrics;
+using pcss::core::SharedDeltaResult;
+
+namespace {
+
+VariantKind variant_kind_from_string(const std::string& kind) {
+  if (kind == "per_cloud") return VariantKind::kPerCloud;
+  if (kind == "noise_baseline") return VariantKind::kNoiseBaseline;
+  if (kind == "shared_delta") return VariantKind::kSharedDelta;
+  throw std::runtime_error("RunDocument: unknown variant kind '" + kind + "'");
+}
+
+Json record_to_json(const CaseRecord& record) {
+  Json j = Json::object();
+  j.set("distance", record.distance);
+  j.set("accuracy", record.accuracy);
+  j.set("aiou", record.aiou);
+  return j;
+}
+
+CaseRecord record_from_json(const Json& j) {
+  return {j.at("distance").number(), j.at("accuracy").number(), j.at("aiou").number()};
+}
+
+Json row_to_json(const CaseRow& row) {
+  Json j = record_to_json(row.record);
+  j.set("l2_color", row.l2_color);
+  j.set("steps", row.steps);
+  return j;
+}
+
+CaseRow row_from_json(const Json& j) {
+  CaseRow row;
+  row.record = record_from_json(j);
+  row.l2_color = j.at("l2_color").number();
+  row.steps = static_cast<long long>(j.at("steps").number());
+  return row;
+}
+
+Json doubles_to_json(const std::vector<double>& values) {
+  Json arr = Json::array();
+  for (double v : values) arr.push(v);
+  return arr;
+}
+
+std::vector<double> doubles_from_json(const Json& arr) {
+  std::vector<double> out;
+  out.reserve(arr.size());
+  for (const Json& v : arr.items()) out.push_back(v.number());
+  return out;
+}
+
+/// Everything one shard computes, in storable form. Per-cloud kinds fill
+/// `rows`; the shared-delta kind fills the remaining fields.
+struct ShardData {
+  std::vector<CaseRow> rows;
+  std::vector<double> accuracy_before, accuracy_after;
+  double delta_l2 = 0.0;
+  int steps_used = 0;
+};
+
+Json shard_to_json(const ShardData& shard, VariantKind kind) {
+  Json j = Json::object();
+  if (kind == VariantKind::kSharedDelta) {
+    j.set("accuracy_before", doubles_to_json(shard.accuracy_before));
+    j.set("accuracy_after", doubles_to_json(shard.accuracy_after));
+    j.set("delta_l2", shard.delta_l2);
+    j.set("steps_used", shard.steps_used);
+  } else {
+    Json cases = Json::array();
+    for (const CaseRow& row : shard.rows) cases.push(row_to_json(row));
+    j.set("cases", std::move(cases));
+  }
+  return j;
+}
+
+ShardData shard_from_json(const Json& j, VariantKind kind) {
+  ShardData shard;
+  if (kind == VariantKind::kSharedDelta) {
+    shard.accuracy_before = doubles_from_json(j.at("accuracy_before"));
+    shard.accuracy_after = doubles_from_json(j.at("accuracy_after"));
+    shard.delta_l2 = j.at("delta_l2").number();
+    shard.steps_used = static_cast<int>(j.at("steps_used").number());
+  } else {
+    for (const Json& row : j.at("cases").items()) shard.rows.push_back(row_from_json(row));
+  }
+  return shard;
+}
+
+/// Executes (or replays from the shard cache) the clouds [offset,
+/// offset+count) of one per-cloud variant.
+ShardData compute_attack_shard(SegmentationModel& model, const AttackConfig& config,
+                               std::span<const PointCloud> clouds, std::size_t offset,
+                               std::size_t count, bool use_l0, int num_threads) {
+  AttackConfig shard_config = config;
+  // Seed offset keeps cloud g on RNG stream seed+g under any sharding:
+  // run_batch seeds cloud i of the shard with shard_config.seed + i.
+  shard_config.seed += offset;
+  AttackEngine engine(model, shard_config);
+  engine.set_num_threads(num_threads);
+  const std::vector<AttackResult> results =
+      engine.run_batch(clouds.subspan(offset, count));
+  ShardData shard;
+  shard.rows.reserve(count);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PointCloud& cloud = clouds[offset + i];
+    const SegMetrics m = pcss::core::evaluate_segmentation(results[i].predictions,
+                                                           cloud.labels, model.num_classes());
+    CaseRow row;
+    row.record = {pcss::core::case_distance(config, use_l0, results[i]), m.accuracy,
+                  m.aiou};
+    row.l2_color = results[i].l2_color;
+    row.steps = results[i].steps_used;
+    shard.rows.push_back(row);
+  }
+  return shard;
+}
+
+ShardData compute_noise_shard(SegmentationModel& model, const AttackVariant& variant,
+                              const AttackConfig& config, std::span<const PointCloud> clouds,
+                              std::size_t offset, std::size_t count, bool use_l0,
+                              const std::vector<double>& calibration_l2) {
+  ShardData shard;
+  shard.rows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t g = offset + i;
+    const AttackResult noise = pcss::core::random_noise_baseline(
+        model, clouds[g], calibration_l2[g], variant.noise_seed_base + g);
+    const SegMetrics m = pcss::core::evaluate_segmentation(noise.predictions,
+                                                           clouds[g].labels,
+                                                           model.num_classes());
+    CaseRow row;
+    // Same distance selection as the attack rows (the noise perturbs
+    // the color field), so an L0 spec never mixes metrics in a column.
+    row.record = {pcss::core::case_distance(config, use_l0, noise), m.accuracy, m.aiou};
+    row.l2_color = noise.l2_color;
+    row.steps = 0;
+    shard.rows.push_back(row);
+  }
+  return shard;
+}
+
+ShardData compute_shared_shard(SegmentationModel& model, const AttackConfig& config,
+                               std::span<const PointCloud> clouds, int num_threads) {
+  AttackEngine engine(model, config);
+  engine.set_num_threads(num_threads);
+  const SharedDeltaResult result = engine.run_shared(clouds);
+  ShardData shard;
+  shard.accuracy_before = result.accuracy_before;
+  shard.accuracy_after = result.accuracy_after;
+  shard.steps_used = result.steps_used;
+  double sum_sq = 0.0;
+  for (float d : result.color_delta) sum_sq += static_cast<double>(d) * d;
+  shard.delta_l2 = std::sqrt(sum_sq);
+  return shard;
+}
+
+}  // namespace
+
+Json document_to_json(const RunDocument& doc) {
+  Json j = Json::object();
+  j.set("spec", doc.spec);
+  j.set("key", doc.key);
+  Json scale = Json::object();
+  scale.set("scenes", doc.scale.scenes);
+  scale.set("hiding_scenes", doc.scale.hiding_scenes);
+  scale.set("pgd_steps", doc.scale.pgd_steps);
+  scale.set("cw_steps", doc.scale.cw_steps);
+  scale.set("eps_color", static_cast<double>(doc.scale.eps_color));
+  scale.set("eps_coord", static_cast<double>(doc.scale.eps_coord));
+  j.set("scale", std::move(scale));
+  j.set("dataset", doc.dataset);
+  // As a string: a 64-bit seed does not survive a round-trip through a
+  // JSON double (2^53 mantissa), and the document must record the seed
+  // the run actually used.
+  j.set("scene_seed", std::to_string(doc.scene_seed));
+  j.set("scene_count", doc.scene_count);
+  j.set("l0_distance", doc.use_l0_distance);
+  Json models = Json::array();
+  for (const ModelSection& section : doc.models) {
+    Json m = Json::object();
+    m.set("model", section.model);
+    m.set("clean_accuracy", section.clean_accuracy);
+    m.set("clean_aiou", section.clean_aiou);
+    Json variants = Json::array();
+    for (const VariantResult& vr : section.variants) {
+      Json v = Json::object();
+      v.set("label", vr.label);
+      v.set("kind", to_string(vr.kind));
+      if (vr.kind == VariantKind::kSharedDelta) {
+        v.set("accuracy_before", doubles_to_json(vr.accuracy_before));
+        v.set("accuracy_after", doubles_to_json(vr.accuracy_after));
+        v.set("delta_l2", vr.shared_delta_l2);
+        v.set("steps_used", vr.shared_steps);
+      } else {
+        Json cases = Json::array();
+        for (const CaseRow& row : vr.cases) cases.push(row_to_json(row));
+        v.set("cases", std::move(cases));
+        Json agg = Json::object();
+        agg.set("best", record_to_json(vr.aggregate.best));
+        agg.set("avg", record_to_json(vr.aggregate.avg));
+        agg.set("worst", record_to_json(vr.aggregate.worst));
+        v.set("aggregate", std::move(agg));
+        v.set("total_steps", vr.total_steps);
+      }
+      variants.push(std::move(v));
+    }
+    m.set("variants", std::move(variants));
+    models.push(std::move(m));
+  }
+  j.set("models", std::move(models));
+  return j;
+}
+
+RunDocument document_from_json(const Json& j) {
+  RunDocument doc;
+  doc.spec = j.at("spec").str();
+  doc.key = j.at("key").str();
+  const Json& scale = j.at("scale");
+  doc.scale.scenes = static_cast<int>(scale.at("scenes").number());
+  doc.scale.hiding_scenes = static_cast<int>(scale.at("hiding_scenes").number());
+  doc.scale.pgd_steps = static_cast<int>(scale.at("pgd_steps").number());
+  doc.scale.cw_steps = static_cast<int>(scale.at("cw_steps").number());
+  doc.scale.eps_color = static_cast<float>(scale.at("eps_color").number());
+  doc.scale.eps_coord = static_cast<float>(scale.at("eps_coord").number());
+  doc.dataset = j.at("dataset").str();
+  doc.scene_seed = std::stoull(j.at("scene_seed").str());
+  doc.scene_count = static_cast<int>(j.at("scene_count").number());
+  doc.use_l0_distance = j.at("l0_distance").boolean();
+  for (const Json& m : j.at("models").items()) {
+    ModelSection section;
+    section.model = m.at("model").str();
+    section.clean_accuracy = m.at("clean_accuracy").number();
+    section.clean_aiou = m.at("clean_aiou").number();
+    for (const Json& v : m.at("variants").items()) {
+      VariantResult vr;
+      vr.label = v.at("label").str();
+      vr.kind = variant_kind_from_string(v.at("kind").str());
+      if (vr.kind == VariantKind::kSharedDelta) {
+        vr.accuracy_before = doubles_from_json(v.at("accuracy_before"));
+        vr.accuracy_after = doubles_from_json(v.at("accuracy_after"));
+        vr.shared_delta_l2 = v.at("delta_l2").number();
+        vr.shared_steps = static_cast<int>(v.at("steps_used").number());
+      } else {
+        for (const Json& row : v.at("cases").items()) vr.cases.push_back(row_from_json(row));
+        const Json& agg = v.at("aggregate");
+        vr.aggregate.best = record_from_json(agg.at("best"));
+        vr.aggregate.avg = record_from_json(agg.at("avg"));
+        vr.aggregate.worst = record_from_json(agg.at("worst"));
+        vr.total_steps = static_cast<long long>(v.at("total_steps").number());
+      }
+      section.variants.push_back(std::move(vr));
+    }
+    doc.models.push_back(std::move(section));
+  }
+  return doc;
+}
+
+RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
+                    ResultStore& store, const RunOptions& options) {
+  WallTimer timer;
+  const std::string key = run_key(spec, options.scale, provider);
+  const std::string doc_key = key + ".json";
+
+  RunOutcome out;
+  out.path = store.path_for(doc_key);
+
+  if (!options.force) {
+    if (auto cached = store.get(doc_key)) {
+      // A document that no longer parses (hand-edited, or written by a
+      // different format revision) is a miss, not a fatal error: fall
+      // through and recompute under the same key.
+      try {
+        out.document = document_from_json(Json::parse(*cached));
+        out.json = std::move(*cached);
+        out.cache_hit = true;
+        out.wall_seconds = timer.seconds();
+        return out;
+      } catch (const std::exception&) {  // parse or field errors (incl. stoull)
+        out.document = RunDocument{};
+        out.json.clear();
+      }
+    }
+  }
+
+  const int shard_size = std::max(1, options.shard_size);
+  const std::vector<PointCloud> clouds =
+      provider.scenes(spec.dataset, options.scale.scenes, spec.scene_seed);
+  const std::span<const PointCloud> cloud_span(clouds);
+
+  RunDocument doc;
+  doc.spec = spec.name;
+  doc.key = key;
+  doc.scale = options.scale;
+  doc.dataset = to_string(spec.dataset);
+  doc.scene_seed = spec.scene_seed;
+  doc.scene_count = static_cast<int>(clouds.size());
+  doc.use_l0_distance = spec.use_l0_distance;
+
+  for (std::size_t mi = 0; mi < spec.models.size(); ++mi) {
+    const auto model = provider.model(spec.models[mi]);
+    ModelSection section;
+    section.model = to_string(spec.models[mi]);
+    const SegMetrics clean = pcss::core::clean_metrics(*model, clouds);
+    section.clean_accuracy = clean.accuracy;
+    section.clean_aiou = clean.aiou;
+
+    // Per-cloud L2 of each finished variant, for noise calibration.
+    std::map<std::string, std::vector<double>> l2_by_label;
+
+    for (std::size_t vi = 0; vi < spec.variants.size(); ++vi) {
+      const AttackVariant& variant = spec.variants[vi];
+      const AttackConfig config = scaled_config(variant, options.scale);
+      VariantResult vr;
+      vr.label = variant.label;
+      vr.kind = variant.kind;
+
+      const std::vector<double>* calibration = nullptr;
+      if (variant.kind == VariantKind::kNoiseBaseline) {
+        auto it = l2_by_label.find(variant.calibrate_from);
+        if (it == l2_by_label.end()) {
+          throw std::invalid_argument("run_spec: variant '" + variant.label +
+                                      "' calibrates from '" + variant.calibrate_from +
+                                      "', which is not an earlier variant of spec '" +
+                                      spec.name + "'");
+        }
+        calibration = &it->second;
+      }
+
+      // The shared-delta mode optimizes jointly over all clouds: one
+      // indivisible unit of work, cached as a single shard.
+      const std::size_t stride =
+          variant.kind == VariantKind::kSharedDelta ? clouds.size()
+                                                    : static_cast<std::size_t>(shard_size);
+      for (std::size_t offset = 0; offset < clouds.size(); offset += stride) {
+        const std::size_t count = std::min(stride, clouds.size() - offset);
+        const std::string shard_key = "shards/" + key + "-m" + std::to_string(mi) + "-v" +
+                                      std::to_string(vi) + "-o" + std::to_string(offset) +
+                                      "-n" + std::to_string(count) + ".json";
+        ++out.shards_total;
+        ShardData shard;
+        bool from_cache = false;
+        if (!options.force) {
+          if (auto cached = store.get(shard_key)) {
+            try {
+              shard = shard_from_json(Json::parse(*cached), variant.kind);
+              from_cache = true;
+              ++out.shards_from_cache;
+            } catch (const std::exception&) {
+              shard = ShardData{};  // unreadable shard: recompute it
+            }
+          }
+        }
+        if (!from_cache) {
+          switch (variant.kind) {
+            case VariantKind::kPerCloud:
+              shard = compute_attack_shard(*model, config, cloud_span, offset, count,
+                                           spec.use_l0_distance, options.num_threads);
+              break;
+            case VariantKind::kNoiseBaseline:
+              shard = compute_noise_shard(*model, variant, config, cloud_span, offset,
+                                          count, spec.use_l0_distance, *calibration);
+              break;
+            case VariantKind::kSharedDelta:
+              shard = compute_shared_shard(*model, config, cloud_span, options.num_threads);
+              break;
+          }
+          store.put(shard_key, shard_to_json(shard, variant.kind).dump() + "\n");
+          if (variant.kind == VariantKind::kSharedDelta) {
+            out.attack_steps += static_cast<long long>(shard.steps_used) *
+                                static_cast<long long>(count);
+          } else {
+            for (const CaseRow& row : shard.rows) out.attack_steps += row.steps;
+          }
+        }
+        if (variant.kind == VariantKind::kSharedDelta) {
+          vr.accuracy_before = std::move(shard.accuracy_before);
+          vr.accuracy_after = std::move(shard.accuracy_after);
+          vr.shared_delta_l2 = shard.delta_l2;
+          vr.shared_steps = shard.steps_used;
+        } else {
+          vr.cases.insert(vr.cases.end(), shard.rows.begin(), shard.rows.end());
+        }
+      }
+
+      if (variant.kind != VariantKind::kSharedDelta) {
+        std::vector<CaseRecord> records;
+        std::vector<double> l2s;
+        records.reserve(vr.cases.size());
+        l2s.reserve(vr.cases.size());
+        for (const CaseRow& row : vr.cases) {
+          records.push_back(row.record);
+          l2s.push_back(row.l2_color);
+          vr.total_steps += row.steps;
+        }
+        vr.aggregate = pcss::core::aggregate_cases(records);
+        l2_by_label.emplace(vr.label, std::move(l2s));
+      }
+      section.variants.push_back(std::move(vr));
+    }
+    doc.models.push_back(std::move(section));
+  }
+
+  out.document = std::move(doc);
+  out.json = document_to_json(out.document).dump() + "\n";
+  store.put(doc_key, out.json);
+  out.wall_seconds = timer.seconds();
+
+  Json perf = Json::object();
+  perf.set("wall_seconds", out.wall_seconds);
+  perf.set("attack_steps", out.attack_steps);
+  perf.set("steps_per_second",
+           out.wall_seconds > 0.0 ? static_cast<double>(out.attack_steps) / out.wall_seconds
+                                  : 0.0);
+  perf.set("shards_total", out.shards_total);
+  perf.set("shards_from_cache", out.shards_from_cache);
+  perf.set("num_threads", options.num_threads);
+  perf.set("shard_size", shard_size);
+  perf.set("fast", options.fast);
+  store.put(key + ".perf.json", perf.dump() + "\n");
+  return out;
+}
+
+const VariantResult& find_variant(const ModelSection& section, const std::string& label) {
+  for (const VariantResult& vr : section.variants) {
+    if (vr.label == label) return vr;
+  }
+  throw std::out_of_range("find_variant: no variant labelled '" + label + "' in model '" +
+                          section.model + "'");
+}
+
+}  // namespace pcss::runner

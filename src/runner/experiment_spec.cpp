@@ -1,0 +1,235 @@
+#include "pcss/runner/experiment_spec.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "pcss/runner/hash.h"
+
+namespace pcss::runner {
+
+using pcss::core::AttackField;
+using pcss::core::AttackNorm;
+using pcss::core::AttackObjective;
+
+const char* to_string(ModelId id) {
+  switch (id) {
+    case ModelId::kPointNet2Indoor: return "pointnet2_indoor";
+    case ModelId::kResGCNIndoor: return "resgcn_indoor";
+    case ModelId::kRandLAIndoor: return "randla_indoor";
+    case ModelId::kRandLAOutdoor: return "randla_outdoor";
+  }
+  return "?";
+}
+
+const char* to_string(Dataset dataset) {
+  return dataset == Dataset::kIndoor ? "indoor" : "outdoor";
+}
+
+const char* to_string(VariantKind kind) {
+  switch (kind) {
+    case VariantKind::kPerCloud: return "per_cloud";
+    case VariantKind::kNoiseBaseline: return "noise_baseline";
+    case VariantKind::kSharedDelta: return "shared_delta";
+  }
+  return "?";
+}
+
+AttackConfig scaled_config(const AttackVariant& variant, const Scale& scale) {
+  AttackConfig config = variant.config;
+  if (variant.apply_scale) {
+    config.steps = scale.pgd_steps;
+    config.cw_steps = scale.cw_steps;
+    config.epsilon = scale.eps_color;
+    config.coord_epsilon = scale.eps_coord;
+  }
+  return config;
+}
+
+namespace {
+
+void append_kv(std::string& out, const char* key, const std::string& value) {
+  out += key;
+  out += '=';
+  out += value;
+  out += ';';
+}
+
+std::string num(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+void append_config(std::string& out, const AttackConfig& c) {
+  append_kv(out, "objective", to_string(c.objective));
+  append_kv(out, "norm", to_string(c.norm));
+  append_kv(out, "field", to_string(c.field));
+  append_kv(out, "steps", std::to_string(c.steps));
+  append_kv(out, "cw_steps", std::to_string(c.cw_steps));
+  append_kv(out, "epsilon", num(c.epsilon));
+  append_kv(out, "coord_epsilon", num(c.coord_epsilon));
+  append_kv(out, "step_size", num(c.step_size));
+  append_kv(out, "lambda1", num(c.lambda1));
+  append_kv(out, "lambda2", num(c.lambda2));
+  append_kv(out, "adam_lr", num(c.adam_lr));
+  append_kv(out, "smooth_alpha", std::to_string(c.smooth_alpha));
+  append_kv(out, "target_class", std::to_string(c.target_class));
+  append_kv(out, "mask_points", std::to_string(c.target_mask.size()));
+  append_kv(out, "success_accuracy", num(c.success_accuracy));
+  append_kv(out, "success_psr", num(c.success_psr));
+  append_kv(out, "min_impact_fraction", num(c.min_impact_fraction));
+  append_kv(out, "l0_on_color", c.l0_on_color ? "1" : "0");
+  append_kv(out, "stall_patience", std::to_string(c.stall_patience));
+  append_kv(out, "seed", std::to_string(c.seed));
+}
+
+/// The degradation specs share one shape: a clean baseline plus labelled
+/// attack columns at the paper's success threshold.
+AttackVariant degradation_variant(std::string label, AttackNorm norm, AttackField field,
+                                  float success_accuracy) {
+  AttackVariant v;
+  v.label = std::move(label);
+  v.config.norm = norm;
+  v.config.field = field;
+  v.config.success_accuracy = success_accuracy;
+  return v;
+}
+
+AttackVariant noise_variant(std::string calibrate_from, std::uint64_t seed_base) {
+  AttackVariant v;
+  v.label = "random-noise";
+  v.kind = VariantKind::kNoiseBaseline;
+  v.calibrate_from = std::move(calibrate_from);
+  v.noise_seed_base = seed_base;
+  return v;
+}
+
+std::vector<ExperimentSpec> build_registry() {
+  std::vector<ExperimentSpec> specs;
+  const float indoor_floor = 1.0f / 13.0f;   // random-guess accuracy, S3DIS classes
+  const float outdoor_floor = 1.0f / 8.0f;   // 8 outdoor classes
+
+  {
+    ExperimentSpec s;
+    s.name = "table2";
+    s.title = "Table II — attacked fields (color vs coordinate vs both), ResGCN, L0";
+    s.models = {ModelId::kResGCNIndoor};
+    s.use_l0_distance = true;
+    const AttackField fields[] = {AttackField::kColor, AttackField::kCoordinate,
+                                  AttackField::kBoth};
+    const AttackNorm norms[] = {AttackNorm::kUnbounded, AttackNorm::kBounded};
+    for (AttackField field : fields) {
+      for (AttackNorm norm : norms) {
+        s.variants.push_back(degradation_variant(
+            std::string(pcss::core::to_string(field)) + " / " + pcss::core::to_string(norm),
+            norm, field, indoor_floor));
+      }
+    }
+    specs.push_back(std::move(s));
+  }
+  {
+    ExperimentSpec s;
+    s.name = "table3";
+    s.title = "Table III — color degradation on PointNet++/ResGCN/RandLA-Net, L2";
+    s.models = {ModelId::kPointNet2Indoor, ModelId::kResGCNIndoor, ModelId::kRandLAIndoor};
+    // Computation order: the unbounded attack first, because the noise
+    // baseline is calibrated to its per-cloud L2 (the paper compares
+    // baseline and attack at matched distance).
+    s.variants.push_back(degradation_variant("norm-unbounded", AttackNorm::kUnbounded,
+                                             AttackField::kColor, indoor_floor));
+    s.variants.push_back(noise_variant("norm-unbounded", 7000));
+    s.variants.push_back(degradation_variant("norm-bounded", AttackNorm::kBounded,
+                                             AttackField::kColor, indoor_floor));
+    specs.push_back(std::move(s));
+  }
+  {
+    ExperimentSpec s;
+    s.name = "table6";
+    s.title = "Table VI — outdoor color degradation, RandLA-Net, L2";
+    s.dataset = Dataset::kOutdoor;
+    s.models = {ModelId::kRandLAOutdoor};
+    s.scene_seed = 6000;
+    s.variants.push_back(degradation_variant("norm-unbounded", AttackNorm::kUnbounded,
+                                             AttackField::kColor, outdoor_floor));
+    s.variants.push_back(noise_variant("norm-unbounded", 8000));
+    specs.push_back(std::move(s));
+  }
+  {
+    ExperimentSpec s;
+    s.name = "ext_universal";
+    s.title = "Extension (§VI-L4) — universal multi-cloud color perturbation, ResGCN";
+    s.models = {ModelId::kResGCNIndoor};
+    s.scene_seed = 9700;
+    AttackVariant universal;
+    universal.label = "universal";
+    universal.kind = VariantKind::kSharedDelta;
+    universal.config.norm = AttackNorm::kBounded;
+    universal.config.field = AttackField::kColor;
+    s.variants.push_back(std::move(universal));
+    AttackVariant per_scene;
+    per_scene.label = "per-scene";
+    per_scene.config.norm = AttackNorm::kBounded;
+    per_scene.config.field = AttackField::kColor;
+    s.variants.push_back(std::move(per_scene));
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<ExperimentSpec>& spec_registry() {
+  static const std::vector<ExperimentSpec> registry = build_registry();
+  return registry;
+}
+
+const ExperimentSpec* find_spec(const std::string& name) {
+  for (const ExperimentSpec& spec : spec_registry()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::string canonical_description(const ExperimentSpec& spec, const Scale& scale,
+                                  ModelProvider& provider) {
+  std::string out;
+  append_kv(out, "spec", spec.name);
+  append_kv(out, "dataset", to_string(spec.dataset));
+  append_kv(out, "scene_seed", std::to_string(spec.scene_seed));
+  append_kv(out, "scenes", std::to_string(scale.scenes));
+  append_kv(out, "pgd_steps", std::to_string(scale.pgd_steps));
+  append_kv(out, "cw_steps", std::to_string(scale.cw_steps));
+  append_kv(out, "eps_color", num(scale.eps_color));
+  append_kv(out, "eps_coord", num(scale.eps_coord));
+  append_kv(out, "l0_distance", spec.use_l0_distance ? "1" : "0");
+  for (ModelId id : spec.models) {
+    out += "model{";
+    append_kv(out, "id", to_string(id));
+    append_kv(out, "weights", provider.model_fingerprint(id));
+    out += "}";
+  }
+  for (const AttackVariant& variant : spec.variants) {
+    out += "variant{";
+    append_kv(out, "label", variant.label);
+    append_kv(out, "kind", to_string(variant.kind));
+    if (variant.kind == VariantKind::kNoiseBaseline) {
+      append_kv(out, "calibrate_from", variant.calibrate_from);
+      append_kv(out, "noise_seed_base", std::to_string(variant.noise_seed_base));
+    }
+    // Every kind hashes its scaled config: even the noise baseline
+    // consults it (distance selection branches on config.field), so it
+    // must be part of the key for cached rows to stay valid.
+    append_config(out, scaled_config(variant, scale));
+    out += "}";
+  }
+  return out;
+}
+
+std::string run_key(const ExperimentSpec& spec, const Scale& scale,
+                    ModelProvider& provider) {
+  Fnv64 hash;
+  hash.update(canonical_description(spec, scale, provider));
+  return spec.name + "-" + hash.hex();
+}
+
+}  // namespace pcss::runner

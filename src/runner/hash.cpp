@@ -1,0 +1,37 @@
+#include "pcss/runner/hash.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace pcss::runner {
+
+Fnv64& Fnv64::update(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash_ ^= bytes[i];
+    hash_ *= 0x100000001b3ull;
+  }
+  return *this;
+}
+
+std::string Fnv64::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash_));
+  return buf;
+}
+
+std::string hash_file_hex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("hash_file_hex: cannot open " + path);
+  Fnv64 hash;
+  char buf[1 << 16];
+  while (in) {
+    in.read(buf, sizeof(buf));
+    hash.update(buf, static_cast<std::size_t>(in.gcount()));
+  }
+  if (in.bad()) throw std::runtime_error("hash_file_hex: read error on " + path);
+  return hash.hex();
+}
+
+}  // namespace pcss::runner

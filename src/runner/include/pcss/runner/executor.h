@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pcss/core/experiment.h"
+#include "pcss/runner/experiment_spec.h"
+#include "pcss/runner/json.h"
+#include "pcss/runner/result_store.h"
+#include "pcss/runner/scale.h"
+
+namespace pcss::runner {
+
+/// Knobs for one run_spec invocation. None of them may change the
+/// numbers: `scale` is part of the cache key, and thread count / shard
+/// size only repartition work whose per-cloud RNG stream stays
+/// `config.seed + global cloud index` (so any partitioning reproduces
+/// bit-identical documents — tested in tests/runner_test.cpp).
+struct RunOptions {
+  Scale scale = active_scale();
+  bool fast = fast_mode();  ///< informational; recorded in the .perf.json sidecar
+  bool force = false;       ///< recompute, ignoring document and shard caches
+  int num_threads = 0;      ///< AttackEngine workers per shard; 0 = hardware
+  int shard_size = 4;       ///< clouds per cached shard (min 1)
+};
+
+/// One cloud's numbers inside a variant.
+struct CaseRow {
+  pcss::core::CaseRecord record;  ///< distance (per spec metric), accuracy, aIoU
+  double l2_color = 0.0;          ///< always kept: calibrates noise baselines
+  long long steps = 0;
+};
+
+struct VariantResult {
+  std::string label;
+  VariantKind kind = VariantKind::kPerCloud;
+
+  // kPerCloud / kNoiseBaseline:
+  std::vector<CaseRow> cases;  ///< cloud order; empty for kSharedDelta
+  pcss::core::BestAvgWorst aggregate{};
+  long long total_steps = 0;
+
+  // kSharedDelta:
+  std::vector<double> accuracy_before;
+  std::vector<double> accuracy_after;
+  double shared_delta_l2 = 0.0;
+  int shared_steps = 0;
+};
+
+struct ModelSection {
+  std::string model;
+  double clean_accuracy = 0.0;
+  double clean_aiou = 0.0;
+  std::vector<VariantResult> variants;
+};
+
+/// The content of one stored result document. Everything in here is a
+/// pure function of the cache key's inputs (spec, scale, seeds,
+/// weights): wall-clock lives in the .perf.json sidecar and the
+/// fast/full *flag* is not recorded (the Scale fields capture the
+/// sizing), so one key always names byte-identical document bytes.
+struct RunDocument {
+  std::string spec;
+  std::string key;
+  Scale scale;
+  std::string dataset;
+  std::uint64_t scene_seed = 0;
+  int scene_count = 0;
+  bool use_l0_distance = false;
+  std::vector<ModelSection> models;
+};
+
+struct RunOutcome {
+  RunDocument document;
+  std::string json;        ///< exact stored document bytes
+  std::string path;        ///< absolute-ish store path of the document
+  bool cache_hit = false;  ///< full-document hit: nothing was executed
+  int shards_total = 0;
+  int shards_from_cache = 0;
+  long long attack_steps = 0;  ///< optimization steps executed live this call
+  double wall_seconds = 0.0;
+};
+
+Json document_to_json(const RunDocument& doc);
+RunDocument document_from_json(const Json& json);
+
+/// Label lookup for report formatting; throws std::out_of_range naming
+/// the label so a reordered or renamed spec fails loudly, never by
+/// printing the wrong column.
+const VariantResult& find_variant(const ModelSection& section, const std::string& label);
+
+/// Runs (or replays) one spec:
+///
+///   1. key = hash(spec, scaled configs, scale, scene seed, weights);
+///   2. document cache hit and !force -> parse and return, zero work;
+///   3. otherwise execute per (model, variant) in shards of
+///      `shard_size` clouds over AttackEngine::run_batch, consulting the
+///      shard cache before each shard (an interrupted run resumes where
+///      it stopped) and persisting each freshly computed shard;
+///   4. assemble, aggregate, and atomically store "<key>.json" plus a
+///      "<key>.perf.json" sidecar (wall-clock, steps/s, shard counts).
+///
+/// Determinism: shard `[o, o+n)` runs with config.seed offset by `o`, so
+/// cloud `g`'s RNG stream is `seed + g` under every partitioning, and
+/// run_batch is bit-identical for any worker count — hence the stored
+/// document is byte-identical for any (shard_size, num_threads, resume
+/// point) combination.
+RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
+                    ResultStore& store, const RunOptions& options = {});
+
+}  // namespace pcss::runner

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pcss::runner {
+
+/// Incremental FNV-1a 64-bit hash. Used for the result store's content
+/// addressing: stable across platforms and runs (no pointer or seed
+/// dependence), cheap to stream checkpoint files through, and collision
+/// risk is irrelevant at the store's scale (dozens of keys).
+class Fnv64 {
+ public:
+  Fnv64& update(const void* data, std::size_t size);
+  Fnv64& update(std::string_view text) { return update(text.data(), text.size()); }
+
+  std::uint64_t value() const { return hash_; }
+  /// 16 lowercase hex characters.
+  std::string hex() const;
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/// FNV-1a over a file's bytes; throws std::runtime_error naming the path
+/// when the file cannot be read.
+std::string hash_file_hex(const std::string& path);
+
+}  // namespace pcss::runner

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pcss::runner {
+
+/// Minimal dependency-free JSON value for the result store's documents.
+///
+/// Two properties matter more than generality here:
+///   - dump() is *deterministic*: object keys keep insertion order and
+///     numbers use the shortest representation that round-trips through
+///     a double, so re-serializing identical results yields identical
+///     bytes (the store's byte-identity guarantee rests on this);
+///   - parse(dump(v)) == v for every value the runner produces.
+///
+/// Not supported (not needed by the store): non-finite numbers, \uXXXX
+/// escapes beyond ASCII control characters, duplicate object keys.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  ///< null
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(int value) : Json(static_cast<double>(value)) {}
+  Json(long long value) : Json(static_cast<double>(value)) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  /// Scalar accessors; throw std::runtime_error on type mismatch.
+  bool boolean() const;
+  double number() const;
+  const std::string& str() const;
+
+  // -- array ----------------------------------------------------------------
+  Json& push(Json value);  ///< returns the stored element
+  std::size_t size() const;
+  const Json& operator[](std::size_t index) const;
+  const std::vector<Json>& items() const;
+
+  // -- object (insertion-ordered) -------------------------------------------
+  Json& set(const std::string& key, Json value);  ///< returns the stored value
+  const Json* find(const std::string& key) const; ///< null when absent
+  const Json& at(const std::string& key) const;   ///< throws when absent
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  bool operator==(const Json& other) const;
+
+  /// Serializes with 2-space indentation and a deterministic layout.
+  std::string dump() const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with the
+  /// byte offset on malformed input or trailing garbage.
+  static Json parse(const std::string& text);
+
+ private:
+  void dump_to(std::string& out, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace pcss::runner

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+
+namespace pcss::runner {
+
+struct WallTimer {
+  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  }
+};
+
+/// The one "[perf]" line format. CI greps these lines across PRs to
+/// track attack throughput, so benches and the pcss_run CLI must emit
+/// the exact same shape — hence one definition.
+inline void print_perf(const char* label, double wall_seconds, long long attack_steps) {
+  std::printf("  [perf] %-32s %8.2fs wall  %7lld steps  %8.1f steps/s\n", label,
+              wall_seconds, attack_steps,
+              wall_seconds > 0.0 ? static_cast<double>(attack_steps) / wall_seconds : 0.0);
+}
+
+}  // namespace pcss::runner

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pcss::runner {
+
+/// Content-addressed result cache under `<artifacts>/results/`.
+///
+/// Keys are store-relative file names (subdirectories allowed, e.g.
+/// "shards/table3-<hash>-m0-v1-o0-n4.json"); the executor derives them
+/// from a stable hash of (spec, checkpoint bytes, scale, seed), so a key
+/// either misses or names bytes that are valid for reuse — there is no
+/// invalidation protocol.
+///
+/// put() writes to a temporary sibling and atomically renames it into
+/// place, so an interrupted run can never leave a torn document behind:
+/// readers see either nothing or the complete content.
+///
+/// get() outcomes are counted (hits()/misses()) so callers and tests can
+/// assert cache behaviour ("second run executed zero attack steps").
+class ResultStore {
+ public:
+  explicit ResultStore(std::string root = default_root());
+
+  /// `$PCSS_ARTIFACTS`/results when the variable is set, artifacts/results
+  /// otherwise — matching the ModelZoo checkpoint cache next door.
+  static std::string default_root();
+
+  const std::string& root() const { return root_; }
+  std::string path_for(const std::string& key) const;
+
+  std::optional<std::string> get(const std::string& key);
+  void put(const std::string& key, const std::string& content);
+  bool erase(const std::string& key);
+
+  /// Store-relative keys whose file name starts with `prefix`
+  /// (subdirectories are searched too), sorted lexicographically.
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  int hits() const { return hits_; }
+  int misses() const { return misses_; }
+  void reset_counters() { hits_ = misses_ = 0; }
+
+ private:
+  std::string root_;
+  int hits_ = 0;
+  int misses_ = 0;
+};
+
+}  // namespace pcss::runner

@@ -1,0 +1,30 @@
+#pragma once
+
+namespace pcss::runner {
+
+/// CPU-scaled experiment sizing shared by the benches, the registered
+/// experiment specs, and the `pcss_run` CLI (see DESIGN.md for how the
+/// defaults relate to the paper's settings). The fast variant shrinks
+/// scene counts and step budgets for smoke runs.
+struct Scale {
+  int scenes = 3;          ///< clouds per configuration
+  int hiding_scenes = 2;   ///< clouds per (model, source-class) pair
+  int pgd_steps = 50;      ///< paper: 50
+  int cw_steps = 150;      ///< paper: 1000 (CPU-scaled)
+  float eps_color = 0.15f; ///< bounded color clip
+  float eps_coord = 0.30f; ///< bounded coordinate clip (meters; about half
+                           ///< the mean point spacing of the 512-pt rooms)
+};
+
+/// The one place that interprets the PCSS_FAST environment variable
+/// (set and non-"0" = fast). bench_common.h and `pcss_run --fast` both
+/// defer here so scale policy cannot drift between entry points.
+bool fast_mode();
+
+/// The sizing for an explicit fast/full choice (CLI `--fast`).
+Scale scale_for(bool fast);
+
+/// scale_for(fast_mode()): the environment-selected sizing.
+Scale active_scale();
+
+}  // namespace pcss::runner

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pcss/runner/experiment_spec.h"
+#include "pcss/train/model_zoo.h"
+
+namespace pcss::runner {
+
+/// Production ModelProvider: models come from the checkpoint-cached
+/// ModelZoo (training on first use), fingerprints are content hashes of
+/// the checkpoint files, scenes are the zoo's held-out eval generators.
+/// Models and fingerprints are memoized, so a multi-variant spec pays
+/// for each model once.
+class ZooModelProvider : public ModelProvider {
+ public:
+  explicit ZooModelProvider(pcss::train::ModelZoo zoo = pcss::train::ModelZoo{});
+
+  std::shared_ptr<SegmentationModel> model(ModelId id) override;
+  std::string model_fingerprint(ModelId id) override;
+  std::vector<PointCloud> scenes(Dataset dataset, int count, std::uint64_t seed) override;
+
+  pcss::train::ModelZoo& zoo() { return zoo_; }
+
+ private:
+  pcss::train::ModelZoo zoo_;
+  std::map<ModelId, std::shared_ptr<SegmentationModel>> models_;
+  std::map<ModelId, std::string> fingerprints_;
+};
+
+}  // namespace pcss::runner

@@ -1,0 +1,81 @@
+#include "pcss/runner/result_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace pcss::runner {
+
+namespace fs = std::filesystem;
+
+ResultStore::ResultStore(std::string root) : root_(std::move(root)) {}
+
+std::string ResultStore::default_root() {
+  if (const char* env = std::getenv("PCSS_ARTIFACTS")) {
+    return std::string(env) + "/results";
+  }
+  return "artifacts/results";
+}
+
+std::string ResultStore::path_for(const std::string& key) const {
+  return root_ + "/" + key;
+}
+
+std::optional<std::string> ResultStore::get(const std::string& key) {
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) {
+    ++misses_;
+    return std::nullopt;
+  }
+  std::string content{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  if (in.bad()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return content;
+}
+
+void ResultStore::put(const std::string& key, const std::string& content) {
+  const fs::path path = path_for(key);
+  if (path.has_parent_path()) fs::create_directories(path.parent_path());
+  // Write-then-rename: rename(2) within one directory is atomic, so a
+  // crash mid-put leaves at worst a stale .tmp sibling, never a torn key.
+  const fs::path tmp = path.string() + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("ResultStore::put: cannot open " + tmp.string());
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) throw std::runtime_error("ResultStore::put: write failure for " + tmp.string());
+  }
+  fs::rename(tmp, path);
+}
+
+bool ResultStore::erase(const std::string& key) {
+  std::error_code ec;
+  return fs::remove(path_for(key), ec);
+}
+
+std::vector<std::string> ResultStore::list(const std::string& prefix) const {
+  std::vector<std::string> keys;
+  std::error_code ec;
+  const fs::path root(root_);
+  fs::recursive_directory_iterator it(root, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string name = it->path().filename().string();
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    // A .tmp.<pid> sibling is an interrupted put(), not a stored result.
+    if (name.find(".tmp.") != std::string::npos) continue;
+    keys.push_back(fs::relative(it->path(), root).generic_string());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace pcss::runner

@@ -1,0 +1,25 @@
+#include "pcss/runner/scale.h"
+
+#include <cstdlib>
+
+namespace pcss::runner {
+
+bool fast_mode() {
+  const char* env = std::getenv("PCSS_FAST");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+Scale scale_for(bool fast) {
+  Scale s;
+  if (fast) {
+    s.scenes = 2;
+    s.hiding_scenes = 1;
+    s.pgd_steps = 10;
+    s.cw_steps = 25;
+  }
+  return s;
+}
+
+Scale active_scale() { return scale_for(fast_mode()); }
+
+}  // namespace pcss::runner

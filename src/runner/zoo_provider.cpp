@@ -1,0 +1,47 @@
+#include "pcss/runner/zoo_provider.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "pcss/runner/hash.h"
+#include "pcss/train/checkpoint.h"
+
+namespace pcss::runner {
+
+ZooModelProvider::ZooModelProvider(pcss::train::ModelZoo zoo) : zoo_(std::move(zoo)) {}
+
+std::shared_ptr<SegmentationModel> ZooModelProvider::model(ModelId id) {
+  auto it = models_.find(id);
+  if (it != models_.end()) return it->second;
+  std::shared_ptr<SegmentationModel> model;
+  switch (id) {
+    case ModelId::kPointNet2Indoor: model = zoo_.pointnet2_indoor(); break;
+    case ModelId::kResGCNIndoor: model = zoo_.resgcn_indoor(); break;
+    case ModelId::kRandLAIndoor: model = zoo_.randla_indoor(); break;
+    case ModelId::kRandLAOutdoor: model = zoo_.randla_outdoor(); break;
+  }
+  if (!model) throw std::runtime_error("ZooModelProvider: unknown ModelId");
+  models_.emplace(id, model);
+  return model;
+}
+
+std::string ZooModelProvider::model_fingerprint(ModelId id) {
+  auto it = fingerprints_.find(id);
+  if (it != fingerprints_.end()) return it->second;
+  // The fingerprint is the checkpoint's bytes. Only materialize the
+  // model when the checkpoint is missing (first ever use trains and
+  // saves it); on a warm cache a document hit never builds a model.
+  const std::string path = zoo_.checkpoint_path(to_string(id));
+  if (!pcss::train::checkpoint_exists(path)) model(id);
+  const std::string fp = hash_file_hex(path);
+  fingerprints_.emplace(id, fp);
+  return fp;
+}
+
+std::vector<PointCloud> ZooModelProvider::scenes(Dataset dataset, int count,
+                                                 std::uint64_t seed) {
+  return dataset == Dataset::kIndoor ? zoo_.indoor_eval_scenes(count, seed)
+                                     : zoo_.outdoor_eval_scenes(count, seed);
+}
+
+}  // namespace pcss::runner

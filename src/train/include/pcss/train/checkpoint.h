@@ -8,7 +8,10 @@ namespace pcss::train {
 
 /// Binary checkpoint of a model's named parameters and buffers.
 /// Load verifies that every name and element count matches the target
-/// model, so architecture drift is caught loudly.
+/// model, so architecture drift is caught loudly. A truncated or corrupt
+/// file throws std::runtime_error naming the path and the first
+/// malformed element, and the model is only mutated after the entire
+/// file has validated — a failed load never leaves a partial state.
 void save_checkpoint(pcss::models::SegmentationModel& model, const std::string& path);
 void load_checkpoint(pcss::models::SegmentationModel& model, const std::string& path);
 

@@ -44,6 +44,13 @@ class ModelZoo {
 
   const std::string& cache_dir() const { return cache_dir_; }
 
+  /// Where the checkpoint for (`key`, `seed`) lives, whether or not it
+  /// has been trained yet. `key` is the model-family string used by the
+  /// accessors above ("pointnet2_indoor", "resgcn_indoor",
+  /// "randla_indoor", "randla_outdoor"). The runner hashes these bytes
+  /// to content-address experiment results by model weights.
+  std::string checkpoint_path(const std::string& key, int seed = 1) const;
+
  private:
   template <typename ModelT, typename ConfigT, typename GenT>
   std::shared_ptr<ModelT> get_or_train(const std::string& key, const ConfigT& model_config,

@@ -33,6 +33,10 @@ std::string ModelZoo::default_cache_dir() {
 
 ModelZoo::ModelZoo(std::string cache_dir) : cache_dir_(std::move(cache_dir)) {}
 
+std::string ModelZoo::checkpoint_path(const std::string& key, int seed) const {
+  return cache_dir_ + "/" + key + "_seed" + std::to_string(seed) + ".ckpt";
+}
+
 template <typename ModelT, typename ConfigT, typename GenT>
 std::shared_ptr<ModelT> ModelZoo::get_or_train(const std::string& key,
                                                const ConfigT& model_config,
@@ -40,7 +44,7 @@ std::shared_ptr<ModelT> ModelZoo::get_or_train(const std::string& key,
                                                const TrainConfig& train_config) {
   Rng init_rng(0x1000u + static_cast<std::uint64_t>(seed) * 7919u);
   auto model = std::make_shared<ModelT>(model_config, init_rng);
-  const std::string path = cache_dir_ + "/" + key + "_seed" + std::to_string(seed) + ".ckpt";
+  const std::string path = checkpoint_path(key, seed);
   if (checkpoint_exists(path)) {
     load_checkpoint(*model, path);
     return model;

@@ -1,0 +1,144 @@
+// Checkpoint robustness: truncated, corrupt, and oversized files must
+// fail with a clear exception naming the path and the malformed element,
+// and a failed load must leave the target model untouched (no partial
+// loading).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pcss/models/resgcn.h"
+#include "pcss/train/checkpoint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using pcss::tensor::Rng;
+
+std::unique_ptr<pcss::models::ResGCNSeg> tiny_model(std::uint64_t init_seed) {
+  pcss::models::ResGCNConfig config;
+  config.num_classes = 13;
+  config.channels = 8;
+  config.blocks = 1;
+  Rng init(init_seed);
+  return std::make_unique<pcss::models::ResGCNSeg>(config, init);
+}
+
+std::vector<float> flatten_params(pcss::models::SegmentationModel& model) {
+  std::vector<float> out;
+  for (auto& p : model.named_params()) {
+    const float* data = p.tensor.data();
+    out.insert(out.end(), data, data + p.tensor.numel());
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Saves a reference checkpoint once and hands each test a scratch copy.
+class CheckpointFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() / "pcss_checkpoint_test").string();
+    fs::create_directories(dir_);
+    source_ = tiny_model(41);
+    path_ = dir_ + "/reference.ckpt";
+    pcss::train::save_checkpoint(*source_, path_);
+    bytes_ = read_file(path_);
+    ASSERT_GT(bytes_.size(), 64u);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  /// Expects load of `bytes` to throw mentioning `expected_fragment`,
+  /// and verifies the target model's parameters were not touched.
+  void expect_rejected(const std::string& bytes, const std::string& expected_fragment) {
+    const std::string bad_path = dir_ + "/bad.ckpt";
+    write_file(bad_path, bytes);
+    auto target = tiny_model(52);
+    const std::vector<float> before = flatten_params(*target);
+    try {
+      pcss::train::load_checkpoint(*target, bad_path);
+      FAIL() << "load_checkpoint accepted a malformed file";
+    } catch (const std::runtime_error& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find(bad_path), std::string::npos)
+          << "message does not name the path: " << message;
+      EXPECT_NE(message.find(expected_fragment), std::string::npos)
+          << "message '" << message << "' lacks '" << expected_fragment << "'";
+    }
+    EXPECT_EQ(flatten_params(*target), before)
+        << "failed load must not partially mutate the model";
+  }
+
+  std::string dir_;
+  std::string path_;
+  std::string bytes_;
+  std::unique_ptr<pcss::models::ResGCNSeg> source_;
+};
+
+TEST_F(CheckpointFixture, RoundTripRestoresParameters) {
+  auto restored = tiny_model(52);
+  ASSERT_NE(flatten_params(*source_), flatten_params(*restored));
+  pcss::train::load_checkpoint(*restored, path_);
+  EXPECT_EQ(flatten_params(*source_), flatten_params(*restored));
+}
+
+TEST_F(CheckpointFixture, TruncatedFileRejectedWithoutPartialLoad) {
+  expect_rejected(bytes_.substr(0, bytes_.size() / 2), "truncated");
+  // Cut inside the header too: magic survives, the version does not.
+  expect_rejected(bytes_.substr(0, 10), "truncated");
+}
+
+TEST_F(CheckpointFixture, BadMagicRejected) {
+  std::string bad = bytes_;
+  bad[0] = 'X';
+  expect_rejected(bad, "bad magic");
+}
+
+TEST_F(CheckpointFixture, UnsupportedVersionRejected) {
+  std::string bad = bytes_;
+  bad[8] = 99;  // version field follows the 8-byte magic
+  expect_rejected(bad, "unsupported checkpoint version 99");
+}
+
+TEST_F(CheckpointFixture, GarbageNameLengthRejected) {
+  std::string bad = bytes_;
+  // First tensor-name length lives right after magic(8) + version(4) +
+  // parameter count(8). 0xFFFFFFFF would ask for a 4 GiB name.
+  for (int i = 0; i < 4; ++i) bad[20 + i] = static_cast<char>(0xFF);
+  expect_rejected(bad, "implausible tensor-name length");
+}
+
+TEST_F(CheckpointFixture, TrailingGarbageRejected) {
+  expect_rejected(bytes_ + std::string(4, '\0'), "trailing bytes");
+}
+
+TEST_F(CheckpointFixture, MissingFileNamesPath) {
+  auto target = tiny_model(52);
+  try {
+    pcss::train::load_checkpoint(*target, dir_ + "/does_not_exist.ckpt");
+    FAIL() << "expected missing-file error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("does_not_exist.ckpt"), std::string::npos);
+  }
+}
+
+}  // namespace

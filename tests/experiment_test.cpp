@@ -1,0 +1,64 @@
+// Edge cases of the experiment-glue aggregation used by every
+// best/avg/worst table (and now by the runner's result documents).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "pcss/core/experiment.h"
+
+using pcss::core::aggregate_cases;
+using pcss::core::BestAvgWorst;
+using pcss::core::CaseRecord;
+
+namespace {
+
+void expect_record_eq(const CaseRecord& a, const CaseRecord& b) {
+  EXPECT_DOUBLE_EQ(a.distance, b.distance);
+  EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+  EXPECT_DOUBLE_EQ(a.aiou, b.aiou);
+}
+
+TEST(AggregateCases, EmptyInputThrows) {
+  EXPECT_THROW(aggregate_cases({}), std::invalid_argument);
+}
+
+TEST(AggregateCases, SingleRecordIsItsOwnBestAvgWorst) {
+  const CaseRecord only{3.5, 0.42, 0.31};
+  const BestAvgWorst agg = aggregate_cases({only});
+  expect_record_eq(agg.best, only);
+  expect_record_eq(agg.avg, only);
+  expect_record_eq(agg.worst, only);
+}
+
+TEST(AggregateCases, BestIsLowestAndWorstIsHighestAccuracy) {
+  // "Best" for the attacker = most vulnerable cloud = lowest post-attack
+  // accuracy; "worst" = most robust.
+  const CaseRecord vulnerable{1.0, 0.10, 0.05};
+  const CaseRecord middling{2.0, 0.50, 0.40};
+  const CaseRecord robust{3.0, 0.90, 0.80};
+  const BestAvgWorst agg = aggregate_cases({middling, robust, vulnerable});
+  expect_record_eq(agg.best, vulnerable);
+  expect_record_eq(agg.worst, robust);
+  expect_record_eq(agg.avg, {2.0, 0.5, (0.05 + 0.40 + 0.80) / 3.0});
+}
+
+TEST(AggregateCases, AccuracyTieKeepsTheFirstRecordWhole) {
+  // Ties on post-attack accuracy must not mix fields from different
+  // records: the earliest record wins both slots wholesale (strict
+  // comparisons), so distance/aIoU stay consistent with the accuracy
+  // they were measured with.
+  const CaseRecord first{1.0, 0.25, 0.10};
+  const CaseRecord second{9.0, 0.25, 0.90};
+  const BestAvgWorst agg = aggregate_cases({first, second});
+  expect_record_eq(agg.best, first);
+  expect_record_eq(agg.worst, first);
+  expect_record_eq(agg.avg, {5.0, 0.25, 0.5});
+}
+
+TEST(AggregateCases, AverageIsElementWise) {
+  const BestAvgWorst agg = aggregate_cases({{2.0, 0.2, 0.1}, {4.0, 0.6, 0.5}});
+  expect_record_eq(agg.avg, {3.0, 0.4, 0.3});
+}
+
+}  // namespace

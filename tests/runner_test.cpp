@@ -1,0 +1,400 @@
+// pcss::runner contract tests: JSON determinism and round-trips, the
+// content-addressed ResultStore, the spec registry's shape, and the
+// executor's caching guarantees — a second run of an unchanged spec
+// executes zero attack steps, interrupted runs resume from shard
+// caches, and the stored document is byte-identical across executor
+// thread counts and shard sizes.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pcss/data/indoor.h"
+#include "pcss/models/resgcn.h"
+#include "pcss/runner/executor.h"
+#include "pcss/runner/hash.h"
+#include "pcss/runner/json.h"
+#include "pcss/runner/result_store.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace pcss::runner;
+using pcss::data::IndoorSceneGenerator;
+using pcss::tensor::Rng;
+
+/// Tiny untrained stand-in for the zoo: gradients flow regardless of
+/// training, which is all the executor's caching/determinism contracts
+/// need, and it keeps this whole file in the seconds range.
+class TinyProvider : public ModelProvider {
+ public:
+  explicit TinyProvider(std::string fingerprint = "tiny-weights-v1")
+      : fingerprint_(std::move(fingerprint)) {
+    pcss::models::ResGCNConfig config;
+    config.num_classes = pcss::data::kIndoorNumClasses;
+    config.channels = 8;
+    config.blocks = 1;
+    Rng init(31);
+    model_ = std::make_shared<pcss::models::ResGCNSeg>(config, init);
+  }
+
+  std::shared_ptr<SegmentationModel> model(ModelId) override { return model_; }
+  std::string model_fingerprint(ModelId) override { return fingerprint_; }
+
+  std::vector<PointCloud> scenes(Dataset, int count, std::uint64_t seed) override {
+    IndoorSceneGenerator gen({.num_points = 96});
+    Rng rng(seed);
+    std::vector<PointCloud> out;
+    for (int i = 0; i < count; ++i) out.push_back(gen.generate(rng));
+    return out;
+  }
+
+ private:
+  std::string fingerprint_;
+  std::shared_ptr<SegmentationModel> model_;
+};
+
+Scale tiny_scale() {
+  Scale s;
+  s.scenes = 3;
+  s.pgd_steps = 3;
+  s.cw_steps = 4;
+  return s;
+}
+
+ExperimentSpec mini_spec() {
+  ExperimentSpec spec;
+  spec.name = "mini";
+  spec.title = "executor contract fixture";
+  spec.models = {ModelId::kResGCNIndoor};
+  spec.scene_seed = 4242;
+  AttackVariant bounded;
+  bounded.label = "bounded";
+  bounded.config.norm = pcss::core::AttackNorm::kBounded;
+  bounded.config.field = pcss::core::AttackField::kColor;
+  spec.variants.push_back(bounded);
+  AttackVariant noise;
+  noise.label = "noise";
+  noise.kind = VariantKind::kNoiseBaseline;
+  noise.calibrate_from = "bounded";
+  spec.variants.push_back(noise);
+  return spec;
+}
+
+ExperimentSpec mini_shared_spec() {
+  ExperimentSpec spec;
+  spec.name = "mini_shared";
+  spec.title = "shared-delta fixture";
+  spec.models = {ModelId::kResGCNIndoor};
+  spec.scene_seed = 4242;
+  AttackVariant universal;
+  universal.label = "universal";
+  universal.kind = VariantKind::kSharedDelta;
+  universal.config.norm = pcss::core::AttackNorm::kBounded;
+  universal.config.field = pcss::core::AttackField::kColor;
+  spec.variants.push_back(universal);
+  return spec;
+}
+
+RunOptions tiny_options() {
+  RunOptions options;
+  options.scale = tiny_scale();
+  options.fast = true;
+  options.num_threads = 1;
+  options.shard_size = 2;
+  return options;
+}
+
+/// Fresh store root per test, removed on teardown.
+class RunnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = (fs::temp_directory_path() /
+             ("pcss_runner_test_" +
+              std::string(::testing::UnitTest::GetInstance()->current_test_info()->name())))
+                .string();
+    fs::remove_all(root_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+  std::string root_;
+};
+
+TEST(RunnerJson, RoundTripsNestedValues) {
+  Json doc = Json::object();
+  doc.set("name", "mini");
+  doc.set("ok", true);
+  doc.set("none", Json());
+  Json numbers = Json::array();
+  numbers.push(0.1);
+  numbers.push(-3.0);
+  numbers.push(1e-9);
+  numbers.push(12345678901234.0);
+  doc.set("numbers", std::move(numbers));
+  doc.set("escaped", std::string("line\nbreak \"quoted\" \\slash"));
+  const std::string text = doc.dump();
+  EXPECT_EQ(Json::parse(text), doc);
+  // Determinism: dumping the parse reproduces the bytes exactly.
+  EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(RunnerJson, ShortestRoundTripNumberFormat) {
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  EXPECT_EQ(Json(3).dump(), "3");
+  EXPECT_EQ(Json(1.0 / 3.0).dump(), "0.3333333333333333");
+  EXPECT_DOUBLE_EQ(Json::parse(Json(1.0 / 3.0).dump()).number(), 1.0 / 3.0);
+}
+
+TEST(RunnerJson, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(Json::parse("{\"a\":1,\"a\":2}"), std::runtime_error);
+  EXPECT_THROW(Json::parse("nope"), std::runtime_error);
+}
+
+TEST_F(RunnerTest, StorePutGetEraseAndCounters) {
+  ResultStore store(root_);
+  EXPECT_FALSE(store.get("missing.json").has_value());
+  EXPECT_EQ(store.misses(), 1);
+  store.put("a/b/doc.json", "{\"x\": 1}\n");
+  const auto loaded = store.get("a/b/doc.json");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "{\"x\": 1}\n");
+  EXPECT_EQ(store.hits(), 1);
+  // The atomic write leaves no temporary siblings behind.
+  int files = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(root_)) {
+    if (entry.is_regular_file()) ++files;
+  }
+  EXPECT_EQ(files, 1);
+  EXPECT_TRUE(store.erase("a/b/doc.json"));
+  EXPECT_FALSE(store.erase("a/b/doc.json"));
+  EXPECT_FALSE(store.get("a/b/doc.json").has_value());
+}
+
+TEST_F(RunnerTest, StoreListFiltersByPrefix) {
+  ResultStore store(root_);
+  store.put("mini-00aa.json", "{}");
+  store.put("mini-00aa.perf.json", "{}");
+  store.put("shards/mini-00aa-m0-v0-o0-n2.json", "{}");
+  store.put("other-11bb.json", "{}");
+  // A stale temporary from an interrupted put() must not be listed as
+  // a stored result.
+  std::ofstream(root_ + "/mini-00aa.json.tmp.12345") << "{ torn";
+  const auto keys = store.list("mini-");
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "mini-00aa.json");
+  EXPECT_EQ(keys[1], "mini-00aa.perf.json");
+  EXPECT_EQ(keys[2], "shards/mini-00aa-m0-v0-o0-n2.json");
+}
+
+TEST(RunnerHash, StableAndSensitive) {
+  EXPECT_EQ(Fnv64().update("").hex(), "cbf29ce484222325");
+  EXPECT_EQ(Fnv64().update("abc").hex(), Fnv64().update("abc").hex());
+  EXPECT_NE(Fnv64().update("abc").hex(), Fnv64().update("abd").hex());
+  EXPECT_EQ(Fnv64().update("abc").hex().size(), 16u);
+}
+
+TEST(RunnerRegistry, SpecsAreWellFormed) {
+  const auto& registry = spec_registry();
+  ASSERT_GE(registry.size(), 4u);
+  std::set<std::string> names;
+  for (const ExperimentSpec& spec : registry) {
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate spec " << spec.name;
+    EXPECT_FALSE(spec.models.empty()) << spec.name;
+    EXPECT_FALSE(spec.variants.empty()) << spec.name;
+    // Noise baselines must calibrate against an *earlier* variant.
+    std::set<std::string> seen;
+    for (const AttackVariant& variant : spec.variants) {
+      if (variant.kind == VariantKind::kNoiseBaseline) {
+        EXPECT_TRUE(seen.count(variant.calibrate_from))
+            << spec.name << "/" << variant.label << " calibrates from '"
+            << variant.calibrate_from << "'";
+      }
+      seen.insert(variant.label);
+    }
+  }
+  ASSERT_NE(find_spec("table3"), nullptr);
+  EXPECT_EQ(find_spec("table3")->models.size(), 3u);
+  EXPECT_EQ(find_spec("nope"), nullptr);
+}
+
+TEST(RunnerKey, SensitiveToScaleAndWeights) {
+  TinyProvider provider;
+  const ExperimentSpec spec = mini_spec();
+  const Scale scale = tiny_scale();
+  const std::string base = run_key(spec, scale, provider);
+  EXPECT_EQ(base, run_key(spec, scale, provider)) << "key must be deterministic";
+  EXPECT_EQ(base.rfind("mini-", 0), 0u);
+
+  Scale bigger = scale;
+  bigger.pgd_steps = 5;
+  EXPECT_NE(base, run_key(spec, bigger, provider));
+
+  TinyProvider retrained("tiny-weights-v2");
+  EXPECT_NE(base, run_key(spec, scale, retrained));
+}
+
+TEST_F(RunnerTest, SecondRunIsAPureCacheHit) {
+  TinyProvider provider;
+  ResultStore store(root_);
+  const ExperimentSpec spec = mini_spec();
+  const RunOptions options = tiny_options();
+
+  const RunOutcome first = run_spec(spec, provider, store, options);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_GT(first.attack_steps, 0);
+  EXPECT_EQ(first.shards_from_cache, 0);
+  EXPECT_EQ(first.shards_total, 4);  // 2 variants x ceil(3 clouds / shard_size 2)
+  EXPECT_TRUE(fs::exists(first.path));
+  ASSERT_EQ(first.document.models.size(), 1u);
+  ASSERT_EQ(first.document.models[0].variants.size(), 2u);
+  const VariantResult& bounded = first.document.models[0].variants[0];
+  ASSERT_EQ(bounded.cases.size(), 3u);
+  for (const CaseRow& row : bounded.cases) {
+    EXPECT_GE(row.record.accuracy, 0.0);
+    EXPECT_LE(row.record.accuracy, 1.0);
+    EXPECT_GT(row.steps, 0);
+  }
+  // The noise baseline is calibrated to the bounded attack's per-cloud
+  // L2 and costs no optimization steps.
+  const VariantResult& noise = first.document.models[0].variants[1];
+  ASSERT_EQ(noise.cases.size(), 3u);
+  for (std::size_t i = 0; i < noise.cases.size(); ++i) {
+    EXPECT_EQ(noise.cases[i].steps, 0);
+    EXPECT_NEAR(noise.cases[i].l2_color, bounded.cases[i].l2_color,
+                0.05 * (1.0 + bounded.cases[i].l2_color));
+  }
+
+  store.reset_counters();
+  const RunOutcome second = run_spec(spec, provider, store, options);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.attack_steps, 0) << "a cache hit must execute no attack steps";
+  EXPECT_EQ(second.shards_total, 0);
+  EXPECT_EQ(store.hits(), 1);
+  EXPECT_EQ(store.misses(), 0);
+  EXPECT_EQ(second.json, first.json) << "replayed bytes must match the stored document";
+}
+
+TEST_F(RunnerTest, ForceIsByteIdenticalAcrossThreadCounts) {
+  TinyProvider provider;
+  ResultStore store(root_);
+  const ExperimentSpec spec = mini_spec();
+
+  RunOptions one_thread = tiny_options();
+  one_thread.num_threads = 1;
+  const RunOutcome first = run_spec(spec, provider, store, one_thread);
+
+  RunOptions two_threads = tiny_options();
+  two_threads.num_threads = 2;
+  two_threads.force = true;
+  const RunOutcome second = run_spec(spec, provider, store, two_threads);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(second.shards_from_cache, 0) << "--force must ignore shard caches";
+  EXPECT_GT(second.attack_steps, 0);
+  EXPECT_EQ(second.json, first.json)
+      << "document bytes must not depend on the worker thread count";
+}
+
+TEST_F(RunnerTest, CorruptCachedDocumentIsTreatedAsAMiss) {
+  TinyProvider provider;
+  ResultStore store(root_);
+  const ExperimentSpec spec = mini_spec();
+  const RunOptions options = tiny_options();
+
+  const RunOutcome first = run_spec(spec, provider, store, options);
+  store.put(first.document.key + ".json", "{ not json");
+  const RunOutcome recovered = run_spec(spec, provider, store, options);
+  EXPECT_FALSE(recovered.cache_hit);
+  EXPECT_EQ(recovered.json, first.json) << "recompute must repair the corrupt document";
+  EXPECT_EQ(recovered.attack_steps, 0) << "shard cache still valid, so no live steps";
+
+  // Parseable JSON with a malformed field (stoull would throw a
+  // logic_error, not a runtime_error) must also degrade to a miss.
+  std::string mangled = first.json;
+  const auto pos = mangled.find("\"scene_seed\": \"4242\"");
+  ASSERT_NE(pos, std::string::npos);
+  mangled.replace(pos, 20, "\"scene_seed\": \"abcd\"");
+  store.put(first.document.key + ".json", mangled);
+  const RunOutcome repaired = run_spec(spec, provider, store, options);
+  EXPECT_FALSE(repaired.cache_hit);
+  EXPECT_EQ(repaired.json, first.json);
+}
+
+TEST_F(RunnerTest, InterruptedRunResumesFromShardCache) {
+  TinyProvider provider;
+  ResultStore store(root_);
+  const ExperimentSpec spec = mini_spec();
+  const RunOptions options = tiny_options();
+
+  const RunOutcome first = run_spec(spec, provider, store, options);
+  // Simulate a crash after the shards landed but before the document:
+  // the resumed run recomputes nothing.
+  ASSERT_TRUE(store.erase(first.document.key + ".json"));
+  const RunOutcome resumed = run_spec(spec, provider, store, options);
+  EXPECT_FALSE(resumed.cache_hit);
+  EXPECT_EQ(resumed.attack_steps, 0);
+  EXPECT_EQ(resumed.shards_from_cache, resumed.shards_total);
+  EXPECT_EQ(resumed.json, first.json);
+}
+
+TEST_F(RunnerTest, ShardSizeDoesNotChangeTheBytes) {
+  TinyProvider provider;
+  const ExperimentSpec spec = mini_spec();
+
+  ResultStore store_a(root_ + "-a");
+  RunOptions whole = tiny_options();
+  whole.shard_size = 8;  // everything in one shard
+  const RunOutcome coarse = run_spec(spec, provider, store_a, whole);
+
+  ResultStore store_b(root_ + "-b");
+  RunOptions single = tiny_options();
+  single.shard_size = 1;  // one cloud per shard
+  const RunOutcome fine = run_spec(spec, provider, store_b, single);
+  EXPECT_EQ(coarse.json, fine.json)
+      << "per-cloud RNG must stay seed + global index under any sharding";
+  EXPECT_EQ(fine.shards_total, 6);  // 2 variants x 3 clouds
+
+  fs::remove_all(root_ + "-a");
+  fs::remove_all(root_ + "-b");
+}
+
+TEST_F(RunnerTest, SharedDeltaSpecRunsAndCaches) {
+  TinyProvider provider;
+  ResultStore store(root_);
+  const ExperimentSpec spec = mini_shared_spec();
+  const RunOptions options = tiny_options();
+
+  const RunOutcome first = run_spec(spec, provider, store, options);
+  ASSERT_EQ(first.document.models.size(), 1u);
+  const VariantResult& universal = first.document.models[0].variants[0];
+  EXPECT_EQ(universal.kind, VariantKind::kSharedDelta);
+  ASSERT_EQ(universal.accuracy_before.size(), 3u);
+  ASSERT_EQ(universal.accuracy_after.size(), 3u);
+  EXPECT_GT(universal.shared_steps, 0);
+  EXPECT_GT(universal.shared_delta_l2, 0.0);
+  EXPECT_EQ(first.shards_total, 1) << "joint optimization is one indivisible shard";
+
+  const RunOutcome second = run_spec(spec, provider, store, options);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.json, first.json);
+}
+
+TEST_F(RunnerTest, DocumentSurvivesJsonRoundTrip) {
+  TinyProvider provider;
+  ResultStore store(root_);
+  const RunOutcome out = run_spec(mini_spec(), provider, store, tiny_options());
+  const RunDocument reparsed = document_from_json(Json::parse(out.json));
+  EXPECT_EQ(document_to_json(reparsed).dump() + "\n", out.json);
+}
+
+}  // namespace

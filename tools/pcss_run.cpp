@@ -1,0 +1,199 @@
+// pcss_run — the single entry point for regenerating paper numbers.
+//
+//   pcss_run list                     registered experiment specs
+//   pcss_run run <spec...> [opts]     execute specs (cache-aware)
+//   pcss_run show <spec...>           print stored result documents
+//
+// Results are content-addressed JSON documents under artifacts/results/
+// (see DESIGN.md): rerunning an unchanged spec is a pure cache hit, and
+// `--force` or any change to the spec, scale, or model weights
+// recomputes under a new key.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pcss/runner/executor.h"
+#include "pcss/runner/perf.h"
+#include "pcss/runner/result_store.h"
+#include "pcss/runner/scale.h"
+#include "pcss/runner/zoo_provider.h"
+
+namespace {
+
+using namespace pcss::runner;
+
+int usage(int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: pcss_run <command> [arguments]\n"
+               "\n"
+               "commands:\n"
+               "  list                      list the registered experiment specs\n"
+               "  run <spec...> [options]   execute specs, reusing cached results\n"
+               "  show <spec...>            print the stored result documents of specs\n"
+               "\n"
+               "run options:\n"
+               "  --fast              CPU-smoke sizing (same as PCSS_FAST=1)\n"
+               "  --force             recompute, ignoring document and shard caches\n"
+               "  --threads N         AttackEngine worker threads (0 = hardware)\n"
+               "  --shard-size N      clouds per cached shard (default 4)\n"
+               "  --store DIR         result store root (default artifacts/results)\n");
+  return code;
+}
+
+int unknown_spec(const std::string& name) {
+  std::fprintf(stderr, "pcss_run: unknown spec '%s'; registered specs:\n", name.c_str());
+  for (const ExperimentSpec& spec : spec_registry()) {
+    std::fprintf(stderr, "  %s\n", spec.name.c_str());
+  }
+  return 2;
+}
+
+int cmd_list() {
+  std::printf("%-14s %-8s %-7s %-9s  %s\n", "name", "dataset", "models", "variants", "title");
+  for (const ExperimentSpec& spec : spec_registry()) {
+    std::printf("%-14s %-8s %-7zu %-9zu  %s\n", spec.name.c_str(),
+                to_string(spec.dataset), spec.models.size(), spec.variants.size(),
+                spec.title.c_str());
+  }
+  return 0;
+}
+
+void print_record_row(const char* label, const pcss::core::CaseRecord& r,
+                      const char* dist_name) {
+  std::printf("    %-6s %s=%9.2f  Acc=%6.2f%%  aIoU=%6.2f%%\n", label, dist_name,
+              r.distance, 100.0 * r.accuracy, 100.0 * r.aiou);
+}
+
+void print_document(const RunDocument& doc) {
+  const char* dist_name = doc.use_l0_distance ? "L0" : "L2";
+  for (const ModelSection& section : doc.models) {
+    std::printf("  %s (clean Acc=%.2f%%, aIoU=%.2f%%, %d scenes)\n", section.model.c_str(),
+                100.0 * section.clean_accuracy, 100.0 * section.clean_aiou,
+                doc.scene_count);
+    for (const VariantResult& vr : section.variants) {
+      if (vr.kind == VariantKind::kSharedDelta) {
+        double before = 0.0, after = 0.0;
+        for (double a : vr.accuracy_before) before += a;
+        for (double a : vr.accuracy_after) after += a;
+        const auto n = static_cast<double>(vr.accuracy_before.empty()
+                                               ? 1
+                                               : vr.accuracy_before.size());
+        std::printf("   [%s]  mean Acc %.2f%% -> %.2f%%  (delta L2 %.2f, %d steps)\n",
+                    vr.label.c_str(), 100.0 * before / n, 100.0 * after / n,
+                    vr.shared_delta_l2, vr.shared_steps);
+      } else {
+        std::printf("   [%s]\n", vr.label.c_str());
+        print_record_row("Best", vr.aggregate.best, dist_name);
+        print_record_row("Avg", vr.aggregate.avg, dist_name);
+        print_record_row("Worst", vr.aggregate.worst, dist_name);
+      }
+    }
+  }
+}
+
+int cmd_run(const std::vector<std::string>& specs, const RunOptions& options,
+            const std::string& store_root) {
+  ZooModelProvider provider;
+  ResultStore store(store_root);
+  for (const std::string& name : specs) {
+    const ExperimentSpec* spec = find_spec(name);
+    if (spec == nullptr) return unknown_spec(name);
+    std::printf("== %s — %s ==\n", spec->name.c_str(), spec->title.c_str());
+    const RunOutcome out = run_spec(*spec, provider, store, options);
+    print_document(out.document);
+    if (out.cache_hit) {
+      std::printf("  result: cache hit (0 attack steps executed)\n");
+    } else {
+      std::printf("  result: computed (%d/%d shards from cache)\n", out.shards_from_cache,
+                  out.shards_total);
+    }
+    print_perf((spec->name + " run_spec").c_str(), out.wall_seconds, out.attack_steps);
+    std::printf("  document: %s\n\n", out.path.c_str());
+  }
+  return 0;
+}
+
+int cmd_show(const std::vector<std::string>& specs, const std::string& store_root) {
+  ResultStore store(store_root);
+  int shown = 0;
+  for (const std::string& name : specs) {
+    if (find_spec(name) == nullptr) return unknown_spec(name);
+    for (const std::string& key : store.list(name + "-")) {
+      if (key.rfind("shards/", 0) == 0) continue;
+      if (key.size() > 10 && key.compare(key.size() - 10, 10, ".perf.json") == 0) continue;
+      const auto content = store.get(key);
+      if (!content) continue;
+      std::printf("-- %s --\n%s", store.path_for(key).c_str(), content->c_str());
+      ++shown;
+    }
+  }
+  if (shown == 0) {
+    std::printf("no stored documents (run `pcss_run run <spec>` first; store: %s)\n",
+                store.root().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(2);
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") return usage(0);
+  if (command == "list") return cmd_list();
+
+  std::vector<std::string> specs;
+  RunOptions options;
+  std::string store_root = ResultStore::default_root();
+  bool fast = fast_mode();
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto int_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pcss_run: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return std::atoi(argv[++i]);
+    };
+    if (arg == "--fast") {
+      fast = true;
+    } else if (arg == "--force") {
+      options.force = true;
+    } else if (arg == "--threads") {
+      options.num_threads = int_value("--threads");
+    } else if (arg == "--shard-size") {
+      options.shard_size = int_value("--shard-size");
+    } else if (arg == "--store") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pcss_run: --store needs a value\n");
+        return 2;
+      }
+      store_root = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "pcss_run: unknown option '%s'\n", arg.c_str());
+      return usage(2);
+    } else {
+      specs.push_back(arg);
+    }
+  }
+  options.fast = fast;
+  options.scale = scale_for(fast);
+
+  if (specs.empty()) {
+    std::fprintf(stderr, "pcss_run: %s needs at least one spec name\n", command.c_str());
+    return usage(2);
+  }
+
+  try {
+    if (command == "run") return cmd_run(specs, options, store_root);
+    if (command == "show") return cmd_show(specs, store_root);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pcss_run: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "pcss_run: unknown command '%s'\n", command.c_str());
+  return usage(2);
+}
