@@ -3,9 +3,20 @@
 // the authors' GPU testbed): google-benchmark timings of a single attack
 // step (forward + adversarial loss + backward) per model on this CPU
 // substrate, plus a clean-inference reference.
+//
+// Besides the console table, the run emits a machine-readable
+// BENCH_step_cost.json (override the path with PCSS_BENCH_OUT) with
+// steps/s per model next to the recorded pre-overhaul baseline, so CI can
+// upload it and the perf trajectory accrues per PR.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "bench_common.h"
+#include "pcss/runner/json.h"
 #include "pcss/tensor/ops.h"
 
 using namespace pcss::core;
@@ -65,6 +76,79 @@ BENCHMARK(BM_AttackStep_ResGCN)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AttackStep_RandLA)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CleanInference_ResGCN)->Unit(benchmark::kMillisecond);
 
+/// Pre-overhaul reference (Release, PCSS_FAST=1, the repo's 1-core dev
+/// box, commit 82b374d — before the pooled-buffer/tiled-GEMM/fused-op
+/// tensor engine). Emitted alongside each run so BENCH_step_cost.json
+/// always records before and after.
+struct BaselineEntry {
+  const char* name;
+  double ms_per_iteration;
+};
+constexpr BaselineEntry kPrePr3Baseline[] = {
+    {"BM_AttackStep_PointNet2", 13.9},
+    {"BM_AttackStep_ResGCN", 102.0},
+    {"BM_AttackStep_RandLA", 42.1},
+    {"BM_CleanInference_ResGCN", 39.0},
+};
+
+/// Console reporter that additionally captures every run so the compact
+/// JSON document can be written after the benchmarks finish.
+class StepCostJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double seconds =
+          run.real_accumulated_time / static_cast<double>(run.iterations);
+      captured_.push_back({run.benchmark_name(), seconds * 1e3,
+                           seconds > 0.0 ? 1.0 / seconds : 0.0});
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  void write(const std::string& path, bool fast) const {
+    using pcss::runner::Json;
+    Json doc = Json::object();
+    doc.set("benchmark", std::string("attack_step_cost"));
+    doc.set("fast", fast);
+    Json results = Json::array();
+    for (const auto& r : captured_) {
+      Json entry = Json::object();
+      entry.set("name", r.name);
+      entry.set("ms_per_iteration", r.ms_per_iteration);
+      entry.set("per_second", r.per_second);
+      for (const BaselineEntry& base : kPrePr3Baseline) {
+        if (r.name == base.name) {
+          entry.set("baseline_ms_per_iteration", base.ms_per_iteration);
+          entry.set("speedup_vs_baseline", base.ms_per_iteration / r.ms_per_iteration);
+        }
+      }
+      results.push(std::move(entry));
+    }
+    doc.set("results", std::move(results));
+    doc.set("baseline_commit", std::string("82b374d (pre tensor-engine overhaul)"));
+    std::ofstream out(path);
+    if (out) out << doc.dump() << "\n";
+  }
+
+ private:
+  struct Captured {
+    std::string name;
+    double ms_per_iteration = 0.0;
+    double per_second = 0.0;
+  };
+  std::vector<Captured> captured_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  StepCostJsonReporter json;
+  benchmark::RunSpecifiedBenchmarks(&json);
+  const char* out_path = std::getenv("PCSS_BENCH_OUT");
+  json.write(out_path ? out_path : "BENCH_step_cost.json", pcss::runner::fast_mode());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <condition_variable>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -179,15 +180,17 @@ class ClipProjection final : public Projection {
   }
 
   FieldDeltas make_deltas() override {
+    // The leaf tensors persist across steps: values are refreshed from
+    // the raw delta storage and gradients zeroed in place, so the inner
+    // loop re-tensorizes without allocating (backward() released last
+    // step's graph, leaving these leaves untouched).
     FieldDeltas deltas;
     if (use_color_) {
-      cd_ = Tensor::from_data({n_, 3}, cdelta_);
-      cd_.set_requires_grad(true);
+      refresh_leaf(cd_, cdelta_);
       deltas.color = cd_;
     }
     if (use_coord_) {
-      pd_ = Tensor::from_data({n_, 3}, pdelta_);
-      pd_.set_requires_grad(true);
+      refresh_leaf(pd_, pdelta_);
       deltas.coord = pd_;
     }
     return deltas;
@@ -243,6 +246,16 @@ class ClipProjection final : public Projection {
   }
 
  private:
+  void refresh_leaf(Tensor& leaf, const std::vector<float>& values) const {
+    if (!leaf.defined()) {
+      leaf = Tensor::from_data({n_, 3}, values);
+      leaf.set_requires_grad(true);
+      return;
+    }
+    std::copy(values.begin(), values.end(), leaf.data());
+    leaf.zero_grad();
+  }
+
   void project_color() {
     for (std::int64_t i = 0; i < n_; ++i) {
       for (int a = 0; a < 3; ++a) {
@@ -347,15 +360,19 @@ class TanhProjection final : public Projection {
   FieldDeltas make_deltas() override {
     FieldDeltas deltas;
     if (use_color_) {
+      if (!color_mask_t_.defined()) {
+        color_mask_t_ =
+            mask_tensor(sparsify_color_ ? color_schedule_.allowed : mask_);
+      }
       Tensor mapped = ops::scale(ops::add_scalar(ops::tanh_op(w_color_), 1.0f), 0.5f);
-      cdelta_t_ = ops::mul(ops::sub(mapped, color0_t_),
-                           mask_tensor(sparsify_color_ ? color_schedule_.allowed : mask_));
+      cdelta_t_ = ops::mul(ops::sub(mapped, color0_t_), color_mask_t_);
       deltas.color = cdelta_t_;
     }
     if (use_coord_) {
+      if (!coord_mask_t_.defined()) coord_mask_t_ = mask_tensor(coord_schedule_.allowed);
       Tensor mapped =
           ops::add(ops::mul(ops::tanh_op(w_coord_), coord_scale_t_), coord_offset_t_);
-      pdelta_t_ = ops::mul(ops::sub(mapped, coord0_t_), mask_tensor(coord_schedule_.allowed));
+      pdelta_t_ = ops::mul(ops::sub(mapped, coord0_t_), coord_mask_t_);
       deltas.coord = pdelta_t_;
     }
     return deltas;
@@ -436,7 +453,9 @@ class TanhProjection final : public Projection {
   void post_step() override {
     if (use_coord_ && !w_coord_.grad().empty()) {
       std::vector<float> pdata(pdelta_t_.data(), pdelta_t_.data() + n_ * 3);
-      for (std::int64_t removed : coord_schedule_.restore_step(w_coord_.grad(), pdata)) {
+      const auto removed_pts = coord_schedule_.restore_step(w_coord_.grad(), pdata);
+      if (!removed_pts.empty()) coord_mask_t_ = Tensor();  // schedule shrank
+      for (std::int64_t removed : removed_pts) {
         for (int a = 0; a < 3; ++a) {
           w_coord_.data()[removed * 3 + a] = w_coord0_[static_cast<size_t>(removed * 3 + a)];
         }
@@ -444,7 +463,9 @@ class TanhProjection final : public Projection {
     }
     if (sparsify_color_ && !w_color_.grad().empty()) {
       std::vector<float> cdata(cdelta_t_.data(), cdelta_t_.data() + n_ * 3);
-      for (std::int64_t removed : color_schedule_.restore_step(w_color_.grad(), cdata)) {
+      const auto removed_pts = color_schedule_.restore_step(w_color_.grad(), cdata);
+      if (!removed_pts.empty()) color_mask_t_ = Tensor();
+      for (std::int64_t removed : removed_pts) {
         for (int a = 0; a < 3; ++a) {
           w_color_.data()[removed * 3 + a] = w_color0_[static_cast<size_t>(removed * 3 + a)];
         }
@@ -491,6 +512,9 @@ class TanhProjection final : public Projection {
   Tensor color0_t_, coord0_t_, coord_scale_t_, coord_offset_t_;
   std::vector<std::int64_t> smooth_idx_;
   Tensor cdelta_t_, pdelta_t_;  ///< this step's mapped deltas
+  /// Cached constant mask tensors; invalidated when a restoration step
+  /// shrinks the corresponding schedule.
+  Tensor color_mask_t_, coord_mask_t_;
   MinImpactSchedule coord_schedule_, color_schedule_;
   double best_gain_ = -1.0;
   std::vector<float> best_cdelta_, best_pdelta_;
@@ -620,38 +644,108 @@ class ScopedParamFreeze {
   std::vector<bool> saved_;
 };
 
-/// Runs fn(0..jobs-1) across `workers` threads (inline when <= 1).
-/// Deterministic for independent jobs: scheduling affects only timing.
-void parallel_for(std::size_t jobs, int workers,
-                  const std::function<void(std::size_t)>& fn) {
-  if (workers <= 1 || jobs <= 1) {
-    for (std::size_t i = 0; i < jobs; ++i) fn(i);
-    return;
+/// Long-lived worker pool for loops that dispatch many small parallel
+/// rounds (run_shared runs one round per optimization step). Unlike
+/// parallel_for, the threads persist across rounds, so each worker's
+/// thread-local tensor buffer pool stays warm instead of being rebuilt
+/// from malloc and torn down every step. Job results are independent;
+/// scheduling affects only timing, never values.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int workers) {
+    for (int t = 0; t < workers - 1; ++t) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
   }
-  std::atomic<std::size_t> next{0};
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  std::atomic<bool> failed{false};
-  auto work = [&] {
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& thread : threads_) thread.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void run(std::size_t jobs, const std::function<void(std::size_t)>& fn) {
+    if (threads_.empty() || jobs <= 1) {
+      for (std::size_t i = 0; i < jobs; ++i) fn(i);
+      return;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      fn_ = &fn;
+      jobs_ = jobs;
+      next_.store(0);
+      failed_.store(false);
+      error_ = nullptr;
+      active_ = static_cast<int>(threads_.size());
+      ++generation_;
+    }
+    cv_.notify_all();
+    drain();  // the calling thread participates
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return active_ == 0; });
+    fn_ = nullptr;
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-      if (failed.load(std::memory_order_relaxed)) return;  // fail fast
-      const std::size_t i = next.fetch_add(1);
-      if (i >= jobs) return;
+      cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      lock.unlock();
+      drain();
+      lock.lock();
+      if (--active_ == 0) cv_done_.notify_all();
+    }
+  }
+
+  /// Claims indices until the round is exhausted. On an exception the
+  /// first error is kept and remaining indices drain without executing.
+  void drain() {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1);
+      if (i >= jobs_) return;
+      if (failed_.load(std::memory_order_relaxed)) continue;
       try {
-        fn(i);
+        (*fn_)(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+        failed_.store(true, std::memory_order_relaxed);
       }
     }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(workers - 1));
-  for (int t = 0; t < workers - 1; ++t) pool.emplace_back(work);
-  work();
-  for (auto& thread : pool) thread.join();
-  if (error) std::rethrow_exception(error);
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_, cv_done_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t jobs_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> failed_{false};
+  std::exception_ptr error_;
+  int active_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(0..jobs-1) across `workers` threads (inline when <= 1) via a
+/// one-shot WorkerPool, so there is a single work-distribution and
+/// error-propagation implementation. Deterministic for independent jobs:
+/// scheduling affects only timing.
+void parallel_for(std::size_t jobs, int workers,
+                  const std::function<void(std::size_t)>& fn) {
+  WorkerPool pool(workers);
+  pool.run(jobs, fn);
 }
 
 std::string join_errors(const std::vector<std::string>& errors) {
@@ -838,7 +932,10 @@ SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds) c
     }
   }
   ScopedParamFreeze freeze(model_);
-  const int workers = worker_count(clouds.size());
+  // One persistent pool for every per-step round: worker threads (and
+  // their thread-local tensor buffer pools) live for the whole run
+  // instead of being respawned each optimization step.
+  WorkerPool pool(worker_count(clouds.size()));
 
   Rng rng(config_.seed);
   SharedDeltaResult result;
@@ -846,7 +943,7 @@ SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds) c
   for (auto& v : result.color_delta) v = rng.uniform(-config_.epsilon, config_.epsilon);
 
   result.accuracy_before.resize(clouds.size());
-  parallel_for(clouds.size(), workers, [&](std::size_t ci) {
+  pool.run(clouds.size(), [&](std::size_t ci) {
     const auto pred = model_.predict(clouds[ci]);
     result.accuracy_before[ci] =
         evaluate_segmentation(pred, clouds[ci].labels, model_.num_classes()).accuracy;
@@ -858,20 +955,28 @@ SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds) c
   // weighted accumulation below walks clouds in index order, so the
   // result is identical to sequential execution.
   std::vector<double> weights(clouds.size(), 1.0);
-  std::vector<std::vector<float>> grads(clouds.size());
+  // Per-cloud leaf tensors persist across steps: each step refreshes the
+  // values from the shared delta and zeroes the gradient in place instead
+  // of re-tensorizing (backward() released the previous step's graph).
+  std::vector<Tensor> deltas(clouds.size());
   std::vector<float> losses(clouds.size(), 0.0f);
   int step = 0;
   for (; step < config_.steps; ++step) {
-    parallel_for(clouds.size(), workers, [&](std::size_t ci) {
-      Tensor delta = Tensor::from_data({n, 3}, result.color_delta);
-      delta.set_requires_grad(true);
+    pool.run(clouds.size(), [&](std::size_t ci) {
+      Tensor& delta = deltas[ci];
+      if (!delta.defined()) {
+        delta = Tensor::from_data({n, 3}, result.color_delta);
+        delta.set_requires_grad(true);
+      } else {
+        std::copy(result.color_delta.begin(), result.color_delta.end(), delta.data());
+        delta.zero_grad();
+      }
       ModelInput input{&clouds[ci], delta, {}};
       Tensor logits = model_.forward(input, /*training=*/false);
       Tensor loss = ops::hinge_margin_loss(logits, clouds[ci].labels, {},
                                            /*targeted=*/false);
       loss.backward();
       losses[ci] = loss.item();
-      grads[ci] = delta.grad();
     });
 
     std::vector<double> grad_sum(static_cast<size_t>(n * 3), 0.0);
@@ -880,7 +985,7 @@ SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds) c
       weights[ci] = 0.5 + static_cast<double>(losses[ci]) /
                               (1.0 + static_cast<double>(losses[ci]));
       weight_total += weights[ci];
-      const auto& g = grads[ci];
+      const auto& g = deltas[ci].grad();
       if (!g.empty()) {
         for (size_t i = 0; i < grad_sum.size(); ++i) {
           grad_sum[i] += weights[ci] * static_cast<double>(g[i]);
@@ -900,7 +1005,7 @@ SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds) c
   result.steps_used = step;
 
   result.accuracy_after.resize(clouds.size());
-  parallel_for(clouds.size(), workers, [&](std::size_t ci) {
+  pool.run(clouds.size(), [&](std::size_t ci) {
     const PointCloud adv = apply_field_deltas(clouds[ci], &result.color_delta, nullptr);
     const auto pred = model_.predict(adv);
     result.accuracy_after[ci] =

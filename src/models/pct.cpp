@@ -40,8 +40,6 @@ Tensor PctSeg::forward(const ModelInput& input, bool training) {
   const int k = static_cast<int>(std::min<std::int64_t>(config_.k, n));
   const auto idx = pcss::pointcloud::knn_self(a.graph_positions, k, /*include_self=*/true);
   const float inv_sqrt_dim = 1.0f / std::sqrt(static_cast<float>(config_.dim));
-  // Broadcast helper: [N*k,1] attention weights onto [N*k,dim] values.
-  const Tensor ones_row = Tensor::full({1, config_.dim}, 1.0f);
 
   Tensor h = stem_.forward(a.features, training);
   for (auto& block : blocks_) {
@@ -60,10 +58,13 @@ Tensor PctSeg::forward(const ModelInput& input, bool training) {
 
     Tensor q_i = ops::repeat_rows(q, k);
     Tensor scores = ops::scale(ops::row_sum(ops::mul(q_i, k_j)), inv_sqrt_dim);
-    Tensor att = ops::segment_softmax(scores, k);          // [N*k, 1]
-    Tensor att_b = ops::matmul(att, ones_row);             // [N*k, dim]
-    Tensor pooled = ops::segment_sum(ops::mul(v_j, att_b), k);  // [N, dim]
-    h = ops::add(h, block.out->forward(pooled, training));  // residual
+    Tensor att = ops::segment_softmax(scores, k);  // [N*k, 1]
+    // Fused row broadcast: weights each value row by its attention score
+    // without materializing the [N*k, dim] broadcast matrix.
+    Tensor pooled = ops::segment_sum(ops::mul_rows(v_j, att), k);  // [N, dim]
+    // Residual. Not add_inplace: the block output ends in bn_relu_eval,
+    // whose backward reads its own output, so the buffer is not stealable.
+    h = ops::add(h, block.out->forward(pooled, training));
   }
   Tensor d = ops::dropout(h, config_.dropout, dropout_rng_, training);
   return head_.forward(d, training);

@@ -49,8 +49,9 @@ SaResult set_abstraction(const Tensor& feats, const Tensor& pos_tensor,
   const auto nbr_idx = knn_query(graph_pos, centroid_pos, kk);
 
   Tensor cent_pos = ops::gather_rows(pos_tensor, centroid_idx);
-  Tensor nbr_pos = ops::gather_rows(pos_tensor, nbr_idx);
-  Tensor rel = ops::sub(nbr_pos, ops::repeat_rows(cent_pos, kk));
+  // Fused grouping: neighbor-minus-centroid rows in one node instead of
+  // the gather/repeat/sub chain.
+  Tensor rel = ops::gather_sub_rows(pos_tensor, nbr_idx, centroid_idx, kk);
   Tensor grouped = ops::concat_cols(rel, ops::gather_rows(feats, nbr_idx));
   Tensor h = mlp.forward(grouped, training);
   SaResult out;

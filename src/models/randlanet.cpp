@@ -50,8 +50,9 @@ Tensor RandLANetSeg::apply_lfa(const Lfa& lfa, const Tensor& feats, const Tensor
   Tensor p_i = ops::repeat_rows(pos_tensor, k);
   Tensor diff = ops::sub(p_j, p_i);
   Tensor dist = ops::sqrt_op(ops::row_sum(ops::square(diff)));
-  // LocSE: [p_i | p_j | p_i - p_j | dist] -> positional encoding.
-  Tensor locse = ops::concat_cols(ops::concat_cols(p_i, p_j), ops::concat_cols(diff, dist));
+  // LocSE: [p_i | p_j | p_i - p_j | dist] -> positional encoding, built
+  // with the fused 4-way concat (one pass, no intermediate pairs).
+  Tensor locse = ops::concat_cols4(p_i, p_j, diff, dist);
   Tensor pe = lfa.pos_mlp->forward(locse, training);
 
   Tensor f_j = ops::gather_rows(feats, idx);

@@ -42,11 +42,13 @@ Tensor ResGCNSeg::forward(const ModelInput& input, bool training) {
     const int dilation =
         std::min(1 + (b % config_.max_dilation), std::max(wide_k / k, 1));
     const auto idx = dilate_neighbors(wide_idx, n, k, dilation);
-    Tensor x_j = ops::gather_rows(h, idx);
-    Tensor x_i = ops::repeat_rows(h, k);
-    Tensor edge = ops::concat_cols(x_i, ops::sub(x_j, x_i));
+    // Fused [x_i | x_j - x_i] edge assembly: one node instead of the
+    // gather/repeat/sub/concat chain and its three [N*k, *] temporaries.
+    Tensor edge = ops::edge_features(h, idx, k);
     Tensor msg = block_mlps_[static_cast<size_t>(b)]->forward(edge, training);
-    h = ops::add(h, ops::segment_max(msg, k));  // residual connection
+    // Residual connection; the pooled message uniquely owns its buffer,
+    // so the add runs in place.
+    h = ops::add_inplace(ops::segment_max(msg, k), h);
   }
   Tensor d = ops::dropout(h, config_.dropout, dropout_rng_, training);
   return head_.forward(d, training);

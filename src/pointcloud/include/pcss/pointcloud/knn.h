@@ -7,13 +7,27 @@
 
 namespace pcss::pointcloud {
 
-/// k nearest neighbors of each point within the same set, brute force.
-/// Returns a flat [n*k] row-major index array. When include_self is false
-/// the point itself is excluded from its own neighbor list. If fewer than
-/// k candidates exist, the last found index is repeated to keep the layout
+/// Cloud size at and above which knn_self dispatches to the grid
+/// implementation (the O(N^2) brute force loses past ~1k points on this
+/// substrate; at the cutover the two are within noise of each other).
+inline constexpr std::int64_t kKnnGridCutover = 1024;
+
+/// k nearest neighbors of each point within the same set. Returns a flat
+/// [n*k] row-major index array. When include_self is false the point
+/// itself is excluded from its own neighbor list. If fewer than k
+/// candidates exist, the last found index is repeated to keep the layout
 /// rectangular.
+///
+/// Dispatches to the exact grid search for clouds of kKnnGridCutover or
+/// more points; both paths produce identical results up to ties at the
+/// k-th distance (measure zero for real scene data).
 std::vector<std::int64_t> knn_self(const std::vector<Vec3>& points, int k,
                                    bool include_self = true);
+
+/// Brute-force O(N^2) variant, kept callable for the grid-equivalence
+/// tests and for tie-sensitive callers that need the historical order.
+std::vector<std::int64_t> knn_self_brute(const std::vector<Vec3>& points, int k,
+                                         bool include_self = true);
 
 /// k nearest neighbors of each query point among `reference` points.
 /// Returns a flat [queries.size()*k] index array into `reference`.

@@ -54,6 +54,17 @@ class TopK {
 
 std::vector<std::int64_t> knn_self(const std::vector<Vec3>& points, int k,
                                    bool include_self) {
+  // Large-N callers (outdoor scenes, model graph builds, the SOR defense
+  // statistic) all route through the grid above the cutover; brute force
+  // is O(N^2) and only wins on small clouds.
+  if (static_cast<std::int64_t>(points.size()) >= kKnnGridCutover) {
+    return knn_self_grid(points, k, include_self);
+  }
+  return knn_self_brute(points, k, include_self);
+}
+
+std::vector<std::int64_t> knn_self_brute(const std::vector<Vec3>& points, int k,
+                                         bool include_self) {
   if (k <= 0) throw std::invalid_argument("knn_self: k must be positive");
   const std::int64_t n = static_cast<std::int64_t>(points.size());
   std::vector<std::int64_t> out(static_cast<size_t>(n) * static_cast<size_t>(k));

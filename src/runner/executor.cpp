@@ -5,9 +5,11 @@
 #include <map>
 #include <span>
 #include <stdexcept>
+#include <thread>
 
 #include "pcss/core/attack_engine.h"
 #include "pcss/runner/perf.h"
+#include "pcss/tensor/pool.h"
 
 namespace pcss::runner {
 
@@ -277,6 +279,7 @@ RunDocument document_from_json(const Json& j) {
 RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
                     ResultStore& store, const RunOptions& options) {
   WallTimer timer;
+  const pcss::tensor::pool::Stats pool_before = pcss::tensor::pool::stats();
   const std::string key = run_key(spec, options.scale, provider);
   const std::string doc_key = key + ".json";
 
@@ -435,6 +438,27 @@ RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
   perf.set("num_threads", options.num_threads);
   perf.set("shard_size", shard_size);
   perf.set("fast", options.fast);
+  // Tensor buffer-pool telemetry. pool::stats() is per-thread, so the
+  // numbers only describe the whole run when it executed inline on this
+  // thread; for multi-threaded runs the block is omitted rather than
+  // reporting a misleading near-zero hit rate.
+  const int effective_workers =
+      options.num_threads > 0
+          ? options.num_threads
+          : std::max(1u, std::thread::hardware_concurrency());
+  if (effective_workers == 1) {
+    const pcss::tensor::pool::Stats pool_after = pcss::tensor::pool::stats();
+    const std::uint64_t acquires = pool_after.acquires - pool_before.acquires;
+    const std::uint64_t hits = pool_after.hits - pool_before.hits;
+    Json pool = Json::object();
+    pool.set("acquires", static_cast<double>(acquires));
+    pool.set("hit_rate", acquires > 0 ? static_cast<double>(hits) /
+                                            static_cast<double>(acquires)
+                                      : 0.0);
+    pool.set("cached_mb",
+             static_cast<double>(pool_after.cached_floats) * 4.0 / 1048576.0);
+    perf.set("tensor_pool", std::move(pool));
+  }
   store.put(key + ".perf.json", perf.dump() + "\n");
   return out;
 }

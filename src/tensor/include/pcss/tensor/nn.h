@@ -71,6 +71,9 @@ class BatchNorm1d : public Module {
   explicit BatchNorm1d(std::int64_t features, float momentum = 0.1f, float eps = 1e-5f);
 
   Tensor forward(const Tensor& x, bool training);
+  /// BN followed by ReLU; in eval mode the two run as one fused
+  /// scale+shift+ReLU pass (bitwise-identical to the composition).
+  Tensor forward_relu(const Tensor& x, bool training);
 
   void collect_params(const std::string& prefix, std::vector<NamedParam>& out) override;
   void collect_buffers(const std::string& prefix, std::vector<NamedBuffer>& out) override;

@@ -19,6 +19,12 @@ Tensor add(const Tensor& a, const Tensor& b);
 Tensor sub(const Tensor& a, const Tensor& b);
 Tensor mul(const Tensor& a, const Tensor& b);
 
+/// In-place add: consumes `a` (pass with std::move) and reuses its buffer
+/// for the result when the node uniquely owns it; otherwise falls back to
+/// the allocating add(). Autograd-safe (add's backward never reads the
+/// overwritten values). Bitwise-identical to add(a, b).
+Tensor add_inplace(Tensor a, const Tensor& b);
+
 // -- Scalar broadcast ---------------------------------------------------------
 Tensor scale(const Tensor& a, float s);
 Tensor add_scalar(const Tensor& a, float s);
@@ -31,8 +37,18 @@ Tensor add_rowvec(const Tensor& x, const Tensor& bias);
 /// [N, K] x [K, M] -> [N, M].
 Tensor matmul(const Tensor& a, const Tensor& b);
 
+/// Fused fully-connected layer: matmul(x, w) with the row-vector bias
+/// added in the kernel epilogue (pass an undefined bias to skip it).
+/// Bitwise-identical to add_rowvec(matmul(x, w), bias), one node instead
+/// of two and no intermediate buffer.
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias);
+
 // -- Nonlinearities -------------------------------------------------------------
 Tensor relu(const Tensor& a);
+/// In-place relu: consumes `a` (pass with std::move) and reuses its
+/// buffer when uniquely owned; falls back to relu() otherwise. Backward
+/// uses the output sign (relu(x) > 0 iff x > 0).
+Tensor relu_inplace(Tensor a);
 Tensor leaky_relu(const Tensor& a, float negative_slope);
 Tensor tanh_op(const Tensor& a);
 Tensor sigmoid(const Tensor& a);
@@ -62,6 +78,11 @@ Tensor repeat_rows(const Tensor& x, std::int64_t k);
 /// Column-wise concatenation: [N, C1] + [N, C2] -> [N, C1+C2].
 Tensor concat_cols(const Tensor& a, const Tensor& b);
 
+/// Four-way column concatenation in one node/pass. Bitwise-identical to
+/// concat_cols(concat_cols(a, b), concat_cols(c, d)) without the two
+/// intermediate copies (RandLA-Net's LocSE assembly).
+Tensor concat_cols4(const Tensor& a, const Tensor& b, const Tensor& c, const Tensor& d);
+
 /// Columns [c0, c1) of x: [N, C] -> [N, c1-c0].
 Tensor slice_cols(const Tensor& x, std::int64_t c0, std::int64_t c1);
 
@@ -69,6 +90,26 @@ Tensor slice_cols(const Tensor& x, std::int64_t c0, std::int64_t c1);
 /// Used by the feature assembler to splice a perturbation tensor into a
 /// constant feature matrix while keeping gradient flow to the delta only.
 Tensor scatter_add_cols(const Tensor& base, const Tensor& delta, std::int64_t col0);
+
+// -- Fused model-block ops -----------------------------------------------------
+/// EdgeConv edge assembly in one node: for each point i and its r-th
+/// neighbor j = idx[i*k+r], row (i*k+r) is [x_i | x_j - x_i]. Forward and
+/// backward are bitwise-identical to the unfused
+/// concat_cols(repeat_rows(h, k), sub(gather_rows(h, idx), repeat_rows(h, k)))
+/// chain, built without the three intermediate [N*k, *] tensors.
+Tensor edge_features(const Tensor& h, const std::vector<std::int64_t>& idx,
+                     std::int64_t k);
+
+/// Grouped relative rows: out[i*k+r] = x[idx_a[i*k+r]] - x[idx_b[i]].
+/// Bitwise-identical to sub(gather_rows(x, idx_a),
+/// repeat_rows(gather_rows(x, idx_b), k)) (PointNet++ grouping).
+Tensor gather_sub_rows(const Tensor& x, const std::vector<std::int64_t>& idx_a,
+                       const std::vector<std::int64_t>& idx_b, std::int64_t k);
+
+/// Row-broadcast multiply: out[i, j] = x[i, j] * col[i] with col [N, 1].
+/// Bitwise-identical to mul(x, matmul(col, ones_row)) (PCT's attention
+/// broadcast) without materializing the broadcast matrix.
+Tensor mul_rows(const Tensor& x, const Tensor& col);
 
 // -- Segment (neighbor-group) reductions over [N*K, C] -----------------------
 Tensor segment_max(const Tensor& x, std::int64_t k);   ///< -> [N, C]
@@ -103,6 +144,15 @@ Tensor smoothness_penalty(const Tensor& x, const std::vector<std::int64_t>& neig
 Tensor batch_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                   std::vector<float>& running_mean, std::vector<float>& running_var,
                   bool training, float momentum = 0.1f, float eps = 1e-5f);
+
+/// Fused eval-mode BatchNorm + ReLU: the running statistics reduce BN to
+/// a per-channel scale+shift, applied together with the ReLU in a single
+/// pass. Bitwise-identical to relu(batch_norm(x, ..., training=false)).
+/// The attack inner loop always runs models in eval mode, so this is the
+/// hot normalization path.
+Tensor bn_relu_eval(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                    const std::vector<float>& running_mean,
+                    const std::vector<float>& running_var, float eps = 1e-5f);
 
 /// Inverted dropout; identity in eval mode.
 Tensor dropout(const Tensor& x, float p, Rng& rng, bool training);

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// Per-thread size-class buffer pool backing TensorImpl storage.
+///
+/// Every tensor data/grad buffer is acquired from (and on destruction
+/// returned to) the calling thread's free lists, so the attack inner loop
+/// reaches a steady state where each step's graph is built entirely from
+/// recycled buffers. Pools are strictly thread-local: a buffer is only
+/// ever handed out by the thread that holds it, so there is no locking
+/// and no cross-thread aliasing; a buffer released on another thread
+/// simply joins that thread's pool.
+///
+/// Size classes are powers of two (min 64 floats). acquire() hands back a
+/// buffer whose capacity is at least the requested size with *unspecified*
+/// contents; callers that accumulate must use acquire_zeroed().
+namespace pcss::tensor::pool {
+
+/// Counters for the calling thread's pool. `cached_*` describe buffers
+/// currently parked in the free lists; the steady-state memory test
+/// asserts they stay flat across attack steps.
+struct Stats {
+  std::uint64_t acquires = 0;  ///< total acquire / acquire_zeroed calls
+  std::uint64_t hits = 0;      ///< acquires served from a free list
+  std::uint64_t releases = 0;  ///< buffers parked back into a free list
+  std::uint64_t discards = 0;  ///< released buffers dropped (class/byte cap)
+  std::size_t cached_buffers = 0;
+  std::size_t cached_floats = 0;  ///< sum of cached capacities
+};
+
+/// Buffer of size n with unspecified contents (fast path: no fill).
+std::vector<float> acquire(std::size_t n);
+/// Buffer of size n, zero-filled (for accumulation targets and grads).
+std::vector<float> acquire_zeroed(std::size_t n);
+/// Returns a buffer to the calling thread's pool (or frees it when the
+/// pool is over its cap or the thread is shutting down).
+void release(std::vector<float>&& buffer) noexcept;
+
+Stats stats() noexcept;
+void reset_stats() noexcept;
+/// Frees every cached buffer of the calling thread.
+void trim() noexcept;
+
+}  // namespace pcss::tensor::pool

@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,21 +20,63 @@ std::string shape_str(const Shape& shape);
 struct TensorImpl;
 using TensorImplPtr = std::shared_ptr<TensorImpl>;
 
+/// Reverse-mode rule for one node: reads the node's grad (and the inline
+/// op state / context below) and accumulates into its parents' grads.
+///
+/// A plain function pointer acts as the op tag; per-node state lives in
+/// the TensorImpl's inline scalar slots or, for ops that must save
+/// buffers, in an optional BackwardCtx. This replaces the previous
+/// std::function closures (one type-erased heap allocation per node) with
+/// a single indirect call and zero allocations for scalar-parameterized
+/// ops.
+using BackwardFn = void (*)(TensorImpl& node);
+
+/// Saved-state record for backward rules that need more than scalars.
+/// Field meaning is op-specific; `fbuf` returns to the buffer pool on
+/// destruction.
+struct BackwardCtx {
+  std::vector<float> fbuf;            ///< saved activations / weights / stats
+  std::vector<std::int64_t> ibuf;     ///< saved indices
+  std::vector<int> labels;            ///< class labels (loss ops)
+  std::vector<std::uint8_t> mask;     ///< row mask (loss ops)
+  ~BackwardCtx();
+};
+
 /// Storage node shared by Tensor handles. Holds the value, the gradient
-/// (allocated lazily), and the reverse-mode closure linking it to its
-/// parents in the autograd graph.
+/// (allocated lazily from the per-thread buffer pool), and the reverse-mode
+/// dispatch record linking it to its parents in the autograd graph.
 struct TensorImpl {
   std::vector<float> data;
   std::vector<float> grad;  ///< empty until touched by backward()
   Shape shape;
   bool requires_grad = false;
   std::vector<TensorImplPtr> parents;
-  /// Reads this node's grad and accumulates into parents' grads.
-  std::function<void(TensorImpl&)> backward_fn;
+  BackwardFn backward_fn = nullptr;
+  /// Inline op state (meaning is op-specific: a stride, a segment width,
+  /// a scale factor...). Avoids a BackwardCtx allocation for most ops.
+  std::int64_t op_i0 = 0;
+  std::int64_t op_i1 = 0;
+  float op_f0 = 0.0f;
+  bool op_flag = false;
+  /// True when backward_fn reads this node's own `data` (tanh, sigmoid,
+  /// softmax, fused BN+ReLU...). In-place ops must not steal the value
+  /// buffer of such a node.
+  bool backward_reads_output = false;
+  /// Set by release_graph() on nodes that carried backward state: a
+  /// later backward() visiting such a node fails loudly instead of
+  /// silently producing truncated gradients.
+  bool graph_released = false;
+  std::unique_ptr<BackwardCtx> ctx;
 
-  std::int64_t numel() const { return static_cast<std::int64_t>(data.size()); }
-  /// Allocates (zero-filled) the gradient buffer if absent.
+  ~TensorImpl();  ///< returns data/grad to the thread's buffer pool
+
+  std::int64_t numel() const { return shape_numel(shape); }
+  /// Allocates (zero-filled, from the pool) the gradient buffer if absent.
   void ensure_grad();
+  /// Drops graph edges and backward state while keeping data/grad.
+  /// Called by Tensor::backward() once traversal completes, so a long
+  /// attack run never retains a step's graph through lingering handles.
+  void release_graph();
 };
 
 /// Value-semantic handle to a TensorImpl. Copies alias the same storage;
@@ -78,7 +119,12 @@ class Tensor {
   const std::vector<float>& grad() const;
   std::vector<float>& grad_ref();
   void zero_grad();
-  /// Reverse-mode accumulation from this (scalar) tensor.
+  /// Reverse-mode accumulation from this (scalar) tensor. After the
+  /// traversal the graph is released (PyTorch's retain_graph=false):
+  /// every visited node drops its parent edges and backward state, so
+  /// intermediate buffers return to the pool as soon as the last handle
+  /// dies. Calling backward() twice on the same graph is unsupported;
+  /// rebuild the graph (define-by-run) instead.
   void backward();
 
   /// Copy of the data with no autograd history.

@@ -15,9 +15,9 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng, bo
 }
 
 Tensor Linear::forward(const Tensor& x) const {
-  Tensor y = ops::matmul(x, weight_);
-  if (bias_.defined()) y = ops::add_rowvec(y, bias_);
-  return y;
+  // Fused matmul+bias kernel; bitwise-identical to
+  // add_rowvec(matmul(x, weight_), bias_).
+  return ops::linear(x, weight_, bias_);
 }
 
 void Linear::collect_params(const std::string& prefix, std::vector<NamedParam>& out) {
@@ -39,6 +39,16 @@ BatchNorm1d::BatchNorm1d(std::int64_t features, float momentum, float eps)
 Tensor BatchNorm1d::forward(const Tensor& x, bool training) {
   return ops::batch_norm(x, gamma_, beta_, running_mean_, running_var_, training, momentum_,
                          eps_);
+}
+
+Tensor BatchNorm1d::forward_relu(const Tensor& x, bool training) {
+  if (!training) {
+    // Eval mode reduces BN to a per-channel scale+shift; fuse it with the
+    // ReLU (the attack inner loop's hot path). Bitwise-identical to the
+    // unfused composition below.
+    return ops::bn_relu_eval(x, gamma_, beta_, running_mean_, running_var_, eps_);
+  }
+  return ops::relu(forward(x, training));
 }
 
 void BatchNorm1d::collect_params(const std::string& prefix, std::vector<NamedParam>& out) {
@@ -69,8 +79,7 @@ Tensor Mlp::forward(const Tensor& x, bool training) {
     h = linears_[i]->forward(h);
     const bool last = (i + 1 == linears_.size());
     if (!last || final_activation_) {
-      h = norms_[i]->forward(h, training);
-      h = ops::relu(h);
+      h = norms_[i]->forward_relu(h, training);
     }
   }
   return h;

@@ -5,16 +5,35 @@
 #include <limits>
 #include <utility>
 
+#include "pcss/tensor/pool.h"
+
+// NodeArgs is passed with designated initializers; omitted fields are
+// value-initialized per the standard, so the "missing initializer"
+// diagnostic is noise here.
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+
 namespace pcss::tensor::ops {
 
 namespace {
 
 using detail::check;
 
-/// Builds the result node, wiring parents and the backward closure only when
-/// some input participates in autograd.
+/// Optional per-node backward state passed to make_node. Scalars land in
+/// the TensorImpl's inline slots; buffer-carrying ops attach a ctx.
+struct NodeArgs {
+  std::int64_t i0 = 0;
+  std::int64_t i1 = 0;
+  float f0 = 0.0f;
+  bool flag = false;
+  bool needs_output = false;  ///< backward reads the node's own data
+  std::unique_ptr<BackwardCtx> ctx;
+};
+
+/// Builds the result node, wiring parents and the backward dispatch only
+/// when some input participates in autograd (predict-mode graphs carry no
+/// backward state at all).
 Tensor make_node(Shape shape, std::vector<float> data, std::vector<TensorImplPtr> parents,
-                 std::function<void(TensorImpl&)> backward_fn) {
+                 BackwardFn backward_fn, NodeArgs args = {}) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
   impl->data = std::move(data);
@@ -25,146 +44,826 @@ Tensor make_node(Shape shape, std::vector<float> data, std::vector<TensorImplPtr
   if (rg) {
     impl->requires_grad = true;
     impl->parents = std::move(parents);
-    impl->backward_fn = std::move(backward_fn);
+    impl->backward_fn = backward_fn;
+    impl->op_i0 = args.i0;
+    impl->op_i1 = args.i1;
+    impl->op_f0 = args.f0;
+    impl->op_flag = args.flag;
+    impl->backward_reads_output = args.needs_output;
+    impl->ctx = std::move(args.ctx);
   }
   return Tensor(std::move(impl));
 }
 
-/// Naive cache-friendly GEMM: C[n,m] += A[n,k] * B[k,m].
-void gemm_acc(const float* a, const float* b, float* c, std::int64_t n, std::int64_t k,
-              std::int64_t m) {
-  for (std::int64_t i = 0; i < n; ++i) {
+// ---------------------------------------------------------------------------
+// GEMM micro-kernels.
+//
+// All three kernels accumulate every output element in ascending-p order
+// with a single accumulation chain, independent of register blocking, so
+// results are bit-identical for any tile size and any thread count. The
+// previous per-element `av == 0.0f` skip is gone: the dense axpy inner
+// loops are branch-free and vectorize, which beats skipping ~half the
+// work scalar-by-scalar on post-ReLU activations.
+// ---------------------------------------------------------------------------
+
+/// C[n,m] += A[n,k] * B[k,m]. Register-blocked over 4 rows of A so each
+/// B row loaded from L1 is reused 4x; the j loop is a contiguous axpy.
+void gemm_nn(const float* __restrict a, const float* __restrict b, float* __restrict c,
+             std::int64_t n, std::int64_t k, std::int64_t m) {
+  std::int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float* a0 = a + (i + 0) * k;
+    const float* a1 = a + (i + 1) * k;
+    const float* a2 = a + (i + 2) * k;
+    const float* a3 = a + (i + 3) * k;
+    float* c0 = c + (i + 0) * m;
+    float* c1 = c + (i + 1) * m;
+    float* c2 = c + (i + 2) * m;
+    float* c3 = c + (i + 3) * m;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float* br = b + p * m;
+      const float av0 = a0[p];
+      const float av1 = a1[p];
+      const float av2 = a2[p];
+      const float av3 = a3[p];
+      for (std::int64_t j = 0; j < m; ++j) {
+        c0[j] += av0 * br[j];
+        c1[j] += av1 * br[j];
+        c2[j] += av2 * br[j];
+        c3[j] += av3 * br[j];
+      }
+    }
+  }
+  for (; i < n; ++i) {
     const float* arow = a + i * k;
     float* crow = c + i * m;
     for (std::int64_t p = 0; p < k; ++p) {
       const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b + p * m;
-      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
+      const float* br = b + p * m;
+      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * br[j];
     }
   }
 }
 
-/// C[n,m] += A^T where A is [k,n]: C += A(T) * B with A stored [k,n].
-void gemm_at_b(const float* a, const float* b, float* c, std::int64_t k, std::int64_t n,
-               std::int64_t m) {
-  // C[n,m] += sum_p A[p,n] * B[p,m]
+/// C[n,m] += A^T * B where A is stored [k,n]. The [n,m] output stays hot
+/// in cache (it is a weight-shaped gradient), so a p-outer axpy suffices.
+void gemm_at_b(const float* __restrict a, const float* __restrict b, float* __restrict c,
+               std::int64_t k, std::int64_t n, std::int64_t m) {
   for (std::int64_t p = 0; p < k; ++p) {
     const float* arow = a + p * n;
     const float* brow = b + p * m;
     for (std::int64_t i = 0; i < n; ++i) {
       const float av = arow[i];
-      if (av == 0.0f) continue;
       float* crow = c + i * m;
       for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
     }
   }
 }
 
-/// C[n,k] += A[n,m] * B^T where B is [k,m].
-void gemm_a_bt(const float* a, const float* b, float* c, std::int64_t n, std::int64_t m,
-               std::int64_t k) {
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* arow = a + i * m;
-    float* crow = c + i * k;
-    for (std::int64_t j = 0; j < k; ++j) {
-      const float* brow = b + j * m;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < m; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
+/// C[n,k] += A[n,m] * B^T where B is [k,m]. B is packed (transposed) into
+/// a pooled [m,k] buffer once, turning the dot-product form into the same
+/// vectorizable axpy kernel as gemm_nn.
+void gemm_a_bt(const float* __restrict a, const float* __restrict b, float* __restrict c,
+               std::int64_t n, std::int64_t m, std::int64_t k) {
+  std::vector<float> bt = pool::acquire(static_cast<size_t>(m * k));
+  for (std::int64_t j = 0; j < k; ++j) {
+    for (std::int64_t p = 0; p < m; ++p) bt[static_cast<size_t>(p * k + j)] = b[j * m + p];
   }
-}
-
-Tensor binary_same_shape(const Tensor& a, const Tensor& b, const char* name,
-                         float (*fwd)(float, float),
-                         std::pair<float, float> (*partials)(float, float)) {
-  check(a.defined() && b.defined(), std::string(name) + ": undefined input");
-  check(a.shape() == b.shape(), std::string(name) + ": shape mismatch " +
-                                    shape_str(a.shape()) + " vs " + shape_str(b.shape()));
-  std::vector<float> out(static_cast<size_t>(a.numel()));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(pa[i], pb[i]);
-  auto ia = a.impl();
-  auto ib = b.impl();
-  return make_node(a.shape(), std::move(out), {ia, ib},
-                   [ia, ib, partials](TensorImpl& node) {
-                     const size_t n = node.grad.size();
-                     if (ia->requires_grad) ia->ensure_grad();
-                     if (ib->requires_grad) ib->ensure_grad();
-                     for (size_t i = 0; i < n; ++i) {
-                       auto [da, db] = partials(ia->data[i], ib->data[i]);
-                       if (ia->requires_grad) ia->grad[i] += node.grad[i] * da;
-                       if (ib->requires_grad) ib->grad[i] += node.grad[i] * db;
-                     }
-                   });
-}
-
-Tensor unary(const Tensor& a, const char* name, float (*fwd)(float),
-             float (*dfdx)(float)) {
-  check(a.defined(), std::string(name) + ": undefined input");
-  std::vector<float> out(static_cast<size_t>(a.numel()));
-  const float* pa = a.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(pa[i]);
-  auto ia = a.impl();
-  return make_node(a.shape(), std::move(out), {ia}, [ia, dfdx](TensorImpl& node) {
-    if (!ia->requires_grad) return;
-    ia->ensure_grad();
-    for (size_t i = 0; i < node.grad.size(); ++i) {
-      ia->grad[i] += node.grad[i] * dfdx(ia->data[i]);
-    }
-  });
+  gemm_nn(a, bt.data(), c, n, m, k);
+  pool::release(std::move(bt));
 }
 
 void check_matrix(const Tensor& t, const char* name) {
   check(t.defined() && t.rank() == 2, std::string(name) + ": expected rank-2 tensor");
 }
 
+TensorImpl* parent(TensorImpl& node, size_t i) { return node.parents[i].get(); }
+
+// ---------------------------------------------------------------------------
+// Backward rules. Each reads the node's grad plus inline/ctx state and
+// accumulates into the parents; expression shapes mirror the previous
+// closure implementations exactly so gradients stay bit-identical.
+// ---------------------------------------------------------------------------
+
+void add_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  TensorImpl* pb = parent(node, 1);
+  const size_t n = node.grad.size();
+  if (pa->requires_grad) {
+    pa->ensure_grad();
+    for (size_t i = 0; i < n; ++i) pa->grad[i] += node.grad[i];
+  }
+  if (pb->requires_grad) {
+    pb->ensure_grad();
+    for (size_t i = 0; i < n; ++i) pb->grad[i] += node.grad[i];
+  }
+}
+
+void sub_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  TensorImpl* pb = parent(node, 1);
+  const size_t n = node.grad.size();
+  if (pa->requires_grad) {
+    pa->ensure_grad();
+    for (size_t i = 0; i < n; ++i) pa->grad[i] += node.grad[i];
+  }
+  if (pb->requires_grad) {
+    pb->ensure_grad();
+    for (size_t i = 0; i < n; ++i) pb->grad[i] += -node.grad[i];
+  }
+}
+
+void mul_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  TensorImpl* pb = parent(node, 1);
+  const size_t n = node.grad.size();
+  if (pa->requires_grad) {
+    pa->ensure_grad();
+    for (size_t i = 0; i < n; ++i) pa->grad[i] += node.grad[i] * pb->data[i];
+  }
+  if (pb->requires_grad) {
+    pb->ensure_grad();
+    for (size_t i = 0; i < n; ++i) pb->grad[i] += node.grad[i] * pa->data[i];
+  }
+}
+
+void scale_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  if (!pa->requires_grad) return;
+  pa->ensure_grad();
+  const float s = node.op_f0;
+  for (size_t i = 0; i < node.grad.size(); ++i) pa->grad[i] += node.grad[i] * s;
+}
+
+void add_scalar_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  if (!pa->requires_grad) return;
+  pa->ensure_grad();
+  for (size_t i = 0; i < node.grad.size(); ++i) pa->grad[i] += node.grad[i];
+}
+
+void add_rowvec_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  TensorImpl* pb = parent(node, 1);
+  const std::int64_t n = node.shape[0], c = node.shape[1];
+  if (px->requires_grad) {
+    px->ensure_grad();
+    for (size_t i = 0; i < node.grad.size(); ++i) px->grad[i] += node.grad[i];
+  }
+  if (pb->requires_grad) {
+    pb->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < c; ++j) pb->grad[j] += node.grad[i * c + j];
+    }
+  }
+}
+
+void matmul_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  TensorImpl* pb = parent(node, 1);
+  const std::int64_t n = pa->shape[0], k = pa->shape[1], m = pb->shape[1];
+  if (pa->requires_grad) {
+    pa->ensure_grad();
+    // dA = dY * B^T
+    gemm_a_bt(node.grad.data(), pb->data.data(), pa->grad.data(), n, m, k);
+  }
+  if (pb->requires_grad) {
+    pb->ensure_grad();
+    // dB = A^T * dY
+    gemm_at_b(pa->data.data(), node.grad.data(), pb->grad.data(), n, k, m);
+  }
+}
+
+void linear_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  TensorImpl* pw = parent(node, 1);
+  const std::int64_t n = px->shape[0], k = px->shape[1], m = pw->shape[1];
+  if (px->requires_grad) {
+    px->ensure_grad();
+    gemm_a_bt(node.grad.data(), pw->data.data(), px->grad.data(), n, m, k);
+  }
+  if (pw->requires_grad) {
+    pw->ensure_grad();
+    gemm_at_b(px->data.data(), node.grad.data(), pw->grad.data(), n, k, m);
+  }
+  if (node.parents.size() > 2) {
+    TensorImpl* pbias = parent(node, 2);
+    if (pbias->requires_grad) {
+      pbias->ensure_grad();
+      for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t j = 0; j < m; ++j) pbias->grad[j] += node.grad[i * m + j];
+      }
+    }
+  }
+}
+
+void relu_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  if (!pa->requires_grad) return;
+  pa->ensure_grad();
+  for (size_t i = 0; i < node.grad.size(); ++i) {
+    pa->grad[i] += node.grad[i] * (pa->data[i] > 0.0f ? 1.0f : 0.0f);
+  }
+}
+
+/// In-place relu: the node owns the (transformed) buffer, so the sign of
+/// the *output* stands in for the input sign (relu(x) > 0 iff x > 0).
+void relu_inplace_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  if (!pa->requires_grad) return;
+  pa->ensure_grad();
+  for (size_t i = 0; i < node.grad.size(); ++i) {
+    pa->grad[i] += node.grad[i] * (node.data[i] > 0.0f ? 1.0f : 0.0f);
+  }
+}
+
+void leaky_relu_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  if (!pa->requires_grad) return;
+  pa->ensure_grad();
+  const float slope = node.op_f0;
+  for (size_t i = 0; i < node.grad.size(); ++i) {
+    pa->grad[i] += node.grad[i] * (pa->data[i] > 0.0f ? 1.0f : slope);
+  }
+}
+
+void tanh_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  if (!pa->requires_grad) return;
+  pa->ensure_grad();
+  for (size_t i = 0; i < node.grad.size(); ++i) {
+    const float t = node.data[i];  // the node's own output, no saved copy
+    pa->grad[i] += node.grad[i] * (1.0f - t * t);
+  }
+}
+
+void sigmoid_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  if (!pa->requires_grad) return;
+  pa->ensure_grad();
+  for (size_t i = 0; i < node.grad.size(); ++i) {
+    const float s = node.data[i];
+    pa->grad[i] += node.grad[i] * s * (1.0f - s);
+  }
+}
+
+void square_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  if (!pa->requires_grad) return;
+  pa->ensure_grad();
+  for (size_t i = 0; i < node.grad.size(); ++i) {
+    pa->grad[i] += node.grad[i] * (2.0f * pa->data[i]);
+  }
+}
+
+void sum_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  if (!pa->requires_grad) return;
+  pa->ensure_grad();
+  const float g = node.grad[0];
+  for (auto& v : pa->grad) v += g;
+}
+
+void row_sum_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  if (!pa->requires_grad) return;
+  pa->ensure_grad();
+  const std::int64_t n = pa->shape[0], c = pa->shape[1];
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float g = node.grad[i];
+    for (std::int64_t j = 0; j < c; ++j) pa->grad[i * c + j] += g;
+  }
+}
+
+void sqrt_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  if (!pa->requires_grad) return;
+  pa->ensure_grad();
+  for (size_t i = 0; i < node.grad.size(); ++i) {
+    const float y = std::max(node.data[i], 1e-8f);
+    pa->grad[i] += node.grad[i] * 0.5f / y;
+  }
+}
+
+void gather_rows_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const std::int64_t c = node.shape[1];
+  const auto& id = node.ctx->ibuf;
+  for (size_t i = 0; i < id.size(); ++i) {
+    float* dst = px->grad.data() + id[i] * c;
+    const float* src = node.grad.data() + static_cast<std::int64_t>(i) * c;
+    for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+  }
+}
+
+void weighted_gather_rows_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const std::int64_t c = node.shape[1];
+  const std::int64_t k_per_row = node.op_i0;
+  const auto& id = node.ctx->ibuf;
+  const auto& w = node.ctx->fbuf;
+  const std::int64_t nout = static_cast<std::int64_t>(id.size()) / k_per_row;
+  for (std::int64_t i = 0; i < nout; ++i) {
+    const float* src = node.grad.data() + i * c;
+    for (std::int64_t k = 0; k < k_per_row; ++k) {
+      float* dst = px->grad.data() + id[static_cast<size_t>(i * k_per_row + k)] * c;
+      const float wk = w[static_cast<size_t>(i * k_per_row + k)];
+      for (std::int64_t j = 0; j < c; ++j) dst[j] += wk * src[j];
+    }
+  }
+}
+
+void repeat_rows_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const std::int64_t k = node.op_i0;
+  const std::int64_t n = px->shape[0], c = px->shape[1];
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* dst = px->grad.data() + i * c;
+    for (std::int64_t r = 0; r < k; ++r) {
+      const float* src = node.grad.data() + (i * k + r) * c;
+      for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+    }
+  }
+}
+
+void concat_cols_bw(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  TensorImpl* pb = parent(node, 1);
+  const std::int64_t n = node.shape[0];
+  const std::int64_t ca = pa->shape[1], cb = pb->shape[1];
+  if (pa->requires_grad) {
+    pa->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* src = node.grad.data() + i * (ca + cb);
+      float* dst = pa->grad.data() + i * ca;
+      for (std::int64_t j = 0; j < ca; ++j) dst[j] += src[j];
+    }
+  }
+  if (pb->requires_grad) {
+    pb->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* src = node.grad.data() + i * (ca + cb) + ca;
+      float* dst = pb->grad.data() + i * cb;
+      for (std::int64_t j = 0; j < cb; ++j) dst[j] += src[j];
+    }
+  }
+}
+
+void slice_cols_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const std::int64_t c0 = node.op_i0;
+  const std::int64_t n = node.shape[0], w = node.shape[1], c = px->shape[1];
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* src = node.grad.data() + i * w;
+    float* dst = px->grad.data() + i * c + c0;
+    for (std::int64_t j = 0; j < w; ++j) dst[j] += src[j];
+  }
+}
+
+void scatter_add_cols_bw(TensorImpl& node) {
+  TensorImpl* pbase = parent(node, 0);
+  TensorImpl* pdelta = parent(node, 1);
+  const std::int64_t col0 = node.op_i0;
+  const std::int64_t n = node.shape[0], c = node.shape[1], d = pdelta->shape[1];
+  if (pbase->requires_grad) {
+    pbase->ensure_grad();
+    for (size_t i = 0; i < node.grad.size(); ++i) pbase->grad[i] += node.grad[i];
+  }
+  if (pdelta->requires_grad) {
+    pdelta->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < d; ++j) {
+        pdelta->grad[i * d + j] += node.grad[i * c + col0 + j];
+      }
+    }
+  }
+}
+
+void segment_max_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const std::int64_t k = node.op_i0;
+  const std::int64_t n = node.shape[0], c = node.shape[1];
+  const auto& arg = node.ctx->ibuf;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      const std::int64_t r = arg[static_cast<size_t>(i * c + j)];
+      px->grad[(i * k + r) * c + j] += node.grad[i * c + j];
+    }
+  }
+}
+
+void segment_sum_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const std::int64_t k = node.op_i0;
+  const std::int64_t n = node.shape[0], c = node.shape[1];
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* src = node.grad.data() + i * c;
+    for (std::int64_t r = 0; r < k; ++r) {
+      float* dst = px->grad.data() + (i * k + r) * c;
+      for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+    }
+  }
+}
+
+void segment_softmax_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const std::int64_t k = node.op_i0;
+  const std::int64_t n = px->shape[0] / k, c = px->shape[1];
+  const float* y = node.data.data();  // the softmax output itself
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      float dot = 0.0f;
+      for (std::int64_t r = 0; r < k; ++r) {
+        const std::int64_t off = (i * k + r) * c + j;
+        dot += node.grad[off] * y[off];
+      }
+      for (std::int64_t r = 0; r < k; ++r) {
+        const std::int64_t off = (i * k + r) * c + j;
+        px->grad[off] += y[off] * (node.grad[off] - dot);
+      }
+    }
+  }
+}
+
+void log_softmax_rows_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const std::int64_t n = node.shape[0], c = node.shape[1];
+  const float* logp = node.data.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    float gsum = 0.0f;
+    for (std::int64_t j = 0; j < c; ++j) gsum += node.grad[i * c + j];
+    for (std::int64_t j = 0; j < c; ++j) {
+      px->grad[i * c + j] += node.grad[i * c + j] - std::exp(logp[i * c + j]) * gsum;
+    }
+  }
+}
+
+void nll_loss_masked_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const std::int64_t n = px->shape[0], c = px->shape[1];
+  const auto& labels = node.ctx->labels;
+  const auto& mask = node.ctx->mask;
+  const float g = node.grad[0] * node.op_f0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!mask.empty() && !mask[static_cast<size_t>(i)]) continue;
+    px->grad[i * c + labels[static_cast<size_t>(i)]] -= g;
+  }
+}
+
+void hinge_margin_loss_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const std::int64_t n = px->shape[0], c = px->shape[1];
+  const auto& labels = node.ctx->labels;
+  const auto& best_j = node.ctx->ibuf;
+  const float g = node.grad[0];
+  const float sy = node.op_flag ? -1.0f : 1.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t bj = best_j[static_cast<size_t>(i)];
+    if (bj < 0) continue;  // hinge inactive or masked out
+    px->grad[i * c + labels[static_cast<size_t>(i)]] += g * sy;
+    px->grad[i * c + bj] -= g * sy;
+  }
+}
+
+void smoothness_penalty_bw(TensorImpl& node) {
+  TensorImpl* px_node = parent(node, 0);
+  if (!px_node->requires_grad) return;
+  px_node->ensure_grad();
+  constexpr float kEps = 1e-8f;
+  const std::int64_t alpha = node.op_i0;
+  const std::int64_t n = px_node->shape[0], c = px_node->shape[1];
+  const auto& idx = node.ctx->ibuf;
+  const float g = node.grad[0];
+  const float* px = px_node->data.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t k = 0; k < alpha; ++k) {
+      const std::int64_t j = idx[static_cast<size_t>(i * alpha + k)];
+      float d2 = 0.0f;
+      for (std::int64_t t = 0; t < c; ++t) {
+        const float d = px[i * c + t] - px[j * c + t];
+        d2 += d * d;
+      }
+      const float dist = std::sqrt(std::max(d2, kEps * kEps));
+      for (std::int64_t t = 0; t < c; ++t) {
+        const float u = (px[i * c + t] - px[j * c + t]) / dist;
+        px_node->grad[i * c + t] += g * u;
+        px_node->grad[j * c + t] -= g * u;
+      }
+    }
+  }
+}
+
+void batch_norm_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  TensorImpl* pg = parent(node, 1);
+  TensorImpl* pb = parent(node, 2);
+  const std::int64_t n = node.shape[0], c = node.shape[1];
+  // ctx.fbuf layout: [xhat (n*c) | inv_std (c)].
+  const float* xhat = node.ctx->fbuf.data();
+  const float* inv_std = xhat + n * c;
+  const float* gamma = pg->data.data();
+  if (pg->requires_grad) {
+    pg->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < c; ++j) {
+        pg->grad[j] += node.grad[i * c + j] * xhat[i * c + j];
+      }
+    }
+  }
+  if (pb->requires_grad) {
+    pb->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < c; ++j) pb->grad[j] += node.grad[i * c + j];
+    }
+  }
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  if (!node.op_flag) {  // eval mode
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < c; ++j) {
+        px->grad[i * c + j] += node.grad[i * c + j] * gamma[j] * inv_std[j];
+      }
+    }
+    return;
+  }
+  // Training mode: gradient through the batch statistics.
+  const float invn = 1.0f / static_cast<float>(n);
+  for (std::int64_t j = 0; j < c; ++j) {
+    float sum_dy = 0.0f, sum_dy_xhat = 0.0f;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float dyg = node.grad[i * c + j] * gamma[j];
+      sum_dy += dyg;
+      sum_dy_xhat += dyg * xhat[i * c + j];
+    }
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float dyg = node.grad[i * c + j] * gamma[j];
+      px->grad[i * c + j] +=
+          inv_std[j] * (dyg - invn * sum_dy - xhat[i * c + j] * invn * sum_dy_xhat);
+    }
+  }
+}
+
+void dropout_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const auto& mask = node.ctx->fbuf;
+  for (size_t i = 0; i < node.grad.size(); ++i) {
+    px->grad[i] += node.grad[i] * mask[i];
+  }
+}
+
+// -- Fused-op backward rules -------------------------------------------------
+
+/// Mirrors the unfused relu(bn_eval(x)) chain: relu masks first, then the
+/// eval-mode affine pulls dy through gamma * inv_std in the same
+/// multiplication order. ctx.fbuf layout: [mean (c) | inv_std (c)].
+void bn_relu_eval_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  TensorImpl* pg = parent(node, 1);
+  TensorImpl* pb = parent(node, 2);
+  const std::int64_t n = node.shape[0], c = node.shape[1];
+  const float* mean = node.ctx->fbuf.data();
+  const float* inv_std = mean + c;
+  const float* gamma = pg->data.data();
+  if (pg->requires_grad) {
+    pg->ensure_grad();
+    const float* xv = px->data.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < c; ++j) {
+        const float dh = node.grad[i * c + j] * (node.data[i * c + j] > 0.0f ? 1.0f : 0.0f);
+        pg->grad[j] += dh * ((xv[i * c + j] - mean[j]) * inv_std[j]);
+      }
+    }
+  }
+  if (pb->requires_grad) {
+    pb->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < c; ++j) {
+        pb->grad[j] += node.grad[i * c + j] * (node.data[i * c + j] > 0.0f ? 1.0f : 0.0f);
+      }
+    }
+  }
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float dh = node.grad[i * c + j] * (node.data[i * c + j] > 0.0f ? 1.0f : 0.0f);
+      px->grad[i * c + j] += dh * gamma[j] * inv_std[j];
+    }
+  }
+}
+
+/// Mirrors concat(x_i, x_j - x_i) built from gather/repeat/sub/concat:
+/// the gather scatter runs first, then the per-center accumulation, in
+/// the same order the unfused chain's reverse-topo walk produces.
+void edge_features_bw(TensorImpl& node) {
+  TensorImpl* ph = parent(node, 0);
+  if (!ph->requires_grad) return;
+  ph->ensure_grad();
+  const std::int64_t k = node.op_i0;
+  const std::int64_t c = ph->shape[1];
+  const std::int64_t n = ph->shape[0];
+  const auto& idx = node.ctx->ibuf;
+  const float* dy = node.grad.data();
+  float* dh = ph->grad.data();
+  // Pass A (gather backward): dh[idx[r]] += dy_right[r].
+  for (std::int64_t r = 0; r < n * k; ++r) {
+    const float* src = dy + r * 2 * c + c;
+    float* dst = dh + idx[static_cast<size_t>(r)] * c;
+    for (std::int64_t t = 0; t < c; ++t) dst[t] += src[t];
+  }
+  // Pass B (repeat backward): dh[i] += sum_r (dy_left + (-dy_right)).
+  for (std::int64_t i = 0; i < n; ++i) {
+    float* dst = dh + i * c;
+    for (std::int64_t r = 0; r < k; ++r) {
+      const float* row = dy + (i * k + r) * 2 * c;
+      for (std::int64_t t = 0; t < c; ++t) dst[t] += row[t] + -row[c + t];
+    }
+  }
+}
+
+/// Mirrors sub(gather(x, idx_a), repeat(gather(x, idx_b), k)): the
+/// repeat-then-gather path accumulates per-group sums first, then the
+/// direct gather scatters, matching the unfused reverse-topo order.
+void gather_sub_rows_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const std::int64_t k = node.op_i0;
+  const std::int64_t c = node.shape[1];
+  const std::int64_t nout = node.shape[0] / k;
+  const auto& idx = node.ctx->ibuf;  // [idx_a (nout*k) | idx_b (nout)]
+  const std::int64_t* idx_a = idx.data();
+  const std::int64_t* idx_b = idx.data() + nout * k;
+  const float* dy = node.grad.data();
+  float* dx = px->grad.data();
+  std::vector<float> acc = pool::acquire(static_cast<size_t>(c));
+  for (std::int64_t i = 0; i < nout; ++i) {
+    std::fill(acc.begin(), acc.end(), 0.0f);
+    for (std::int64_t r = 0; r < k; ++r) {
+      const float* row = dy + (i * k + r) * c;
+      for (std::int64_t t = 0; t < c; ++t) acc[static_cast<size_t>(t)] += -row[t];
+    }
+    float* dst = dx + idx_b[i] * c;
+    for (std::int64_t t = 0; t < c; ++t) dst[t] += acc[static_cast<size_t>(t)];
+  }
+  for (std::int64_t r = 0; r < nout * k; ++r) {
+    const float* row = dy + r * c;
+    float* dst = dx + idx_a[r] * c;
+    for (std::int64_t t = 0; t < c; ++t) dst[t] += row[t];
+  }
+  pool::release(std::move(acc));
+}
+
+/// Mirrors concat(concat(a, b), concat(c, d)): the unfused reverse-topo
+/// walk splits the right pair before the left one.
+void concat_cols4_bw(TensorImpl& node) {
+  const std::int64_t n = node.shape[0];
+  std::int64_t width[4];
+  std::int64_t offset[4];
+  std::int64_t total = 0;
+  for (int s = 0; s < 4; ++s) {
+    width[s] = parent(node, static_cast<size_t>(s))->shape[1];
+    offset[s] = total;
+    total += width[s];
+  }
+  for (int s : {2, 3, 0, 1}) {
+    TensorImpl* p = parent(node, static_cast<size_t>(s));
+    if (!p->requires_grad) continue;
+    p->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float* src = node.grad.data() + i * total + offset[s];
+      float* dst = p->grad.data() + i * width[s];
+      for (std::int64_t j = 0; j < width[s]; ++j) dst[j] += src[j];
+    }
+  }
+}
+
+/// Mirrors mul(x, matmul(col, ones_row)): dx first (the mul backward),
+/// then the column gradient as an ascending-j dot per row (the matmul
+/// backward's packed accumulation order).
+void mul_rows_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  TensorImpl* pc = parent(node, 1);
+  const std::int64_t n = node.shape[0], c = node.shape[1];
+  const float* col = pc->data.data();
+  if (px->requires_grad) {
+    px->ensure_grad();
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float cv = col[i];
+      const float* src = node.grad.data() + i * c;
+      float* dst = px->grad.data() + i * c;
+      for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j] * cv;
+    }
+  }
+  if (pc->requires_grad) {
+    pc->ensure_grad();
+    const float* xv = px->data.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      float acc = 0.0f;
+      const float* src = node.grad.data() + i * c;
+      const float* xr = xv + i * c;
+      for (std::int64_t j = 0; j < c; ++j) acc += src[j] * xr[j];
+      pc->grad[i] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Elementwise / scalar ops
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* name) {
+  check(a.defined() && b.defined(), std::string(name) + ": undefined input");
+  check(a.shape() == b.shape(), std::string(name) + ": shape mismatch " +
+                                    shape_str(a.shape()) + " vs " + shape_str(b.shape()));
+}
+
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  return binary_same_shape(
-      a, b, "add", [](float x, float y) { return x + y; },
-      [](float, float) { return std::pair<float, float>{1.0f, 1.0f}; });
+  check_same_shape(a, b, "add");
+  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] + pb[i];
+  return make_node(a.shape(), std::move(out), {a.impl(), b.impl()}, add_bw);
+}
+
+Tensor add_inplace(Tensor a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  TensorImplPtr ia = a.impl();
+  a = Tensor();  // drop the caller-moved handle so uniqueness is observable
+  if (ia.use_count() != 1 || !ia->grad.empty() || ia->backward_reads_output) {
+    // Shared storage (another handle or graph edge), a live gradient, or
+    // a node whose own backward needs its output values: fall back to the
+    // allocating op.
+    return add(Tensor(std::move(ia)), b);
+  }
+  std::vector<float> out = std::move(ia->data);
+  const float* pb = b.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] += pb[i];
+  Shape shape = ia->shape;  // before ia moves into the parents list
+  return make_node(std::move(shape), std::move(out), {std::move(ia), b.impl()}, add_bw);
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  return binary_same_shape(
-      a, b, "sub", [](float x, float y) { return x - y; },
-      [](float, float) { return std::pair<float, float>{1.0f, -1.0f}; });
+  check_same_shape(a, b, "sub");
+  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] - pb[i];
+  return make_node(a.shape(), std::move(out), {a.impl(), b.impl()}, sub_bw);
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
-  return binary_same_shape(
-      a, b, "mul", [](float x, float y) { return x * y; },
-      [](float x, float y) { return std::pair<float, float>{y, x}; });
+  check_same_shape(a, b, "mul");
+  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] * pb[i];
+  return make_node(a.shape(), std::move(out), {a.impl(), b.impl()}, mul_bw);
 }
 
 Tensor scale(const Tensor& a, float s) {
   check(a.defined(), "scale: undefined input");
-  std::vector<float> out(static_cast<size_t>(a.numel()));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
   const float* pa = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] * s;
-  auto ia = a.impl();
-  return make_node(a.shape(), std::move(out), {ia}, [ia, s](TensorImpl& node) {
-    if (!ia->requires_grad) return;
-    ia->ensure_grad();
-    for (size_t i = 0; i < node.grad.size(); ++i) ia->grad[i] += node.grad[i] * s;
-  });
+  return make_node(a.shape(), std::move(out), {a.impl()}, scale_bw, {.f0 = s});
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
   check(a.defined(), "add_scalar: undefined input");
-  std::vector<float> out(static_cast<size_t>(a.numel()));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
   const float* pa = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] + s;
-  auto ia = a.impl();
-  return make_node(a.shape(), std::move(out), {ia}, [ia](TensorImpl& node) {
-    if (!ia->requires_grad) return;
-    ia->ensure_grad();
-    for (size_t i = 0; i < node.grad.size(); ++i) ia->grad[i] += node.grad[i];
-  });
+  return make_node(a.shape(), std::move(out), {a.impl()}, add_scalar_bw);
 }
 
 Tensor neg(const Tensor& a) { return scale(a, -1.0f); }
@@ -174,27 +873,18 @@ Tensor add_rowvec(const Tensor& x, const Tensor& bias) {
   check(bias.defined() && bias.numel() == x.dim(1),
         "add_rowvec: bias size must equal column count");
   const std::int64_t n = x.dim(0), c = x.dim(1);
-  std::vector<float> out(static_cast<size_t>(n * c));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
   const float* px = x.data();
   const float* pb = bias.data();
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = 0; j < c; ++j) out[i * c + j] = px[i * c + j] + pb[j];
   }
-  auto ix = x.impl();
-  auto ib = bias.impl();
-  return make_node(x.shape(), std::move(out), {ix, ib}, [ix, ib, n, c](TensorImpl& node) {
-    if (ix->requires_grad) {
-      ix->ensure_grad();
-      for (size_t i = 0; i < node.grad.size(); ++i) ix->grad[i] += node.grad[i];
-    }
-    if (ib->requires_grad) {
-      ib->ensure_grad();
-      for (std::int64_t i = 0; i < n; ++i) {
-        for (std::int64_t j = 0; j < c; ++j) ib->grad[j] += node.grad[i * c + j];
-      }
-    }
-  });
+  return make_node(x.shape(), std::move(out), {x.impl(), bias.impl()}, add_rowvec_bw);
 }
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   check_matrix(a, "matmul");
@@ -202,98 +892,106 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   check(a.dim(1) == b.dim(0), "matmul: inner dimensions differ: " + shape_str(a.shape()) +
                                   " x " + shape_str(b.shape()));
   const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
-  std::vector<float> out(static_cast<size_t>(n * m), 0.0f);
-  gemm_acc(a.data(), b.data(), out.data(), n, k, m);
-  auto ia = a.impl();
-  auto ib = b.impl();
-  return make_node({n, m}, std::move(out), {ia, ib}, [ia, ib, n, k, m](TensorImpl& node) {
-    if (ia->requires_grad) {
-      ia->ensure_grad();
-      // dA = dY * B^T
-      gemm_a_bt(node.grad.data(), ib->data.data(), ia->grad.data(), n, m, k);
-    }
-    if (ib->requires_grad) {
-      ib->ensure_grad();
-      // dB = A^T * dY
-      gemm_at_b(ia->data.data(), node.grad.data(), ib->grad.data(), n, k, m);
-    }
-  });
+  std::vector<float> out = pool::acquire_zeroed(static_cast<size_t>(n * m));
+  gemm_nn(a.data(), b.data(), out.data(), n, k, m);
+  return make_node({n, m}, std::move(out), {a.impl(), b.impl()}, matmul_bw);
 }
 
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  check_matrix(x, "linear");
+  check_matrix(w, "linear");
+  check(x.dim(1) == w.dim(0), "linear: inner dimensions differ: " + shape_str(x.shape()) +
+                                  " x " + shape_str(w.shape()));
+  const std::int64_t n = x.dim(0), k = x.dim(1), m = w.dim(1);
+  std::vector<float> out = pool::acquire_zeroed(static_cast<size_t>(n * m));
+  gemm_nn(x.data(), w.data(), out.data(), n, k, m);
+  std::vector<TensorImplPtr> parents{x.impl(), w.impl()};
+  if (bias.defined()) {
+    check(bias.numel() == m, "linear: bias size must equal output width");
+    const float* pb = bias.data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      float* row = out.data() + i * m;
+      for (std::int64_t j = 0; j < m; ++j) row[j] = row[j] + pb[j];
+    }
+    parents.push_back(bias.impl());
+  }
+  return make_node({n, m}, std::move(out), std::move(parents), linear_bw);
+}
+
+// ---------------------------------------------------------------------------
+// Nonlinearities
+// ---------------------------------------------------------------------------
+
 Tensor relu(const Tensor& a) {
-  return unary(
-      a, "relu", [](float x) { return x > 0.0f ? x : 0.0f; },
-      [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+  check(a.defined(), "relu: undefined input");
+  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
+  return make_node(a.shape(), std::move(out), {a.impl()}, relu_bw);
+}
+
+Tensor relu_inplace(Tensor a) {
+  check(a.defined(), "relu_inplace: undefined input");
+  TensorImplPtr ia = a.impl();
+  a = Tensor();
+  if (ia.use_count() != 1 || !ia->grad.empty() || ia->backward_reads_output) {
+    return relu(Tensor(std::move(ia)));
+  }
+  std::vector<float> out = std::move(ia->data);
+  for (auto& v : out) v = v > 0.0f ? v : 0.0f;
+  Shape shape = ia->shape;  // before ia moves into the parents list
+  return make_node(std::move(shape), std::move(out), {std::move(ia)}, relu_inplace_bw,
+                   {.needs_output = true});
 }
 
 Tensor leaky_relu(const Tensor& a, float negative_slope) {
   check(a.defined(), "leaky_relu: undefined input");
-  std::vector<float> out(static_cast<size_t>(a.numel()));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
   const float* pa = a.data();
   for (size_t i = 0; i < out.size(); ++i) {
     out[i] = pa[i] > 0.0f ? pa[i] : pa[i] * negative_slope;
   }
-  auto ia = a.impl();
-  return make_node(a.shape(), std::move(out), {ia}, [ia, negative_slope](TensorImpl& node) {
-    if (!ia->requires_grad) return;
-    ia->ensure_grad();
-    for (size_t i = 0; i < node.grad.size(); ++i) {
-      ia->grad[i] += node.grad[i] * (ia->data[i] > 0.0f ? 1.0f : negative_slope);
-    }
-  });
+  return make_node(a.shape(), std::move(out), {a.impl()}, leaky_relu_bw,
+                   {.f0 = negative_slope});
 }
 
 Tensor tanh_op(const Tensor& a) {
   check(a.defined(), "tanh: undefined input");
-  std::vector<float> out(static_cast<size_t>(a.numel()));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
   const float* pa = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(pa[i]);
-  auto ia = a.impl();
-  auto impl_out = std::make_shared<std::vector<float>>(out);
-  return make_node(a.shape(), std::move(out), {ia}, [ia, impl_out](TensorImpl& node) {
-    if (!ia->requires_grad) return;
-    ia->ensure_grad();
-    for (size_t i = 0; i < node.grad.size(); ++i) {
-      const float t = (*impl_out)[i];
-      ia->grad[i] += node.grad[i] * (1.0f - t * t);
-    }
-  });
+  return make_node(a.shape(), std::move(out), {a.impl()}, tanh_bw, {.needs_output = true});
 }
 
 Tensor sigmoid(const Tensor& a) {
   check(a.defined(), "sigmoid: undefined input");
-  std::vector<float> out(static_cast<size_t>(a.numel()));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
   const float* pa = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = 1.0f / (1.0f + std::exp(-pa[i]));
-  auto ia = a.impl();
-  auto saved = std::make_shared<std::vector<float>>(out);
-  return make_node(a.shape(), std::move(out), {ia}, [ia, saved](TensorImpl& node) {
-    if (!ia->requires_grad) return;
-    ia->ensure_grad();
-    for (size_t i = 0; i < node.grad.size(); ++i) {
-      const float s = (*saved)[i];
-      ia->grad[i] += node.grad[i] * s * (1.0f - s);
-    }
-  });
+  return make_node(a.shape(), std::move(out), {a.impl()}, sigmoid_bw,
+                   {.needs_output = true});
 }
 
 Tensor square(const Tensor& a) {
-  return unary(
-      a, "square", [](float x) { return x * x; }, [](float x) { return 2.0f * x; });
+  check(a.defined(), "square: undefined input");
+  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
+  const float* pa = a.data();
+  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] * pa[i];
+  return make_node(a.shape(), std::move(out), {a.impl()}, square_bw);
 }
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
 
 Tensor sum(const Tensor& a) {
   check(a.defined(), "sum: undefined input");
   double acc = 0.0;
   const float* pa = a.data();
   for (std::int64_t i = 0; i < a.numel(); ++i) acc += pa[i];
-  auto ia = a.impl();
-  return make_node({1}, {static_cast<float>(acc)}, {ia}, [ia](TensorImpl& node) {
-    if (!ia->requires_grad) return;
-    ia->ensure_grad();
-    const float g = node.grad[0];
-    for (auto& v : ia->grad) v += g;
-  });
+  std::vector<float> out = pool::acquire(1);
+  out[0] = static_cast<float>(acc);
+  return make_node({1}, std::move(out), {a.impl()}, sum_bw);
 }
 
 Tensor mean(const Tensor& a) {
@@ -304,61 +1002,40 @@ Tensor mean(const Tensor& a) {
 Tensor row_sum(const Tensor& a) {
   check_matrix(a, "row_sum");
   const std::int64_t n = a.dim(0), c = a.dim(1);
-  std::vector<float> out(static_cast<size_t>(n), 0.0f);
+  std::vector<float> out = pool::acquire_zeroed(static_cast<size_t>(n));
   const float* pa = a.data();
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = 0; j < c; ++j) out[i] += pa[i * c + j];
   }
-  auto ia = a.impl();
-  return make_node({n, 1}, std::move(out), {ia}, [ia, n, c](TensorImpl& node) {
-    if (!ia->requires_grad) return;
-    ia->ensure_grad();
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float g = node.grad[i];
-      for (std::int64_t j = 0; j < c; ++j) ia->grad[i * c + j] += g;
-    }
-  });
+  return make_node({n, 1}, std::move(out), {a.impl()}, row_sum_bw);
 }
 
 Tensor sqrt_op(const Tensor& a, float eps) {
   check(a.defined(), "sqrt_op: undefined input");
-  std::vector<float> out(static_cast<size_t>(a.numel()));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
   const float* pa = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = std::sqrt(std::max(pa[i] + eps, 0.0f));
-  auto saved = std::make_shared<std::vector<float>>(out);
-  auto ia = a.impl();
-  return make_node(a.shape(), std::move(out), {ia}, [ia, saved](TensorImpl& node) {
-    if (!ia->requires_grad) return;
-    ia->ensure_grad();
-    for (size_t i = 0; i < node.grad.size(); ++i) {
-      const float y = std::max((*saved)[i], 1e-8f);
-      ia->grad[i] += node.grad[i] * 0.5f / y;
-    }
-  });
+  return make_node(a.shape(), std::move(out), {a.impl()}, sqrt_bw, {.needs_output = true});
 }
+
+// ---------------------------------------------------------------------------
+// Structure / indexing
+// ---------------------------------------------------------------------------
 
 Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& idx) {
   check_matrix(x, "gather_rows");
   const std::int64_t n = x.dim(0), c = x.dim(1);
   const std::int64_t m = static_cast<std::int64_t>(idx.size());
-  std::vector<float> out(static_cast<size_t>(m * c));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(m * c));
   const float* px = x.data();
   for (std::int64_t i = 0; i < m; ++i) {
-    check(idx[i] >= 0 && idx[i] < n, "gather_rows: index out of range");
+    if (idx[i] < 0 || idx[i] >= n) tensor_fail("gather_rows: index out of range");
     std::copy_n(px + idx[i] * c, c, out.data() + i * c);
   }
-  auto ix = x.impl();
-  auto saved_idx = std::make_shared<std::vector<std::int64_t>>(idx);
-  return make_node({m, c}, std::move(out), {ix}, [ix, saved_idx, c](TensorImpl& node) {
-    if (!ix->requires_grad) return;
-    ix->ensure_grad();
-    const auto& id = *saved_idx;
-    for (size_t i = 0; i < id.size(); ++i) {
-      float* dst = ix->grad.data() + id[i] * c;
-      const float* src = node.grad.data() + static_cast<std::int64_t>(i) * c;
-      for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
-    }
-  });
+  auto ctx = std::make_unique<BackwardCtx>();
+  ctx->ibuf = idx;
+  return make_node({m, c}, std::move(out), {x.impl()}, gather_rows_bw,
+                   {.ctx = std::move(ctx)});
 }
 
 Tensor weighted_gather_rows(const Tensor& x, const std::vector<std::int64_t>& idx,
@@ -369,63 +1046,39 @@ Tensor weighted_gather_rows(const Tensor& x, const std::vector<std::int64_t>& id
         "weighted_gather_rows: idx size must be a multiple of k_per_row");
   const std::int64_t nsrc = x.dim(0), c = x.dim(1);
   const std::int64_t nout = static_cast<std::int64_t>(idx.size()) / k_per_row;
-  std::vector<float> out(static_cast<size_t>(nout * c), 0.0f);
+  std::vector<float> out = pool::acquire_zeroed(static_cast<size_t>(nout * c));
   const float* px = x.data();
   for (std::int64_t i = 0; i < nout; ++i) {
     float* dst = out.data() + i * c;
     for (std::int64_t k = 0; k < k_per_row; ++k) {
       const std::int64_t src_row = idx[i * k_per_row + k];
-      check(src_row >= 0 && src_row < nsrc, "weighted_gather_rows: index out of range");
+      if (src_row < 0 || src_row >= nsrc) {
+        tensor_fail("weighted_gather_rows: index out of range");
+      }
       const float w = weights[i * k_per_row + k];
       const float* src = px + src_row * c;
       for (std::int64_t j = 0; j < c; ++j) dst[j] += w * src[j];
     }
   }
-  auto ix = x.impl();
-  auto saved_idx = std::make_shared<std::vector<std::int64_t>>(idx);
-  auto saved_w = std::make_shared<std::vector<float>>(weights);
-  return make_node({nout, c}, std::move(out), {ix},
-                   [ix, saved_idx, saved_w, k_per_row, c](TensorImpl& node) {
-                     if (!ix->requires_grad) return;
-                     ix->ensure_grad();
-                     const auto& id = *saved_idx;
-                     const auto& w = *saved_w;
-                     const std::int64_t nout =
-                         static_cast<std::int64_t>(id.size()) / k_per_row;
-                     for (std::int64_t i = 0; i < nout; ++i) {
-                       const float* src = node.grad.data() + i * c;
-                       for (std::int64_t k = 0; k < k_per_row; ++k) {
-                         float* dst = ix->grad.data() + id[i * k_per_row + k] * c;
-                         const float wk = w[i * k_per_row + k];
-                         for (std::int64_t j = 0; j < c; ++j) dst[j] += wk * src[j];
-                       }
-                     }
-                   });
+  auto ctx = std::make_unique<BackwardCtx>();
+  ctx->ibuf = idx;
+  ctx->fbuf = weights;
+  return make_node({nout, c}, std::move(out), {x.impl()}, weighted_gather_rows_bw,
+                   {.i0 = k_per_row, .ctx = std::move(ctx)});
 }
 
 Tensor repeat_rows(const Tensor& x, std::int64_t k) {
   check_matrix(x, "repeat_rows");
   check(k > 0, "repeat_rows: k must be positive");
   const std::int64_t n = x.dim(0), c = x.dim(1);
-  std::vector<float> out(static_cast<size_t>(n * k * c));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(n * k * c));
   const float* px = x.data();
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t r = 0; r < k; ++r) {
       std::copy_n(px + i * c, c, out.data() + (i * k + r) * c);
     }
   }
-  auto ix = x.impl();
-  return make_node({n * k, c}, std::move(out), {ix}, [ix, n, k, c](TensorImpl& node) {
-    if (!ix->requires_grad) return;
-    ix->ensure_grad();
-    for (std::int64_t i = 0; i < n; ++i) {
-      float* dst = ix->grad.data() + i * c;
-      for (std::int64_t r = 0; r < k; ++r) {
-        const float* src = node.grad.data() + (i * k + r) * c;
-        for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
-      }
-    }
-  });
+  return make_node({n * k, c}, std::move(out), {x.impl()}, repeat_rows_bw, {.i0 = k});
 }
 
 Tensor concat_cols(const Tensor& a, const Tensor& b) {
@@ -433,53 +1086,47 @@ Tensor concat_cols(const Tensor& a, const Tensor& b) {
   check_matrix(b, "concat_cols");
   check(a.dim(0) == b.dim(0), "concat_cols: row counts differ");
   const std::int64_t n = a.dim(0), ca = a.dim(1), cb = b.dim(1);
-  std::vector<float> out(static_cast<size_t>(n * (ca + cb)));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(n * (ca + cb)));
   const float* pa = a.data();
   const float* pb = b.data();
   for (std::int64_t i = 0; i < n; ++i) {
     std::copy_n(pa + i * ca, ca, out.data() + i * (ca + cb));
     std::copy_n(pb + i * cb, cb, out.data() + i * (ca + cb) + ca);
   }
-  auto ia = a.impl();
-  auto ib = b.impl();
-  return make_node({n, ca + cb}, std::move(out), {ia, ib},
-                   [ia, ib, n, ca, cb](TensorImpl& node) {
-                     if (ia->requires_grad) {
-                       ia->ensure_grad();
-                       for (std::int64_t i = 0; i < n; ++i) {
-                         const float* src = node.grad.data() + i * (ca + cb);
-                         float* dst = ia->grad.data() + i * ca;
-                         for (std::int64_t j = 0; j < ca; ++j) dst[j] += src[j];
-                       }
-                     }
-                     if (ib->requires_grad) {
-                       ib->ensure_grad();
-                       for (std::int64_t i = 0; i < n; ++i) {
-                         const float* src = node.grad.data() + i * (ca + cb) + ca;
-                         float* dst = ib->grad.data() + i * cb;
-                         for (std::int64_t j = 0; j < cb; ++j) dst[j] += src[j];
-                       }
-                     }
-                   });
+  return make_node({n, ca + cb}, std::move(out), {a.impl(), b.impl()}, concat_cols_bw);
+}
+
+Tensor concat_cols4(const Tensor& a, const Tensor& b, const Tensor& c, const Tensor& d) {
+  const Tensor* parts[4] = {&a, &b, &c, &d};
+  std::int64_t total = 0;
+  for (const Tensor* t : parts) {
+    check_matrix(*t, "concat_cols4");
+    check(t->dim(0) == a.dim(0), "concat_cols4: row counts differ");
+    total += t->dim(1);
+  }
+  const std::int64_t n = a.dim(0);
+  std::vector<float> out = pool::acquire(static_cast<size_t>(n * total));
+  std::int64_t offset = 0;
+  for (const Tensor* t : parts) {
+    const std::int64_t w = t->dim(1);
+    const float* src = t->data();
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::copy_n(src + i * w, w, out.data() + i * total + offset);
+    }
+    offset += w;
+  }
+  return make_node({n, total}, std::move(out),
+                   {a.impl(), b.impl(), c.impl(), d.impl()}, concat_cols4_bw);
 }
 
 Tensor slice_cols(const Tensor& x, std::int64_t c0, std::int64_t c1) {
   check_matrix(x, "slice_cols");
   check(0 <= c0 && c0 < c1 && c1 <= x.dim(1), "slice_cols: bad column range");
   const std::int64_t n = x.dim(0), c = x.dim(1), w = c1 - c0;
-  std::vector<float> out(static_cast<size_t>(n * w));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(n * w));
   const float* px = x.data();
   for (std::int64_t i = 0; i < n; ++i) std::copy_n(px + i * c + c0, w, out.data() + i * w);
-  auto ix = x.impl();
-  return make_node({n, w}, std::move(out), {ix}, [ix, n, c, c0, w](TensorImpl& node) {
-    if (!ix->requires_grad) return;
-    ix->ensure_grad();
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float* src = node.grad.data() + i * w;
-      float* dst = ix->grad.data() + i * c + c0;
-      for (std::int64_t j = 0; j < w; ++j) dst[j] += src[j];
-    }
-  });
+  return make_node({n, w}, std::move(out), {x.impl()}, slice_cols_bw, {.i0 = c0});
 }
 
 Tensor scatter_add_cols(const Tensor& base, const Tensor& delta, std::int64_t col0) {
@@ -489,31 +1136,97 @@ Tensor scatter_add_cols(const Tensor& base, const Tensor& delta, std::int64_t co
   check(col0 >= 0 && col0 + delta.dim(1) <= base.dim(1),
         "scatter_add_cols: delta columns exceed base");
   const std::int64_t n = base.dim(0), c = base.dim(1), d = delta.dim(1);
-  std::vector<float> out(base.data(), base.data() + n * c);
+  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
+  std::copy_n(base.data(), n * c, out.data());
   const float* pd = delta.data();
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = 0; j < d; ++j) out[i * c + col0 + j] += pd[i * d + j];
   }
-  auto ibase = base.impl();
-  auto idelta = delta.impl();
-  return make_node(base.shape(), std::move(out), {ibase, idelta},
-                   [ibase, idelta, n, c, d, col0](TensorImpl& node) {
-                     if (ibase->requires_grad) {
-                       ibase->ensure_grad();
-                       for (size_t i = 0; i < node.grad.size(); ++i) {
-                         ibase->grad[i] += node.grad[i];
-                       }
-                     }
-                     if (idelta->requires_grad) {
-                       idelta->ensure_grad();
-                       for (std::int64_t i = 0; i < n; ++i) {
-                         for (std::int64_t j = 0; j < d; ++j) {
-                           idelta->grad[i * d + j] += node.grad[i * c + col0 + j];
-                         }
-                       }
-                     }
-                   });
+  return make_node(base.shape(), std::move(out), {base.impl(), delta.impl()},
+                   scatter_add_cols_bw, {.i0 = col0});
 }
+
+// ---------------------------------------------------------------------------
+// Fused model-block ops
+// ---------------------------------------------------------------------------
+
+Tensor edge_features(const Tensor& h, const std::vector<std::int64_t>& idx,
+                     std::int64_t k) {
+  check_matrix(h, "edge_features");
+  const std::int64_t n = h.dim(0), c = h.dim(1);
+  check(k > 0 && static_cast<std::int64_t>(idx.size()) == n * k,
+        "edge_features: idx must have N*k entries");
+  std::vector<float> out = pool::acquire(static_cast<size_t>(n * k * 2 * c));
+  const float* ph = h.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* xi = ph + i * c;
+    for (std::int64_t r = 0; r < k; ++r) {
+      const std::int64_t j = idx[static_cast<size_t>(i * k + r)];
+      if (j < 0 || j >= n) tensor_fail("edge_features: index out of range");
+      const float* xj = ph + j * c;
+      float* row = out.data() + (i * k + r) * 2 * c;
+      for (std::int64_t t = 0; t < c; ++t) {
+        row[t] = xi[t];
+        row[c + t] = xj[t] - xi[t];
+      }
+    }
+  }
+  auto ctx = std::make_unique<BackwardCtx>();
+  ctx->ibuf = idx;
+  return make_node({n * k, 2 * c}, std::move(out), {h.impl()}, edge_features_bw,
+                   {.i0 = k, .ctx = std::move(ctx)});
+}
+
+Tensor gather_sub_rows(const Tensor& x, const std::vector<std::int64_t>& idx_a,
+                       const std::vector<std::int64_t>& idx_b, std::int64_t k) {
+  check_matrix(x, "gather_sub_rows");
+  check(k > 0 && idx_a.size() == idx_b.size() * static_cast<size_t>(k),
+        "gather_sub_rows: idx_a must have k entries per idx_b entry");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  const std::int64_t nout = static_cast<std::int64_t>(idx_b.size());
+  std::vector<float> out = pool::acquire(static_cast<size_t>(nout * k * c));
+  const float* px = x.data();
+  for (std::int64_t i = 0; i < nout; ++i) {
+    if (idx_b[static_cast<size_t>(i)] < 0 || idx_b[static_cast<size_t>(i)] >= n) {
+      tensor_fail("gather_sub_rows: center index out of range");
+    }
+    const float* xb = px + idx_b[static_cast<size_t>(i)] * c;
+    for (std::int64_t r = 0; r < k; ++r) {
+      const std::int64_t a = idx_a[static_cast<size_t>(i * k + r)];
+      if (a < 0 || a >= n) tensor_fail("gather_sub_rows: neighbor index out of range");
+      const float* xa = px + a * c;
+      float* row = out.data() + (i * k + r) * c;
+      for (std::int64_t t = 0; t < c; ++t) row[t] = xa[t] - xb[t];
+    }
+  }
+  auto ctx = std::make_unique<BackwardCtx>();
+  ctx->ibuf.reserve(idx_a.size() + idx_b.size());
+  ctx->ibuf.insert(ctx->ibuf.end(), idx_a.begin(), idx_a.end());
+  ctx->ibuf.insert(ctx->ibuf.end(), idx_b.begin(), idx_b.end());
+  return make_node({nout * k, c}, std::move(out), {x.impl()}, gather_sub_rows_bw,
+                   {.i0 = k, .ctx = std::move(ctx)});
+}
+
+Tensor mul_rows(const Tensor& x, const Tensor& col) {
+  check_matrix(x, "mul_rows");
+  check(col.defined() && col.rank() == 2 && col.dim(1) == 1 && col.dim(0) == x.dim(0),
+        "mul_rows: col must be [N, 1] with matching rows");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
+  const float* px = x.data();
+  const float* pc = col.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float cv = pc[i];
+    const float* src = px + i * c;
+    float* dst = out.data() + i * c;
+    for (std::int64_t j = 0; j < c; ++j) dst[j] = src[j] * cv;
+  }
+  return make_node(x.shape(), std::move(out), {x.impl(), col.impl()}, mul_rows_bw);
+}
+
+// ---------------------------------------------------------------------------
+// Segment (neighbor-group) reductions
+// ---------------------------------------------------------------------------
 
 namespace {
 
@@ -528,8 +1241,9 @@ void check_segments(const Tensor& x, std::int64_t k, const char* name) {
 Tensor segment_max(const Tensor& x, std::int64_t k) {
   check_segments(x, k, "segment_max");
   const std::int64_t n = x.dim(0) / k, c = x.dim(1);
-  std::vector<float> out(static_cast<size_t>(n * c));
-  auto arg = std::make_shared<std::vector<std::int64_t>>(static_cast<size_t>(n * c));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
+  auto ctx = std::make_unique<BackwardCtx>();
+  ctx->ibuf.resize(static_cast<size_t>(n * c));
   const float* px = x.data();
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = 0; j < c; ++j) {
@@ -543,26 +1257,17 @@ Tensor segment_max(const Tensor& x, std::int64_t k) {
         }
       }
       out[i * c + j] = best;
-      (*arg)[i * c + j] = best_r;
+      ctx->ibuf[static_cast<size_t>(i * c + j)] = best_r;
     }
   }
-  auto ix = x.impl();
-  return make_node({n, c}, std::move(out), {ix}, [ix, arg, n, k, c](TensorImpl& node) {
-    if (!ix->requires_grad) return;
-    ix->ensure_grad();
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < c; ++j) {
-        const std::int64_t r = (*arg)[i * c + j];
-        ix->grad[(i * k + r) * c + j] += node.grad[i * c + j];
-      }
-    }
-  });
+  return make_node({n, c}, std::move(out), {x.impl()}, segment_max_bw,
+                   {.i0 = k, .ctx = std::move(ctx)});
 }
 
 Tensor segment_sum(const Tensor& x, std::int64_t k) {
   check_segments(x, k, "segment_sum");
   const std::int64_t n = x.dim(0) / k, c = x.dim(1);
-  std::vector<float> out(static_cast<size_t>(n * c), 0.0f);
+  std::vector<float> out = pool::acquire_zeroed(static_cast<size_t>(n * c));
   const float* px = x.data();
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t r = 0; r < k; ++r) {
@@ -571,18 +1276,7 @@ Tensor segment_sum(const Tensor& x, std::int64_t k) {
       for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
     }
   }
-  auto ix = x.impl();
-  return make_node({n, c}, std::move(out), {ix}, [ix, n, k, c](TensorImpl& node) {
-    if (!ix->requires_grad) return;
-    ix->ensure_grad();
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float* src = node.grad.data() + i * c;
-      for (std::int64_t r = 0; r < k; ++r) {
-        float* dst = ix->grad.data() + (i * k + r) * c;
-        for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
-      }
-    }
-  });
+  return make_node({n, c}, std::move(out), {x.impl()}, segment_sum_bw, {.i0 = k});
 }
 
 Tensor segment_mean(const Tensor& x, std::int64_t k) {
@@ -592,7 +1286,7 @@ Tensor segment_mean(const Tensor& x, std::int64_t k) {
 Tensor segment_softmax(const Tensor& x, std::int64_t k) {
   check_segments(x, k, "segment_softmax");
   const std::int64_t n = x.dim(0) / k, c = x.dim(1);
-  std::vector<float> out(static_cast<size_t>(x.numel()));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(x.numel()));
   const float* px = x.data();
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = 0; j < c; ++j) {
@@ -607,32 +1301,18 @@ Tensor segment_softmax(const Tensor& x, std::int64_t k) {
       for (std::int64_t r = 0; r < k; ++r) out[(i * k + r) * c + j] /= denom;
     }
   }
-  auto saved = std::make_shared<std::vector<float>>(out);
-  auto ix = x.impl();
-  return make_node(x.shape(), std::move(out), {ix}, [ix, saved, n, k, c](TensorImpl& node) {
-    if (!ix->requires_grad) return;
-    ix->ensure_grad();
-    const auto& y = *saved;
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < c; ++j) {
-        float dot = 0.0f;
-        for (std::int64_t r = 0; r < k; ++r) {
-          const std::int64_t off = (i * k + r) * c + j;
-          dot += node.grad[off] * y[off];
-        }
-        for (std::int64_t r = 0; r < k; ++r) {
-          const std::int64_t off = (i * k + r) * c + j;
-          ix->grad[off] += y[off] * (node.grad[off] - dot);
-        }
-      }
-    }
-  });
+  return make_node(x.shape(), std::move(out), {x.impl()}, segment_softmax_bw,
+                   {.i0 = k, .needs_output = true});
 }
+
+// ---------------------------------------------------------------------------
+// Probabilistic heads and losses
+// ---------------------------------------------------------------------------
 
 Tensor log_softmax_rows(const Tensor& x) {
   check_matrix(x, "log_softmax_rows");
   const std::int64_t n = x.dim(0), c = x.dim(1);
-  std::vector<float> out(static_cast<size_t>(n * c));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
   const float* px = x.data();
   for (std::int64_t i = 0; i < n; ++i) {
     float mx = px[i * c];
@@ -642,20 +1322,8 @@ Tensor log_softmax_rows(const Tensor& x) {
     const float log_denom = std::log(denom) + mx;
     for (std::int64_t j = 0; j < c; ++j) out[i * c + j] = px[i * c + j] - log_denom;
   }
-  auto saved = std::make_shared<std::vector<float>>(out);
-  auto ix = x.impl();
-  return make_node(x.shape(), std::move(out), {ix}, [ix, saved, n, c](TensorImpl& node) {
-    if (!ix->requires_grad) return;
-    ix->ensure_grad();
-    const auto& logp = *saved;
-    for (std::int64_t i = 0; i < n; ++i) {
-      float gsum = 0.0f;
-      for (std::int64_t j = 0; j < c; ++j) gsum += node.grad[i * c + j];
-      for (std::int64_t j = 0; j < c; ++j) {
-        ix->grad[i * c + j] += node.grad[i * c + j] - std::exp(logp[i * c + j]) * gsum;
-      }
-    }
-  });
+  return make_node(x.shape(), std::move(out), {x.impl()}, log_softmax_rows_bw,
+                   {.needs_output = true});
 }
 
 Tensor nll_loss_masked(const Tensor& log_probs, const std::vector<int>& labels,
@@ -675,20 +1343,14 @@ Tensor nll_loss_masked(const Tensor& log_probs, const std::vector<int>& labels,
     ++count;
   }
   check(count > 0, "nll_loss_masked: empty selection");
-  auto ix = log_probs.impl();
-  auto saved_labels = std::make_shared<std::vector<int>>(labels);
-  auto saved_mask = std::make_shared<std::vector<std::uint8_t>>(mask);
   const float inv = 1.0f / static_cast<float>(count);
-  return make_node({1}, {static_cast<float>(acc * inv)}, {ix},
-                   [ix, saved_labels, saved_mask, n, c, inv](TensorImpl& node) {
-                     if (!ix->requires_grad) return;
-                     ix->ensure_grad();
-                     const float g = node.grad[0] * inv;
-                     for (std::int64_t i = 0; i < n; ++i) {
-                       if (!saved_mask->empty() && !(*saved_mask)[i]) continue;
-                       ix->grad[i * c + (*saved_labels)[i]] -= g;
-                     }
-                   });
+  auto ctx = std::make_unique<BackwardCtx>();
+  ctx->labels = labels;
+  ctx->mask = mask;
+  std::vector<float> out = pool::acquire(1);
+  out[0] = static_cast<float>(acc * inv);
+  return make_node({1}, std::move(out), {log_probs.impl()}, nll_loss_masked_bw,
+                   {.f0 = inv, .ctx = std::move(ctx)});
 }
 
 Tensor hinge_margin_loss(const Tensor& logits, const std::vector<int>& labels,
@@ -703,7 +1365,9 @@ Tensor hinge_margin_loss(const Tensor& logits, const std::vector<int>& labels,
   double total = 0.0;
   // For each active row, remember the competing argmax (j != y) and whether
   // the hinge is active, for the backward pass.
-  auto best_j = std::make_shared<std::vector<std::int64_t>>(static_cast<size_t>(n), -1);
+  auto ctx = std::make_unique<BackwardCtx>();
+  ctx->ibuf.assign(static_cast<size_t>(n), -1);
+  ctx->labels = labels;
   for (std::int64_t i = 0; i < n; ++i) {
     if (!mask.empty() && !mask[i]) continue;
     const int y = labels[i];
@@ -720,24 +1384,13 @@ Tensor hinge_margin_loss(const Tensor& logits, const std::vector<int>& labels,
     const float margin = targeted ? best - z[i * c + y] : z[i * c + y] - best;
     if (margin > 0.0f) {
       total += margin;
-      (*best_j)[i] = bj;
+      ctx->ibuf[static_cast<size_t>(i)] = bj;
     }
   }
-  auto ix = logits.impl();
-  auto saved_labels = std::make_shared<std::vector<int>>(labels);
-  return make_node({1}, {static_cast<float>(total)}, {ix},
-                   [ix, saved_labels, best_j, n, c, targeted](TensorImpl& node) {
-                     if (!ix->requires_grad) return;
-                     ix->ensure_grad();
-                     const float g = node.grad[0];
-                     const float sy = targeted ? -1.0f : 1.0f;
-                     for (std::int64_t i = 0; i < n; ++i) {
-                       const std::int64_t bj = (*best_j)[i];
-                       if (bj < 0) continue;  // hinge inactive or masked out
-                       ix->grad[i * c + (*saved_labels)[i]] += g * sy;
-                       ix->grad[i * c + bj] -= g * sy;
-                     }
-                   });
+  std::vector<float> out = pool::acquire(1);
+  out[0] = static_cast<float>(total);
+  return make_node({1}, std::move(out), {logits.impl()}, hinge_margin_loss_bw,
+                   {.flag = targeted, .ctx = std::move(ctx)});
 }
 
 Tensor smoothness_penalty(const Tensor& x, const std::vector<std::int64_t>& neighbor_idx,
@@ -746,7 +1399,6 @@ Tensor smoothness_penalty(const Tensor& x, const std::vector<std::int64_t>& neig
   const std::int64_t n = x.dim(0), c = x.dim(1);
   check(alpha > 0 && static_cast<std::int64_t>(neighbor_idx.size()) == n * alpha,
         "smoothness_penalty: neighbor_idx must have N*alpha entries");
-  constexpr float kEps = 1e-8f;
   const float* px = x.data();
   double total = 0.0;
   for (std::int64_t i = 0; i < n; ++i) {
@@ -761,32 +1413,17 @@ Tensor smoothness_penalty(const Tensor& x, const std::vector<std::int64_t>& neig
       total += std::sqrt(d2);
     }
   }
-  auto ix = x.impl();
-  auto saved_idx = std::make_shared<std::vector<std::int64_t>>(neighbor_idx);
-  return make_node({1}, {static_cast<float>(total)}, {ix},
-                   [ix, saved_idx, n, c, alpha](TensorImpl& node) {
-                     if (!ix->requires_grad) return;
-                     ix->ensure_grad();
-                     const float g = node.grad[0];
-                     const float* px = ix->data.data();
-                     for (std::int64_t i = 0; i < n; ++i) {
-                       for (std::int64_t k = 0; k < alpha; ++k) {
-                         const std::int64_t j = (*saved_idx)[i * alpha + k];
-                         float d2 = 0.0f;
-                         for (std::int64_t t = 0; t < c; ++t) {
-                           const float d = px[i * c + t] - px[j * c + t];
-                           d2 += d * d;
-                         }
-                         const float dist = std::sqrt(std::max(d2, kEps * kEps));
-                         for (std::int64_t t = 0; t < c; ++t) {
-                           const float u = (px[i * c + t] - px[j * c + t]) / dist;
-                           ix->grad[i * c + t] += g * u;
-                           ix->grad[j * c + t] -= g * u;
-                         }
-                       }
-                     }
-                   });
+  auto ctx = std::make_unique<BackwardCtx>();
+  ctx->ibuf = neighbor_idx;
+  std::vector<float> out = pool::acquire(1);
+  out[0] = static_cast<float>(total);
+  return make_node({1}, std::move(out), {x.impl()}, smoothness_penalty_bw,
+                   {.i0 = alpha, .ctx = std::move(ctx)});
 }
+
+// ---------------------------------------------------------------------------
+// Normalization / regularization
+// ---------------------------------------------------------------------------
 
 Tensor batch_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                   std::vector<float>& running_mean, std::vector<float>& running_var,
@@ -821,94 +1458,88 @@ Tensor batch_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       inv_std[j] = 1.0f / std::sqrt(running_var[j] + eps);
     }
   }
-  std::vector<float> out(static_cast<size_t>(n * c));
-  auto xhat = std::make_shared<std::vector<float>>(static_cast<size_t>(n * c));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
+  // ctx.fbuf layout: [xhat (n*c) | inv_std (c)].
+  auto ctx = std::make_unique<BackwardCtx>();
+  ctx->fbuf = pool::acquire(static_cast<size_t>(n * c + c));
+  float* xhat = ctx->fbuf.data();
   const float* pg = gamma.data();
   const float* pb = beta.data();
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = 0; j < c; ++j) {
       const float h = (px[i * c + j] - mean_v[j]) * inv_std[j];
-      (*xhat)[i * c + j] = h;
+      xhat[i * c + j] = h;
       out[i * c + j] = pg[j] * h + pb[j];
     }
   }
-  auto ix = x.impl();
-  auto ig = gamma.impl();
-  auto ib = beta.impl();
-  auto saved_inv_std = std::make_shared<std::vector<float>>(inv_std);
-  return make_node(
-      x.shape(), std::move(out), {ix, ig, ib},
-      [ix, ig, ib, xhat, saved_inv_std, n, c, training](TensorImpl& node) {
-        const float* pg = ig->data.data();
-        if (ig->requires_grad) {
-          ig->ensure_grad();
-          for (std::int64_t i = 0; i < n; ++i) {
-            for (std::int64_t j = 0; j < c; ++j) {
-              ig->grad[j] += node.grad[i * c + j] * (*xhat)[i * c + j];
-            }
-          }
-        }
-        if (ib->requires_grad) {
-          ib->ensure_grad();
-          for (std::int64_t i = 0; i < n; ++i) {
-            for (std::int64_t j = 0; j < c; ++j) ib->grad[j] += node.grad[i * c + j];
-          }
-        }
-        if (!ix->requires_grad) return;
-        ix->ensure_grad();
-        if (!training) {
-          for (std::int64_t i = 0; i < n; ++i) {
-            for (std::int64_t j = 0; j < c; ++j) {
-              ix->grad[i * c + j] +=
-                  node.grad[i * c + j] * pg[j] * (*saved_inv_std)[j];
-            }
-          }
-          return;
-        }
-        // Training mode: gradient through the batch statistics.
-        const float invn = 1.0f / static_cast<float>(n);
-        for (std::int64_t j = 0; j < c; ++j) {
-          float sum_dy = 0.0f, sum_dy_xhat = 0.0f;
-          for (std::int64_t i = 0; i < n; ++i) {
-            const float dyg = node.grad[i * c + j] * pg[j];
-            sum_dy += dyg;
-            sum_dy_xhat += dyg * (*xhat)[i * c + j];
-          }
-          for (std::int64_t i = 0; i < n; ++i) {
-            const float dyg = node.grad[i * c + j] * pg[j];
-            ix->grad[i * c + j] +=
-                (*saved_inv_std)[j] *
-                (dyg - invn * sum_dy - (*xhat)[i * c + j] * invn * sum_dy_xhat);
-          }
-        }
-      });
+  std::copy_n(inv_std.data(), c, xhat + n * c);
+  return make_node(x.shape(), std::move(out), {x.impl(), gamma.impl(), beta.impl()},
+                   batch_norm_bw, {.flag = training, .ctx = std::move(ctx)});
+}
+
+Tensor bn_relu_eval(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                    const std::vector<float>& running_mean,
+                    const std::vector<float>& running_var, float eps) {
+  check_matrix(x, "bn_relu_eval");
+  const std::int64_t n = x.dim(0), c = x.dim(1);
+  check(gamma.numel() == c && beta.numel() == c, "bn_relu_eval: affine parameter size");
+  check(static_cast<std::int64_t>(running_mean.size()) == c &&
+            static_cast<std::int64_t>(running_var.size()) == c,
+        "bn_relu_eval: running stats size");
+  // ctx.fbuf layout: [mean (c) | inv_std (c)].
+  auto ctx = std::make_unique<BackwardCtx>();
+  ctx->fbuf = pool::acquire(static_cast<size_t>(2 * c));
+  float* mean = ctx->fbuf.data();
+  float* inv_std = mean + c;
+  for (std::int64_t j = 0; j < c; ++j) {
+    mean[j] = running_mean[j];
+    inv_std[j] = 1.0f / std::sqrt(running_var[j] + eps);
+  }
+  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
+  const float* px = x.data();
+  const float* pg = gamma.data();
+  const float* pb = beta.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* xr = px + i * c;
+    float* dst = out.data() + i * c;
+    for (std::int64_t j = 0; j < c; ++j) {
+      // Same expression shapes as the unfused bn -> relu chain, so the
+      // fused output is bit-identical to relu(batch_norm(x, ..., eval)).
+      const float h = (xr[j] - mean[j]) * inv_std[j];
+      const float y = pg[j] * h + pb[j];
+      dst[j] = y > 0.0f ? y : 0.0f;
+    }
+  }
+  return make_node(x.shape(), std::move(out), {x.impl(), gamma.impl(), beta.impl()},
+                   bn_relu_eval_bw, {.needs_output = true, .ctx = std::move(ctx)});
 }
 
 Tensor dropout(const Tensor& x, float p, Rng& rng, bool training) {
   check(x.defined(), "dropout: undefined input");
   check(p >= 0.0f && p < 1.0f, "dropout: p must be in [0, 1)");
   if (!training || p == 0.0f) {
-    // Identity that still participates in the graph.
-    return scale(x, 1.0f);
+    // Identity: return the input handle itself. Gradients flow to x
+    // unchanged, and the attack hot path (always eval mode) skips a full
+    // copy plus a graph node per forward.
+    return x;
   }
   const float keep = 1.0f - p;
-  auto mask = std::make_shared<std::vector<float>>(static_cast<size_t>(x.numel()));
-  std::vector<float> out(static_cast<size_t>(x.numel()));
+  auto ctx = std::make_unique<BackwardCtx>();
+  ctx->fbuf = pool::acquire(static_cast<size_t>(x.numel()));
+  std::vector<float> out = pool::acquire(static_cast<size_t>(x.numel()));
   const float* px = x.data();
   for (size_t i = 0; i < out.size(); ++i) {
     const float m = rng.uniform() < p ? 0.0f : 1.0f / keep;
-    (*mask)[i] = m;
+    ctx->fbuf[i] = m;
     out[i] = px[i] * m;
   }
-  auto ix = x.impl();
-  return make_node(x.shape(), std::move(out), {ix}, [ix, mask](TensorImpl& node) {
-    if (!ix->requires_grad) return;
-    ix->ensure_grad();
-    for (size_t i = 0; i < node.grad.size(); ++i) {
-      ix->grad[i] += node.grad[i] * (*mask)[i];
-    }
-  });
+  return make_node(x.shape(), std::move(out), {x.impl()}, dropout_bw,
+                   {.ctx = std::move(ctx)});
 }
+
+// ---------------------------------------------------------------------------
+// Non-differentiable helpers
+// ---------------------------------------------------------------------------
 
 std::vector<int> argmax_rows(const Tensor& x) {
   check_matrix(x, "argmax_rows");

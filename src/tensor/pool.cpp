@@ -1,0 +1,131 @@
+#include "pcss/tensor/pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pcss::tensor::pool {
+
+namespace {
+
+// Smallest pooled class: 2^6 = 64 floats. Anything below is cheaper to
+// take straight from the allocator's small bins than to track.
+constexpr std::size_t kMinClassLog2 = 6;
+constexpr std::size_t kNumClasses = 26;  // up to 2^31 floats (8 GiB)
+constexpr std::size_t kMaxPerClass = 256;
+constexpr std::size_t kMaxCachedFloats = std::size_t{96} * 1024 * 1024;  // 384 MiB
+
+std::size_t class_log2_for_request(std::size_t n) {
+  std::size_t log2 = kMinClassLog2;
+  while ((std::size_t{1} << log2) < n) ++log2;
+  return log2;
+}
+
+struct Pool {
+  std::vector<std::vector<float>> free_lists[kNumClasses];
+  Stats counters;
+
+  ~Pool() = default;
+};
+
+// The pool lives on the heap behind a plain-pointer TLS slot so that
+// release() stays safe during thread/program teardown: after the owner's
+// destructor runs the slot reads null and buffers are simply freed.
+// (Static-duration tensors -- model fixtures, cached zoo models -- are
+// destroyed after thread_local objects; they must not touch a dead pool.)
+thread_local Pool* tl_pool = nullptr;
+
+struct PoolOwner {
+  Pool* pool;
+  PoolOwner() : pool(new Pool) { tl_pool = pool; }
+  ~PoolOwner() {
+    tl_pool = nullptr;
+    delete pool;
+  }
+};
+
+Pool* ensure_pool() {
+  thread_local PoolOwner owner;
+  return tl_pool;
+}
+
+}  // namespace
+
+std::vector<float> acquire(std::size_t n) {
+  Pool* p = ensure_pool();
+  if (p == nullptr) return std::vector<float>(n);
+  ++p->counters.acquires;
+  const std::size_t log2 = class_log2_for_request(n);
+  if (log2 >= kMinClassLog2 + kNumClasses) {
+    // Beyond the largest size class: bypass the pool entirely (release()
+    // byte-caps such buffers away anyway).
+    return std::vector<float>(n);
+  }
+  auto& list = p->free_lists[log2 - kMinClassLog2];
+  if (!list.empty()) {
+    std::vector<float> buf = std::move(list.back());
+    list.pop_back();
+    ++p->counters.hits;
+    --p->counters.cached_buffers;
+    p->counters.cached_floats -= buf.capacity();
+    buf.resize(n);  // capacity >= 2^log2 >= n: never reallocates
+    return buf;
+  }
+  std::vector<float> buf;
+  buf.reserve(std::size_t{1} << log2);
+  buf.resize(n);
+  return buf;
+}
+
+std::vector<float> acquire_zeroed(std::size_t n) {
+  std::vector<float> buf = acquire(n);
+  std::fill(buf.begin(), buf.end(), 0.0f);
+  return buf;
+}
+
+void release(std::vector<float>&& buffer) noexcept {
+  std::vector<float> buf = std::move(buffer);
+  Pool* p = tl_pool;  // null before first acquire or after thread teardown
+  if (p == nullptr || buf.capacity() < (std::size_t{1} << kMinClassLog2)) return;
+  // Class from the *capacity* floor: a buffer cached in class c always has
+  // capacity >= 2^c, so acquire() can resize without reallocating.
+  std::size_t log2 = kMinClassLog2;
+  while ((std::size_t{2} << log2) <= buf.capacity() && log2 + 1 < kMinClassLog2 + kNumClasses) {
+    ++log2;
+  }
+  const std::size_t cls = log2 - kMinClassLog2;
+  auto& list = p->free_lists[cls];
+  if (list.size() >= kMaxPerClass ||
+      p->counters.cached_floats + buf.capacity() > kMaxCachedFloats) {
+    ++p->counters.discards;
+    return;
+  }
+  ++p->counters.releases;
+  ++p->counters.cached_buffers;
+  p->counters.cached_floats += buf.capacity();
+  list.push_back(std::move(buf));
+}
+
+Stats stats() noexcept {
+  Pool* p = tl_pool;
+  return p ? p->counters : Stats{};
+}
+
+void reset_stats() noexcept {
+  Pool* p = tl_pool;
+  if (p == nullptr) return;
+  const std::size_t buffers = p->counters.cached_buffers;
+  const std::size_t floats = p->counters.cached_floats;
+  p->counters = Stats{};
+  p->counters.cached_buffers = buffers;
+  p->counters.cached_floats = floats;
+}
+
+void trim() noexcept {
+  Pool* p = tl_pool;
+  if (p == nullptr) return;
+  for (auto& list : p->free_lists) list.clear();
+  p->counters.cached_buffers = 0;
+  p->counters.cached_floats = 0;
+}
+
+}  // namespace pcss::tensor::pool

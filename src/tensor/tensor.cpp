@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "pcss/tensor/pool.h"
+
 namespace pcss::tensor {
 
 std::int64_t shape_numel(const Shape& shape) {
@@ -34,21 +36,43 @@ void check(bool condition, const std::string& message) {
 }
 }  // namespace detail
 
+BackwardCtx::~BackwardCtx() { pool::release(std::move(fbuf)); }
+
+TensorImpl::~TensorImpl() {
+  pool::release(std::move(data));
+  pool::release(std::move(grad));
+}
+
 void TensorImpl::ensure_grad() {
-  if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  // Sized from the shape, not data.size(): in-place ops may have moved
+  // this node's value buffer into their result node.
+  const size_t n = static_cast<size_t>(shape_numel(shape));
+  if (grad.size() != n) {
+    pool::release(std::move(grad));
+    grad = pool::acquire_zeroed(n);
+  }
+}
+
+void TensorImpl::release_graph() {
+  if (backward_fn != nullptr) graph_released = true;
+  parents.clear();
+  backward_fn = nullptr;
+  ctx.reset();
 }
 
 Tensor Tensor::zeros(Shape shape) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
-  impl->data.assign(static_cast<size_t>(shape_numel(impl->shape)), 0.0f);
+  impl->data = pool::acquire_zeroed(static_cast<size_t>(shape_numel(impl->shape)));
   return Tensor(std::move(impl));
 }
 
 Tensor Tensor::full(Shape shape, float value) {
-  Tensor t = zeros(std::move(shape));
-  std::fill(t.impl()->data.begin(), t.impl()->data.end(), value);
-  return t;
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = pool::acquire(static_cast<size_t>(shape_numel(impl->shape)));
+  std::fill(impl->data.begin(), impl->data.end(), value);
+  return Tensor(std::move(impl));
 }
 
 Tensor Tensor::from_data(Shape shape, std::vector<float> data) {
@@ -62,13 +86,13 @@ Tensor Tensor::from_data(Shape shape, std::vector<float> data) {
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
-  Tensor t = zeros(std::move(shape));
+  Tensor t = Tensor::full(std::move(shape), 0.0f);
   for (auto& v : t.impl()->data) v = rng.normal(stddev);
   return t;
 }
 
 Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t = zeros(std::move(shape));
+  Tensor t = Tensor::full(std::move(shape), 0.0f);
   for (auto& v : t.impl()->data) v = rng.uniform(lo, hi);
   return t;
 }
@@ -166,6 +190,12 @@ void Tensor::backward() {
                                   shape_str(shape()));
   std::vector<TensorImplPtr> order;
   topo_sort(impl_, order);
+  for (const auto& node : order) {
+    detail::check(!node->graph_released,
+                  "backward(): a reachable node was already released by an earlier "
+                  "backward(); rebuild the graph (define-by-run) instead of "
+                  "backpropagating through it twice");
+  }
   impl_->ensure_grad();
   impl_->grad[0] = 1.0f;
   // Post-order puts the root last; walk in reverse so every node's grad is
@@ -174,13 +204,19 @@ void Tensor::backward() {
     TensorImpl& node = **it;
     if (node.backward_fn && !node.grad.empty()) node.backward_fn(node);
   }
+  // Release the graph: parent edges and backward state are dropped for
+  // every visited node. Nodes kept alive only by the graph die when
+  // `order` unwinds, returning their buffers to the pool; externally-held
+  // nodes keep data and grad but no longer pin their subgraph.
+  for (auto& node : order) node->release_graph();
 }
 
 Tensor Tensor::detach() const {
   detail::check(defined(), "detach() on undefined tensor");
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;
+  impl->data = pool::acquire(impl_->data.size());
+  std::copy(impl_->data.begin(), impl_->data.end(), impl->data.begin());
   return Tensor(std::move(impl));
 }
 

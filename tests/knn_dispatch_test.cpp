@@ -1,0 +1,73 @@
+// Grid-vs-brute kNN equivalence: knn_self dispatches to the grid search
+// at kKnnGridCutover, so both implementations must agree exactly on
+// random clouds (ties at the k-th distance have measure zero there).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pcss/pointcloud/knn.h"
+#include "pcss/tensor/rng.h"
+
+using pcss::pointcloud::kKnnGridCutover;
+using pcss::pointcloud::knn_self;
+using pcss::pointcloud::knn_self_brute;
+using pcss::pointcloud::knn_self_grid;
+using pcss::pointcloud::mean_knn_distance;
+using pcss::pointcloud::Vec3;
+using pcss::tensor::Rng;
+
+namespace {
+
+std::vector<Vec3> random_cloud(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> out(static_cast<size_t>(n));
+  for (auto& p : out) {
+    p = {rng.uniform(0.0f, 8.0f), rng.uniform(0.0f, 8.0f), rng.uniform(0.0f, 3.0f)};
+  }
+  return out;
+}
+
+TEST(KnnDispatch, GridMatchesBruteOnRandomClouds) {
+  for (std::int64_t n : {64, 300, 1500}) {
+    for (int k : {1, 4, 12}) {
+      for (bool include_self : {true, false}) {
+        const auto cloud = random_cloud(n, 1000u + static_cast<std::uint64_t>(n) + k);
+        const auto brute = knn_self_brute(cloud, k, include_self);
+        const auto grid = knn_self_grid(cloud, k, include_self);
+        ASSERT_EQ(brute, grid) << "n=" << n << " k=" << k
+                               << " include_self=" << include_self;
+      }
+    }
+  }
+}
+
+TEST(KnnDispatch, KnnSelfRoutesLargeCloudsThroughGrid) {
+  // Below the cutover knn_self is the brute path; at/above it, the grid.
+  // Both must agree with the brute reference either way.
+  const auto small = random_cloud(kKnnGridCutover - 1, 5);
+  EXPECT_EQ(knn_self(small, 8), knn_self_brute(small, 8));
+  const auto large = random_cloud(kKnnGridCutover + 64, 6);
+  EXPECT_EQ(knn_self(large, 8), knn_self_brute(large, 8));
+  EXPECT_EQ(knn_self(large, 8), knn_self_grid(large, 8));
+}
+
+TEST(KnnDispatch, MeanKnnDistanceIdenticalAcrossPaths) {
+  const auto cloud = random_cloud(kKnnGridCutover + 32, 7);
+  // mean_knn_distance routes through knn_self (grid at this size); the
+  // distances must match a brute-force recomputation exactly.
+  const auto dist = mean_knn_distance(cloud, 6);
+  const auto idx = knn_self_brute(cloud, 6, /*include_self=*/false);
+  ASSERT_EQ(dist.size(), cloud.size());
+  for (size_t i = 0; i < cloud.size(); ++i) {
+    float acc = 0.0f;
+    for (int j = 0; j < 6; ++j) {
+      const Vec3& a = cloud[i];
+      const Vec3& b = cloud[static_cast<size_t>(idx[i * 6 + static_cast<size_t>(j)])];
+      const float dx = a[0] - b[0], dy = a[1] - b[1], dz = a[2] - b[2];
+      acc += std::sqrt(dx * dx + dy * dy + dz * dz);
+    }
+    EXPECT_EQ(dist[i], acc / 6.0f);
+  }
+}
+
+}  // namespace
