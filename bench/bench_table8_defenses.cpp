@@ -1,69 +1,40 @@
-// Reproduces Table VIII: anomaly-detection defenses (SRS, SOR) against
-// both attacks on ResGCN indoor scenes. SRS removes ~1% of points (the
-// paper's ratio); SOR uses k=2 with the color+coordinate distance.
+// Reproduces Table VIII: anomaly-detection defenses (SRS ~1% removed,
+// revised SOR with the combined color+coordinate kNN) against both
+// attacks on ResGCN indoor scenes.
+//
+// Thin wrapper over the registered "table8" defense-grid spec: the
+// runner executes (or replays from artifacts/results/) and this binary
+// only formats. `pcss_run run table8` produces the same numbers from
+// the same cache.
 #include "bench_common.h"
-#include "pcss/core/defense.h"
+#include "pcss/runner/executor.h"
+#include "pcss/runner/zoo_provider.h"
 
-using namespace pcss::core;
-using pcss::bench::base_config;
 using pcss::bench::print_header;
-using pcss::bench::scale;
-using pcss::tensor::Rng;
-
-namespace {
-
-struct DefenseRow {
-  double l2 = 0.0, acc = 0.0, aiou = 0.0;
-};
-
-void print_row(const char* attack, const char* defense, const DefenseRow& r) {
-  std::printf("  %-15s %-5s L2=%6.2f  Acc=%6.2f%%  aIoU=%6.2f%%\n", attack, defense, r.l2,
-              100.0 * r.acc, 100.0 * r.aiou);
-}
-
-}  // namespace
+using pcss::bench::print_perf;
+using pcss::runner::find_cell;
+using pcss::runner::GridCellResult;
 
 int main() {
   print_header("Table VIII - SRS / SOR defenses vs both attacks, ResGCN");
-  pcss::train::ModelZoo zoo;
-  auto model = zoo.resgcn_indoor();
-  const auto clouds = zoo.indoor_eval_scenes(scale().scenes);
-  const std::int64_t srs_remove =
-      std::max<std::int64_t>(1, clouds.front().size() / 100);  // paper: ~1%
+  pcss::runner::ZooModelProvider provider;
+  pcss::runner::ResultStore store;
+  const pcss::runner::ExperimentSpec* spec = pcss::runner::find_spec("table8");
+  const pcss::runner::RunOutcome out = pcss::runner::run_spec(*spec, provider, store);
 
-  for (AttackNorm norm : {AttackNorm::kBounded, AttackNorm::kUnbounded}) {
-    AttackConfig config = base_config(norm, AttackField::kColor);
-    DefenseRow none, srs, sor;
-    for (size_t i = 0; i < clouds.size(); ++i) {
-      const AttackResult adv = run_attack(*model, clouds[i], config);
-      const SegMetrics base = evaluate_segmentation(adv.predictions, clouds[i].labels, 13);
-      none.l2 += adv.l2_color;
-      none.acc += base.accuracy;
-      none.aiou += base.aiou;
-
-      Rng rng(9000 + i);
-      const auto srs_cloud = srs_defense(adv.perturbed, srs_remove, rng);
-      const DefendedEval es = evaluate_defended(*model, srs_cloud, 13);
-      srs.l2 += adv.l2_color;
-      srs.acc += es.accuracy;
-      srs.aiou += es.aiou;
-
-      const auto sor_cloud = sor_defense(adv.perturbed, /*k=*/2, /*stddev_mult=*/1.0f,
-                                         /*color_weight=*/1.0f);
-      const DefendedEval eo = evaluate_defended(*model, sor_cloud, 13);
-      sor.l2 += adv.l2_color;
-      sor.acc += eo.accuracy;
-      sor.aiou += eo.aiou;
+  const char* victim = "resgcn_indoor";
+  for (const char* attack : {"clean", "norm-bounded", "norm-unbounded"}) {
+    std::printf("\n[%s]\n", attack);
+    for (const char* defense : {"none", "srs", "sor"}) {
+      const GridCellResult& cell = find_cell(out.document, attack, defense, victim);
+      std::printf("  %-6s Acc=%6.2f%%  aIoU=%6.2f%%  kept=%7.1f\n", defense,
+                  100.0 * cell.mean_accuracy, 100.0 * cell.mean_aiou,
+                  cell.mean_points_kept);
     }
-    const double n = static_cast<double>(clouds.size());
-    none.l2 /= n; none.acc /= n; none.aiou /= n;
-    srs.l2 /= n;  srs.acc /= n;  srs.aiou /= n;
-    sor.l2 /= n;  sor.acc /= n;  sor.aiou /= n;
-    std::printf("\n");
-    print_row(to_string(norm), "None", none);
-    print_row(to_string(norm), "SRS", srs);
-    print_row(to_string(norm), "SOR", sor);
   }
+  print_perf(out.cache_hit ? "table8 run_spec (cache hit)" : "table8 run_spec",
+             out.wall_seconds, out.attack_steps);
+  std::printf("  result document: %s\n", out.path.c_str());
   std::printf("\nExpected shape (paper Table VIII / Finding 7): neither defense\n"
               "restores clean accuracy; SOR helps most against the norm-unbounded\n"
               "attack (its larger unclipped deltas look like outliers), SRS barely\n"

@@ -1,0 +1,137 @@
+#include "pcss/core/defended_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pcss/core/attack.h"
+#include "pcss/tensor/ops.h"
+
+namespace pcss::core {
+
+namespace ops = pcss::tensor::ops;
+using pcss::models::Vec3;
+
+DefendedModel::DefendedModel(SegmentationModel& inner, DefensePipeline pipeline,
+                             DefendedModelOptions options)
+    : inner_(inner), pipeline_(std::move(pipeline)), options_(options) {
+  if (options_.eot_samples < 1) {
+    throw std::invalid_argument("DefendedModel: eot_samples must be >= 1");
+  }
+  if (options_.eot_samples > 1 && !pipeline_.stochastic()) {
+    throw std::invalid_argument(
+        "DefendedModel: eot_samples > 1 needs a stochastic pipeline "
+        "(every sample of a deterministic defense is identical)");
+  }
+}
+
+std::string DefendedModel::name() const {
+  return inner_.name() + "+defended[" + pipeline_.describe() + "]";
+}
+
+Rng DefendedModel::stream(const PointCloud& perturbed, int sample) const {
+  // Pure function of (seed, input bytes, sample): no per-instance state,
+  // so concurrent engine workers and any shard partitioning see the
+  // same draws for the same perturbed cloud.
+  std::uint64_t hash = fnv64_bytes(perturbed.positions.data(),
+                                   perturbed.positions.size() * sizeof(Vec3));
+  hash = fnv64_bytes(perturbed.colors.data(), perturbed.colors.size() * sizeof(Vec3), hash);
+  hash = fnv64_bytes(&options_.seed, sizeof(options_.seed), hash);
+  const std::uint64_t s = static_cast<std::uint64_t>(sample);
+  hash = fnv64_bytes(&s, sizeof(s), hash);
+  return Rng(hash);
+}
+
+namespace {
+
+/// Differentiable delta rows for the surviving points of one field.
+///
+/// The inner model must see exactly the defended values, while gradient
+/// flows to the attacker's full-cloud delta through a row gather: the
+/// returned tensor is gather(full_delta, kept) plus a constant residual
+/// that accounts for anything the numeric path changed (color clamping,
+/// quantization) — the straight-through estimate. Undefined when the
+/// field is untouched (no incoming delta and no defense-made change).
+Tensor defended_field_delta(const Tensor& full_delta, const float* full_numeric,
+                            const std::vector<Vec3>& defended_values,
+                            const std::vector<Vec3>& base_values,
+                            const std::vector<std::int64_t>& kept) {
+  const std::int64_t m = static_cast<std::int64_t>(kept.size());
+  std::vector<float> residual(static_cast<size_t>(m * 3), 0.0f);
+  bool any = false;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (int a = 0; a < 3; ++a) {
+      const float applied =
+          full_numeric != nullptr ? full_numeric[kept[static_cast<size_t>(i)] * 3 + a] : 0.0f;
+      const float r = defended_values[static_cast<size_t>(i)][a] -
+                      base_values[static_cast<size_t>(i)][a] - applied;
+      residual[static_cast<size_t>(i * 3 + a)] = r;
+      if (r != 0.0f) any = true;
+    }
+  }
+  if (full_delta.defined()) {
+    Tensor gathered = ops::gather_rows(full_delta, kept);
+    if (!any) return gathered;
+    return ops::add(gathered, Tensor::from_data({m, 3}, std::move(residual)));
+  }
+  if (!any) return {};
+  return Tensor::from_data({m, 3}, std::move(residual));
+}
+
+}  // namespace
+
+Tensor DefendedModel::forward(const ModelInput& input, bool training) {
+  if (pipeline_.empty()) return inner_.forward(input, training);
+  if (input.cloud == nullptr) throw std::invalid_argument("DefendedModel: null cloud");
+  const PointCloud& cloud = *input.cloud;
+  const std::int64_t n = cloud.size();
+  const int classes = inner_.num_classes();
+
+  // Materialize the numeric perturbation the defender would actually
+  // see; stage selection (SOR statistics, voxel occupancy, SRS draws)
+  // runs on it.
+  std::vector<float> color_numeric, coord_numeric;
+  if (input.color_delta.defined()) {
+    color_numeric.assign(input.color_delta.data(), input.color_delta.data() + n * 3);
+  }
+  if (input.coord_delta.defined()) {
+    coord_numeric.assign(input.coord_delta.data(), input.coord_delta.data() + n * 3);
+  }
+  const PointCloud perturbed =
+      apply_field_deltas(cloud, color_numeric.empty() ? nullptr : &color_numeric,
+                         coord_numeric.empty() ? nullptr : &coord_numeric);
+
+  // One-hot ground-truth fill for dropped rows: a point the defense
+  // removed cannot be flipped by the attacker, so its row scores as
+  // still-correct and contributes no gradient.
+  std::vector<float> fill(static_cast<size_t>(n * classes), 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int label = cloud.labels[static_cast<size_t>(i)];
+    if (label >= 0 && label < classes) fill[static_cast<size_t>(i * classes + label)] = 1.0f;
+  }
+
+  Tensor total;
+  for (int s = 0; s < options_.eot_samples; ++s) {
+    Rng rng = stream(perturbed, s);
+    const DefenseOutcome outcome = pipeline_.apply(perturbed, rng);
+    const PointCloud base = cloud.subset(outcome.kept);
+
+    ModelInput sub;
+    sub.cloud = &base;
+    sub.color_delta = defended_field_delta(
+        input.color_delta, color_numeric.empty() ? nullptr : color_numeric.data(),
+        outcome.cloud.colors, base.colors, outcome.kept);
+    sub.coord_delta = defended_field_delta(
+        input.coord_delta, coord_numeric.empty() ? nullptr : coord_numeric.data(),
+        outcome.cloud.positions, base.positions, outcome.kept);
+
+    Tensor logits = inner_.forward(sub, training);
+    Tensor full = ops::scatter_rows(logits, outcome.kept, n, fill);
+    total = total.defined() ? ops::add(total, full) : full;
+  }
+  if (options_.eot_samples > 1) {
+    total = ops::scale(total, 1.0f / static_cast<float>(options_.eot_samples));
+  }
+  return total;
+}
+
+}  // namespace pcss::core

@@ -1,80 +1,23 @@
 #include "pcss/core/defense.h"
 
-#include <algorithm>
-#include <cmath>
-#include <numeric>
-#include <stdexcept>
-
-#include "pcss/core/metrics.h"
-#include "pcss/pointcloud/knn.h"
-#include "pcss/pointcloud/sampling.h"
-
 namespace pcss::core {
 
 PointCloud srs_defense(const PointCloud& cloud, std::int64_t remove_count, Rng& rng) {
-  if (remove_count < 0 || remove_count >= cloud.size()) {
-    throw std::invalid_argument("srs_defense: remove_count out of range");
-  }
-  const auto keep =
-      pcss::pointcloud::random_sample(cloud.size(), cloud.size() - remove_count, rng);
-  auto sorted = keep;
-  std::sort(sorted.begin(), sorted.end());  // preserve original point order
-  return cloud.subset(sorted);
+  return make_srs_stage(remove_count)->apply(cloud, rng).cloud;
 }
 
 PointCloud sor_defense(const PointCloud& cloud, int k, float stddev_mult,
                        float color_weight) {
-  const std::int64_t n = cloud.size();
-  if (n <= k) return cloud;
-  // Joint color+coordinate kNN distance, as the paper revises SOR for
-  // semantic segmentation.
-  const float cw = std::sqrt(color_weight);
-  std::vector<float> mean_d(static_cast<size_t>(n), 0.0f);
-  {
-    // Distances in 6-D (pos, scaled color); computed brute force through
-    // the combined metric.
-    const auto idx = pcss::pointcloud::knn_self(cloud.positions, k, /*include_self=*/false);
-    for (std::int64_t i = 0; i < n; ++i) {
-      float acc = 0.0f;
-      for (int j = 0; j < k; ++j) {
-        const auto nb = static_cast<size_t>(idx[i * k + j]);
-        const float dp2 = pcss::pointcloud::squared_distance(
-            cloud.positions[static_cast<size_t>(i)], cloud.positions[nb]);
-        float dc2 = 0.0f;
-        for (int a = 0; a < 3; ++a) {
-          const float d = (cloud.colors[static_cast<size_t>(i)][a] - cloud.colors[nb][a]) * cw;
-          dc2 += d * d;
-        }
-        acc += std::sqrt(dp2 + dc2);
-      }
-      mean_d[static_cast<size_t>(i)] = acc / static_cast<float>(k);
-    }
-  }
-  double mean = 0.0;
-  for (float d : mean_d) mean += d;
-  mean /= static_cast<double>(n);
-  double var = 0.0;
-  for (float d : mean_d) var += (d - mean) * (d - mean);
-  var /= static_cast<double>(n);
-  const double threshold = mean + static_cast<double>(stddev_mult) * std::sqrt(var);
-
-  std::vector<std::int64_t> keep;
-  for (std::int64_t i = 0; i < n; ++i) {
-    if (mean_d[static_cast<size_t>(i)] <= threshold) keep.push_back(i);
-  }
-  if (keep.empty()) return cloud;  // degenerate: refuse to drop everything
-  return cloud.subset(keep);
+  Rng unused(0);  // SOR is deterministic; the stage never draws
+  return make_sor_stage(k, stddev_mult, color_weight)->apply(cloud, unused).cloud;
 }
 
 DefendedEval evaluate_defended(SegmentationModel& model, const PointCloud& defended,
                                int num_classes) {
-  DefendedEval out;
-  out.points_kept = defended.size();
-  const std::vector<int> pred = model.predict(defended);
-  const SegMetrics m = evaluate_segmentation(pred, defended.labels, num_classes);
-  out.accuracy = m.accuracy;
-  out.aiou = m.aiou;
-  return out;
+  Rng unused(0);
+  const DefenseReport report =
+      run_defended(model, DefensePipeline{}, defended, num_classes, unused);
+  return {report.metrics.accuracy, report.metrics.aiou, defended.size()};
 }
 
 }  // namespace pcss::core

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "pcss/core/defense_stage.h"
 #include "pcss/models/model.h"
 #include "pcss/tensor/rng.h"
 
@@ -12,14 +13,23 @@ using pcss::models::PointCloud;
 using pcss::models::SegmentationModel;
 using pcss::tensor::Rng;
 
+// The composable defense API lives in defense_stage.h (DefenseStage /
+// DefensePipeline / run_defended) and defended_model.h (attacks through
+// a defense). The functions below are the original free-function
+// surface, kept as thin wrappers over single-stage pipelines — bit-exact
+// equivalence with the stages is enforced by
+// tests/defense_pipeline_test.cpp.
+
 /// Simple Random Sampling defense (paper §V-F, from Yang et al.): removes
 /// `remove_count` uniformly chosen points before segmentation.
+/// Wrapper over make_srs_stage(remove_count).
 PointCloud srs_defense(const PointCloud& cloud, std::int64_t remove_count, Rng& rng);
 
 /// Statistical Outlier Removal defense (paper §V-F, from DUP-Net),
 /// revised as in the paper to use both color and coordinates in the kNN
 /// distance: d = sqrt(d_pos^2 + color_weight * d_color^2). Points whose
 /// mean-kNN distance exceeds mean + stddev_mult * sigma are removed.
+/// Wrapper over make_sor_stage(k, stddev_mult, color_weight).
 PointCloud sor_defense(const PointCloud& cloud, int k, float stddev_mult = 1.0f,
                        float color_weight = 1.0f);
 
@@ -31,6 +41,7 @@ struct DefendedEval {
 };
 
 /// Predicts on the defended cloud and scores against its ground truth.
+/// Wrapper over run_defended with the empty (identity) pipeline.
 DefendedEval evaluate_defended(SegmentationModel& model, const PointCloud& defended,
                                int num_classes);
 

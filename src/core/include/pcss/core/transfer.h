@@ -12,6 +12,10 @@ using pcss::models::SegmentationModel;
 
 /// Transferability evaluation (paper §V-G): feed an adversarial cloud
 /// generated against one model into another and score it.
+///
+/// Wrapper over run_defended (defense_stage.h) with the identity
+/// pipeline — the defense grid's "no defense" cell generalizes this to
+/// any victim x defense combination (see core/defense_grid.h).
 SegMetrics evaluate_transfer(SegmentationModel& victim, const PointCloud& adversarial,
                              int num_classes);
 

@@ -2,12 +2,16 @@
 
 #include <stdexcept>
 
+#include "pcss/core/defense_stage.h"
+
 namespace pcss::core {
 
 SegMetrics evaluate_transfer(SegmentationModel& victim, const PointCloud& adversarial,
                              int num_classes) {
-  const std::vector<int> pred = victim.predict(adversarial);
-  return evaluate_segmentation(pred, adversarial.labels, num_classes);
+  // Transfer is the defense grid's undefended cell: predict through the
+  // identity pipeline and score against the cloud's own ground truth.
+  Rng unused(0);
+  return run_defended(victim, DefensePipeline{}, adversarial, num_classes, unused).metrics;
 }
 
 float remap_range(float value, float src_lo, float src_hi, float dst_lo, float dst_hi) {

@@ -39,6 +39,34 @@ std::vector<std::int64_t> knn_query(const std::vector<Vec3>& reference,
 std::vector<std::int64_t> knn_self_grid(const std::vector<Vec3>& points, int k,
                                         bool include_self = true);
 
+/// k nearest neighbors within one set under the combined position+color
+/// metric of the revised SOR defense:
+///   d^2(i, j) = ||p_i - p_j||^2 + color_weight * ||c_i - c_j||^2.
+/// Returns a flat [n*k] row-major index array (ascending distance). The
+/// point itself is always excluded from its own list. `positions` and
+/// `colors` must be the same length; color_weight must be >= 0 (0 reduces
+/// the metric to plain positional kNN).
+///
+/// Dispatches to the grid search at kKnnGridCutover points. The grid is
+/// exact for the combined metric too: the combined distance is bounded
+/// below by the positional distance, so the positional shell bound of
+/// knn_self_grid still proves the k-th neighbor final. Both paths agree
+/// up to ties at the k-th combined distance.
+std::vector<std::int64_t> knn_self_combined(const std::vector<Vec3>& positions,
+                                            const std::vector<Vec3>& colors,
+                                            float color_weight, int k);
+
+/// Brute-force O(N^2) variant, kept callable for the grid-equivalence
+/// tests (mirrors knn_self_brute).
+std::vector<std::int64_t> knn_self_combined_brute(const std::vector<Vec3>& positions,
+                                                  const std::vector<Vec3>& colors,
+                                                  float color_weight, int k);
+
+/// Grid-accelerated variant for large clouds.
+std::vector<std::int64_t> knn_self_combined_grid(const std::vector<Vec3>& positions,
+                                                 const std::vector<Vec3>& colors,
+                                                 float color_weight, int k);
+
 /// Fraction of points whose neighbor *set* changed between two [n*k] kNN
 /// index arrays. Used for the paper's §V-B evidence that coordinate
 /// perturbation disturbs >88% of neighborhoods.

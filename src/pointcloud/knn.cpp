@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -116,9 +117,15 @@ struct CellHash {
 
 }  // namespace
 
-std::vector<std::int64_t> knn_self_grid(const std::vector<Vec3>& points, int k,
-                                        bool include_self) {
-  if (k <= 0) throw std::invalid_argument("knn_self_grid: k must be positive");
+/// Shared exact grid search parameterized over the pairwise squared
+/// distance. Correctness requirement on `dist_sq`: it must be bounded
+/// below by the positional squared distance, because the shell
+/// termination bound is positional (true for the plain metric, where
+/// they are equal, and for the combined position+color metric, which
+/// only adds a non-negative term).
+template <typename DistSqFn>
+std::vector<std::int64_t> grid_search(const std::vector<Vec3>& points, int k,
+                                      bool include_self, DistSqFn dist_sq) {
   const std::int64_t n = static_cast<std::int64_t>(points.size());
   if (n == 0) return {};
   const BBox box = compute_bbox(points);
@@ -149,7 +156,7 @@ std::vector<std::int64_t> knn_self_grid(const std::vector<Vec3>& points, int k,
             if (it == grid.end()) continue;
             for (std::int64_t j : it->second) {
               if (!include_self && j == i) continue;
-              top.offer(squared_distance(p, points[static_cast<size_t>(j)]), j);
+              top.offer(dist_sq(i, j), j);
             }
           }
         }
@@ -163,6 +170,82 @@ std::vector<std::int64_t> knn_self_grid(const std::vector<Vec3>& points, int k,
     top.fill_sorted(out.data() + i * k);
   }
   return out;
+}
+
+std::vector<std::int64_t> knn_self_grid(const std::vector<Vec3>& points, int k,
+                                        bool include_self) {
+  if (k <= 0) throw std::invalid_argument("knn_self_grid: k must be positive");
+  return grid_search(points, k, include_self, [&](std::int64_t i, std::int64_t j) {
+    return squared_distance(points[static_cast<size_t>(i)], points[static_cast<size_t>(j)]);
+  });
+}
+
+namespace {
+
+void check_combined_args(const std::vector<Vec3>& positions, const std::vector<Vec3>& colors,
+                         float color_weight, int k, const char* who) {
+  if (k <= 0) throw std::invalid_argument(std::string(who) + ": k must be positive");
+  if (positions.size() != colors.size()) {
+    throw std::invalid_argument(std::string(who) + ": positions/colors size mismatch");
+  }
+  if (color_weight < 0.0f) {
+    throw std::invalid_argument(std::string(who) + ": color_weight must be >= 0");
+  }
+}
+
+/// d^2 = d_pos^2 + color_weight * d_color^2 (the revised-SOR metric).
+struct CombinedDistSq {
+  const std::vector<Vec3>& positions;
+  const std::vector<Vec3>& colors;
+  float color_weight;
+
+  float operator()(std::int64_t i, std::int64_t j) const {
+    const auto a = static_cast<size_t>(i), b = static_cast<size_t>(j);
+    return squared_distance(positions[a], positions[b]) +
+           color_weight * squared_distance(colors[a], colors[b]);
+  }
+};
+
+}  // namespace
+
+std::vector<std::int64_t> knn_self_combined(const std::vector<Vec3>& positions,
+                                            const std::vector<Vec3>& colors,
+                                            float color_weight, int k) {
+  check_combined_args(positions, colors, color_weight, k, "knn_self_combined");
+  if (static_cast<std::int64_t>(positions.size()) >= kKnnGridCutover) {
+    return knn_self_combined_grid(positions, colors, color_weight, k);
+  }
+  return knn_self_combined_brute(positions, colors, color_weight, k);
+}
+
+std::vector<std::int64_t> knn_self_combined_brute(const std::vector<Vec3>& positions,
+                                                  const std::vector<Vec3>& colors,
+                                                  float color_weight, int k) {
+  check_combined_args(positions, colors, color_weight, k, "knn_self_combined_brute");
+  const CombinedDistSq dist{positions, colors, color_weight};
+  const std::int64_t n = static_cast<std::int64_t>(positions.size());
+  std::vector<std::int64_t> out(static_cast<size_t>(n) * static_cast<size_t>(k));
+  for (std::int64_t i = 0; i < n; ++i) {
+    TopK top(k);
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      top.offer(dist(i, j), j);
+    }
+    top.fill_sorted(out.data() + i * k);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> knn_self_combined_grid(const std::vector<Vec3>& positions,
+                                                 const std::vector<Vec3>& colors,
+                                                 float color_weight, int k) {
+  check_combined_args(positions, colors, color_weight, k, "knn_self_combined_grid");
+  // The grid cells span positions only; the combined distance can only
+  // exceed the positional one, so the positional shell bound stays a
+  // valid termination proof (shells just expand a little further when
+  // color dominates the metric).
+  return grid_search(positions, k, /*include_self=*/false,
+                     CombinedDistSq{positions, colors, color_weight});
 }
 
 double neighborhood_change_fraction(const std::vector<std::int64_t>& before,

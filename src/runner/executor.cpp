@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "pcss/core/attack_engine.h"
+#include "pcss/core/defense_grid.h"
 #include "pcss/runner/perf.h"
 #include "pcss/tensor/pool.h"
 
@@ -160,6 +161,75 @@ ShardData compute_noise_shard(SegmentationModel& model, const AttackVariant& var
   return shard;
 }
 
+// ---------------------------------------------------------------------------
+// Defense-grid shards
+// ---------------------------------------------------------------------------
+
+/// Everything one defense-grid shard computes: per-attack traces and
+/// per-cell case rows for the shard's clouds, in the spec's enumeration
+/// order (which the cache key pins, so order is identity).
+struct GridShardData {
+  std::vector<pcss::core::GridAttackTrace> attacks;
+  std::vector<std::vector<GridCaseRow>> cells;
+};
+
+Json grid_shard_to_json(const GridShardData& shard) {
+  Json j = Json::object();
+  Json attacks = Json::array();
+  for (const auto& trace : shard.attacks) {
+    Json a = Json::object();
+    a.set("l2_color", doubles_to_json(trace.l2_color));
+    Json steps = Json::array();
+    for (long long s : trace.steps) steps.push(s);
+    a.set("steps", std::move(steps));
+    attacks.push(std::move(a));
+  }
+  j.set("attacks", std::move(attacks));
+  Json cells = Json::array();
+  for (const auto& cell : shard.cells) {
+    Json cases = Json::array();
+    for (const GridCaseRow& row : cell) {
+      Json c = Json::object();
+      c.set("accuracy", row.accuracy);
+      c.set("aiou", row.aiou);
+      c.set("points_kept", row.points_kept);
+      cases.push(std::move(c));
+    }
+    cells.push(std::move(cases));
+  }
+  j.set("cells", std::move(cells));
+  return j;
+}
+
+GridShardData grid_shard_from_json(const Json& j, std::size_t attack_count,
+                                   std::size_t cell_count) {
+  GridShardData shard;
+  const Json& attacks = j.at("attacks");
+  const Json& cells = j.at("cells");
+  // A shard written for a different spec shape is unusable; failing here
+  // sends the caller down the recompute path.
+  if (attacks.size() != attack_count || cells.size() != cell_count) {
+    throw std::runtime_error("grid shard: column count mismatch");
+  }
+  for (const Json& a : attacks.items()) {
+    pcss::core::GridAttackTrace trace;
+    trace.l2_color = doubles_from_json(a.at("l2_color"));
+    for (const Json& s : a.at("steps").items()) {
+      trace.steps.push_back(static_cast<long long>(s.number()));
+    }
+    shard.attacks.push_back(std::move(trace));
+  }
+  for (const Json& cell : cells.items()) {
+    std::vector<GridCaseRow> rows;
+    for (const Json& c : cell.items()) {
+      rows.push_back({c.at("accuracy").number(), c.at("aiou").number(),
+                      static_cast<long long>(c.at("points_kept").number())});
+    }
+    shard.cells.push_back(std::move(rows));
+  }
+  return shard;
+}
+
 ShardData compute_shared_shard(SegmentationModel& model, const AttackConfig& config,
                                std::span<const PointCloud> clouds, int num_threads) {
   AttackEngine engine(model, config);
@@ -175,12 +245,159 @@ ShardData compute_shared_shard(SegmentationModel& model, const AttackConfig& con
   return shard;
 }
 
+/// Executes (or replays) a kDefenseGrid spec into `doc`/`out`: shards of
+/// clouds, each computed by core::evaluate_defense_grid with the shard's
+/// global offset, so attack RNG (seed + g) and defense streams
+/// (defense_cell_seed at global g) are invariant under any partitioning.
+void execute_defense_grid(const ExperimentSpec& spec, ModelProvider& provider,
+                          ResultStore& store, const RunOptions& options,
+                          const std::string& key, std::span<const PointCloud> clouds,
+                          int shard_size, RunDocument& doc, RunOutcome& out) {
+  if (spec.models.size() != 1) {
+    throw std::invalid_argument("run_spec: defense-grid spec '" + spec.name +
+                                "' needs exactly one source model");
+  }
+  if (spec.victims.empty() || spec.defenses.empty()) {
+    throw std::invalid_argument("run_spec: defense-grid spec '" + spec.name +
+                                "' needs victims and defenses");
+  }
+  for (const AttackVariant& variant : spec.variants) {
+    if (variant.kind != VariantKind::kPerCloud) {
+      throw std::invalid_argument("run_spec: defense-grid spec '" + spec.name +
+                                  "' supports per_cloud attack variants only");
+    }
+  }
+
+  const auto source = provider.model(spec.models[0]);
+  doc.source_model = to_string(spec.models[0]);
+  doc.defense_seed = spec.defense_seed;
+
+  std::vector<std::shared_ptr<SegmentationModel>> victim_models;
+  std::vector<pcss::core::GridVictim> victims;
+  for (ModelId id : spec.victims) {
+    victim_models.push_back(provider.model(id));
+    victims.push_back({to_string(id), victim_models.back().get()});
+  }
+
+  std::vector<pcss::core::GridAttack> attacks;
+  if (spec.grid_include_clean) attacks.push_back({"clean", true, {}});
+  for (const AttackVariant& variant : spec.variants) {
+    attacks.push_back({variant.label, false, scaled_config(variant, options.scale)});
+  }
+
+  std::vector<pcss::core::GridDefense> defenses;
+  for (const DefensePipelineSpec& defense : spec.defenses) {
+    defenses.push_back({defense.label, build_pipeline(defense)});
+  }
+
+  for (const pcss::core::GridAttack& attack : attacks) {
+    GridAttackResult trace;
+    trace.label = attack.label;
+    doc.grid_attacks.push_back(std::move(trace));
+  }
+  for (const pcss::core::GridAttack& attack : attacks) {
+    for (const pcss::core::GridDefense& defense : defenses) {
+      for (const pcss::core::GridVictim& victim : victims) {
+        GridCellResult cell;
+        cell.attack = attack.label;
+        cell.defense = defense.label;
+        cell.victim = victim.label;
+        doc.grid.push_back(std::move(cell));
+      }
+    }
+  }
+
+  for (std::size_t offset = 0; offset < clouds.size();
+       offset += static_cast<std::size_t>(shard_size)) {
+    const std::size_t count =
+        std::min(static_cast<std::size_t>(shard_size), clouds.size() - offset);
+    const std::string shard_key = "shards/" + key + "-grid-o" + std::to_string(offset) +
+                                  "-n" + std::to_string(count) + ".json";
+    ++out.shards_total;
+    GridShardData shard;
+    bool from_cache = false;
+    if (!options.force) {
+      if (auto cached = store.get(shard_key)) {
+        try {
+          shard = grid_shard_from_json(Json::parse(*cached), attacks.size(),
+                                       doc.grid.size());
+          from_cache = true;
+          ++out.shards_from_cache;
+        } catch (const std::exception&) {
+          shard = GridShardData{};  // unreadable shard: recompute it
+        }
+      }
+    }
+    if (!from_cache) {
+      pcss::core::DefenseGridOptions grid_options;
+      grid_options.defense_seed = spec.defense_seed;
+      grid_options.cloud_index_base = offset;
+      grid_options.num_threads = options.num_threads;
+      const pcss::core::DefenseGridResult result = pcss::core::evaluate_defense_grid(
+          *source, victims, clouds.subspan(offset, count), attacks, defenses,
+          grid_options);
+      shard.attacks = result.attacks;
+      shard.cells.reserve(result.cells.size());
+      for (const pcss::core::GridCell& cell : result.cells) {
+        std::vector<GridCaseRow> rows;
+        rows.reserve(cell.cases.size());
+        for (const pcss::core::GridCase& c : cell.cases) {
+          rows.push_back({c.accuracy, c.aiou, static_cast<long long>(c.points_kept)});
+        }
+        shard.cells.push_back(std::move(rows));
+      }
+      store.put(shard_key, grid_shard_to_json(shard).dump() + "\n");
+      for (const auto& trace : shard.attacks) {
+        for (long long s : trace.steps) out.attack_steps += s;
+      }
+    }
+    for (std::size_t ai = 0; ai < shard.attacks.size(); ++ai) {
+      doc.grid_attacks[ai].l2_color.insert(doc.grid_attacks[ai].l2_color.end(),
+                                           shard.attacks[ai].l2_color.begin(),
+                                           shard.attacks[ai].l2_color.end());
+      doc.grid_attacks[ai].steps.insert(doc.grid_attacks[ai].steps.end(),
+                                        shard.attacks[ai].steps.begin(),
+                                        shard.attacks[ai].steps.end());
+    }
+    for (std::size_t ci = 0; ci < shard.cells.size(); ++ci) {
+      doc.grid[ci].cases.insert(doc.grid[ci].cases.end(), shard.cells[ci].begin(),
+                                shard.cells[ci].end());
+    }
+  }
+
+  for (GridAttackResult& trace : doc.grid_attacks) {
+    for (double l2 : trace.l2_color) trace.mean_l2_color += l2;
+    if (!trace.l2_color.empty()) {
+      trace.mean_l2_color /= static_cast<double>(trace.l2_color.size());
+    }
+    for (long long s : trace.steps) trace.total_steps += s;
+  }
+  for (GridCellResult& cell : doc.grid) {
+    for (const GridCaseRow& row : cell.cases) {
+      cell.mean_accuracy += row.accuracy;
+      cell.mean_aiou += row.aiou;
+      cell.mean_points_kept += static_cast<double>(row.points_kept);
+    }
+    if (!cell.cases.empty()) {
+      const auto n = static_cast<double>(cell.cases.size());
+      cell.mean_accuracy /= n;
+      cell.mean_aiou /= n;
+      cell.mean_points_kept /= n;
+    }
+  }
+}
+
 }  // namespace
 
 Json document_to_json(const RunDocument& doc) {
   Json j = Json::object();
   j.set("spec", doc.spec);
   j.set("key", doc.key);
+  // Attack-table documents keep their pre-grid byte layout (and their
+  // unchanged cache keys keep naming byte-identical documents): the
+  // kind tag is only written for non-default kinds, and parsing treats
+  // its absence as attack_table.
+  if (doc.kind != "attack_table") j.set("kind", doc.kind);
   Json scale = Json::object();
   scale.set("scenes", doc.scale.scenes);
   scale.set("hiding_scenes", doc.scale.hiding_scenes);
@@ -229,6 +446,44 @@ Json document_to_json(const RunDocument& doc) {
     models.push(std::move(m));
   }
   j.set("models", std::move(models));
+  if (doc.kind == "defense_grid") {
+    j.set("source_model", doc.source_model);
+    j.set("defense_seed", std::to_string(doc.defense_seed));  // 64-bit: see scene_seed
+    Json attacks = Json::array();
+    for (const GridAttackResult& trace : doc.grid_attacks) {
+      Json a = Json::object();
+      a.set("label", trace.label);
+      a.set("l2_color", doubles_to_json(trace.l2_color));
+      Json steps = Json::array();
+      for (long long s : trace.steps) steps.push(s);
+      a.set("steps", std::move(steps));
+      a.set("mean_l2_color", trace.mean_l2_color);
+      a.set("total_steps", trace.total_steps);
+      attacks.push(std::move(a));
+    }
+    j.set("grid_attacks", std::move(attacks));
+    Json grid = Json::array();
+    for (const GridCellResult& cell : doc.grid) {
+      Json c = Json::object();
+      c.set("attack", cell.attack);
+      c.set("defense", cell.defense);
+      c.set("victim", cell.victim);
+      Json cases = Json::array();
+      for (const GridCaseRow& row : cell.cases) {
+        Json r = Json::object();
+        r.set("accuracy", row.accuracy);
+        r.set("aiou", row.aiou);
+        r.set("points_kept", row.points_kept);
+        cases.push(std::move(r));
+      }
+      c.set("cases", std::move(cases));
+      c.set("mean_accuracy", cell.mean_accuracy);
+      c.set("mean_aiou", cell.mean_aiou);
+      c.set("mean_points_kept", cell.mean_points_kept);
+      grid.push(std::move(c));
+    }
+    j.set("grid", std::move(grid));
+  }
   return j;
 }
 
@@ -236,6 +491,9 @@ RunDocument document_from_json(const Json& j) {
   RunDocument doc;
   doc.spec = j.at("spec").str();
   doc.key = j.at("key").str();
+  // Documents written before the grid kind existed carry no "kind";
+  // they are all attack tables.
+  if (const Json* kind = j.find("kind")) doc.kind = kind->str();
   const Json& scale = j.at("scale");
   doc.scale.scenes = static_cast<int>(scale.at("scenes").number());
   doc.scale.hiding_scenes = static_cast<int>(scale.at("hiding_scenes").number());
@@ -272,6 +530,35 @@ RunDocument document_from_json(const Json& j) {
       section.variants.push_back(std::move(vr));
     }
     doc.models.push_back(std::move(section));
+  }
+  if (doc.kind == "defense_grid") {
+    doc.source_model = j.at("source_model").str();
+    doc.defense_seed = std::stoull(j.at("defense_seed").str());
+    for (const Json& a : j.at("grid_attacks").items()) {
+      GridAttackResult trace;
+      trace.label = a.at("label").str();
+      trace.l2_color = doubles_from_json(a.at("l2_color"));
+      for (const Json& s : a.at("steps").items()) {
+        trace.steps.push_back(static_cast<long long>(s.number()));
+      }
+      trace.mean_l2_color = a.at("mean_l2_color").number();
+      trace.total_steps = static_cast<long long>(a.at("total_steps").number());
+      doc.grid_attacks.push_back(std::move(trace));
+    }
+    for (const Json& c : j.at("grid").items()) {
+      GridCellResult cell;
+      cell.attack = c.at("attack").str();
+      cell.defense = c.at("defense").str();
+      cell.victim = c.at("victim").str();
+      for (const Json& r : c.at("cases").items()) {
+        cell.cases.push_back({r.at("accuracy").number(), r.at("aiou").number(),
+                              static_cast<long long>(r.at("points_kept").number())});
+      }
+      cell.mean_accuracy = c.at("mean_accuracy").number();
+      cell.mean_aiou = c.at("mean_aiou").number();
+      cell.mean_points_kept = c.at("mean_points_kept").number();
+      doc.grid.push_back(std::move(cell));
+    }
   }
   return doc;
 }
@@ -312,13 +599,21 @@ RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
   RunDocument doc;
   doc.spec = spec.name;
   doc.key = key;
+  doc.kind = to_string(spec.kind);
   doc.scale = options.scale;
   doc.dataset = to_string(spec.dataset);
   doc.scene_seed = spec.scene_seed;
   doc.scene_count = static_cast<int>(clouds.size());
   doc.use_l0_distance = spec.use_l0_distance;
 
-  for (std::size_t mi = 0; mi < spec.models.size(); ++mi) {
+  if (spec.kind == SpecKind::kDefenseGrid) {
+    execute_defense_grid(spec, provider, store, options, key, cloud_span, shard_size, doc,
+                         out);
+  }
+
+  const std::size_t attack_table_models =
+      spec.kind == SpecKind::kAttackTable ? spec.models.size() : 0;
+  for (std::size_t mi = 0; mi < attack_table_models; ++mi) {
     const auto model = provider.model(spec.models[mi]);
     ModelSection section;
     section.model = to_string(spec.models[mi]);
@@ -469,6 +764,30 @@ const VariantResult& find_variant(const ModelSection& section, const std::string
   }
   throw std::out_of_range("find_variant: no variant labelled '" + label + "' in model '" +
                           section.model + "'");
+}
+
+void print_grid_matrix(const RunDocument& doc) {
+  for (const GridAttackResult& trace : doc.grid_attacks) {
+    std::printf("  [%s]  mean L2=%.2f  %lld attack steps\n", trace.label.c_str(),
+                trace.mean_l2_color, trace.total_steps);
+    for (const GridCellResult& cell : doc.grid) {
+      if (cell.attack != trace.label) continue;
+      std::printf("    %-16s x %-18s Acc=%6.2f%%  aIoU=%6.2f%%  kept=%7.1f\n",
+                  cell.defense.c_str(), cell.victim.c_str(), 100.0 * cell.mean_accuracy,
+                  100.0 * cell.mean_aiou, cell.mean_points_kept);
+    }
+  }
+}
+
+const GridCellResult& find_cell(const RunDocument& doc, const std::string& attack,
+                                const std::string& defense, const std::string& victim) {
+  for (const GridCellResult& cell : doc.grid) {
+    if (cell.attack == attack && cell.defense == defense && cell.victim == victim) {
+      return cell;
+    }
+  }
+  throw std::out_of_range("find_cell: no cell (" + attack + ", " + defense + ", " + victim +
+                          ") in document '" + doc.spec + "'");
 }
 
 }  // namespace pcss::runner

@@ -34,6 +34,48 @@ const char* to_string(VariantKind kind) {
   return "?";
 }
 
+const char* to_string(DefenseStageKind kind) {
+  switch (kind) {
+    case DefenseStageKind::kSrs: return "srs";
+    case DefenseStageKind::kSor: return "sor";
+    case DefenseStageKind::kVoxel: return "voxel";
+    case DefenseStageKind::kQuantize: return "quantize";
+    case DefenseStageKind::kKnnVote: return "knn_vote";
+  }
+  return "?";
+}
+
+const char* to_string(SpecKind kind) {
+  switch (kind) {
+    case SpecKind::kAttackTable: return "attack_table";
+    case SpecKind::kDefenseGrid: return "defense_grid";
+  }
+  return "?";
+}
+
+std::shared_ptr<const pcss::core::DefenseStage> build_stage(const DefenseStageSpec& spec) {
+  switch (spec.kind) {
+    case DefenseStageKind::kSrs:
+      return spec.srs_fraction >= 0.0f ? pcss::core::make_srs_fraction_stage(spec.srs_fraction)
+                                       : pcss::core::make_srs_stage(spec.srs_remove);
+    case DefenseStageKind::kSor:
+      return pcss::core::make_sor_stage(spec.k, spec.stddev_mult, spec.color_weight);
+    case DefenseStageKind::kVoxel:
+      return pcss::core::make_voxel_stage(spec.voxel);
+    case DefenseStageKind::kQuantize:
+      return pcss::core::make_color_quantize_stage(spec.quantize_levels);
+    case DefenseStageKind::kKnnVote:
+      return pcss::core::make_knn_label_vote_stage(spec.k);
+  }
+  throw std::invalid_argument("build_stage: unknown defense stage kind");
+}
+
+pcss::core::DefensePipeline build_pipeline(const DefensePipelineSpec& spec) {
+  pcss::core::DefensePipeline pipeline;
+  for (const DefenseStageSpec& stage : spec.stages) pipeline.add(build_stage(stage));
+  return pipeline;
+}
+
 AttackConfig scaled_config(const AttackVariant& variant, const Scale& scale) {
   AttackConfig config = variant.config;
   if (variant.apply_scale) {
@@ -173,6 +215,58 @@ std::vector<ExperimentSpec> build_registry() {
     s.variants.push_back(std::move(per_scene));
     specs.push_back(std::move(s));
   }
+  {
+    // Table VIII as a defense grid: both attack regimes on ResGCN, the
+    // paper's SRS (~1% removed) and revised SOR (k=2, color-aware)
+    // defenses, victim == source.
+    ExperimentSpec s;
+    s.name = "table8";
+    s.title = "Table VIII — SRS / SOR defenses vs both attacks, ResGCN";
+    s.kind = SpecKind::kDefenseGrid;
+    s.models = {ModelId::kResGCNIndoor};
+    s.victims = {ModelId::kResGCNIndoor};
+    s.variants.push_back(degradation_variant("norm-bounded", AttackNorm::kBounded,
+                                             AttackField::kColor, indoor_floor));
+    s.variants.push_back(degradation_variant("norm-unbounded", AttackNorm::kUnbounded,
+                                             AttackField::kColor, indoor_floor));
+    s.defenses.push_back({"none", {}});
+    s.defenses.push_back({"srs", {{.kind = DefenseStageKind::kSrs, .srs_fraction = 0.01f}}});
+    s.defenses.push_back(
+        {"sor", {{.kind = DefenseStageKind::kSor, .k = 2, .stddev_mult = 1.0f,
+                  .color_weight = 1.0f}}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // The full robustness matrix: attacks through chained and smoothing
+    // defenses, scored on the source model and on a cross-family
+    // transfer victim (subsumes the Table IX transfer block: the "none"
+    // defense column on the pointnet2 victim).
+    ExperimentSpec s;
+    s.name = "defense_grid";
+    s.title = "Defense grid — attack x defense x victim robustness matrix, ResGCN source";
+    s.kind = SpecKind::kDefenseGrid;
+    s.models = {ModelId::kResGCNIndoor};
+    s.victims = {ModelId::kResGCNIndoor, ModelId::kPointNet2Indoor};
+    s.scene_seed = 5100;
+    s.variants.push_back(degradation_variant("norm-bounded", AttackNorm::kBounded,
+                                             AttackField::kColor, indoor_floor));
+    s.variants.push_back(degradation_variant("norm-unbounded", AttackNorm::kUnbounded,
+                                             AttackField::kColor, indoor_floor));
+    s.defenses.push_back({"none", {}});
+    s.defenses.push_back({"srs", {{.kind = DefenseStageKind::kSrs, .srs_fraction = 0.01f}}});
+    s.defenses.push_back(
+        {"sor", {{.kind = DefenseStageKind::kSor, .k = 2, .stddev_mult = 1.0f,
+                  .color_weight = 1.0f}}});
+    s.defenses.push_back({"srs+sor",
+                          {{.kind = DefenseStageKind::kSrs, .srs_fraction = 0.01f},
+                           {.kind = DefenseStageKind::kSor, .k = 2, .stddev_mult = 1.0f,
+                            .color_weight = 1.0f}}});
+    s.defenses.push_back(
+        {"quantize8+vote",
+         {{.kind = DefenseStageKind::kQuantize, .quantize_levels = 8},
+          {.kind = DefenseStageKind::kKnnVote, .k = 5}}});
+    specs.push_back(std::move(s));
+  }
   return specs;
 }
 
@@ -194,6 +288,10 @@ std::string canonical_description(const ExperimentSpec& spec, const Scale& scale
                                   ModelProvider& provider) {
   std::string out;
   append_kv(out, "spec", spec.name);
+  // The kind tag is appended only for non-default kinds so that every
+  // attack-table key (and its warm shard cache) from before the grid
+  // kind existed stays valid byte-for-byte.
+  if (spec.kind != SpecKind::kAttackTable) append_kv(out, "kind", to_string(spec.kind));
   append_kv(out, "dataset", to_string(spec.dataset));
   append_kv(out, "scene_seed", std::to_string(spec.scene_seed));
   append_kv(out, "scenes", std::to_string(scale.scenes));
@@ -221,6 +319,25 @@ std::string canonical_description(const ExperimentSpec& spec, const Scale& scale
     // must be part of the key for cached rows to stay valid.
     append_config(out, scaled_config(variant, scale));
     out += "}";
+  }
+  if (spec.kind == SpecKind::kDefenseGrid) {
+    append_kv(out, "defense_seed", std::to_string(spec.defense_seed));
+    append_kv(out, "include_clean", spec.grid_include_clean ? "1" : "0");
+    for (const DefensePipelineSpec& defense : spec.defenses) {
+      out += "defense{";
+      append_kv(out, "label", defense.label);
+      // The built pipeline's describe() string is the one hashed into
+      // defense RNG streams, so hashing it here keeps the cache key and
+      // the draws in lockstep with every stage parameter.
+      append_kv(out, "stages", build_pipeline(defense).describe());
+      out += "}";
+    }
+    for (ModelId id : spec.victims) {
+      out += "victim{";
+      append_kv(out, "id", to_string(id));
+      append_kv(out, "weights", provider.model_fingerprint(id));
+      out += "}";
+    }
   }
   return out;
 }

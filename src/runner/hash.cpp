@@ -4,14 +4,15 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "pcss/core/defense_stage.h"
+
 namespace pcss::runner {
 
 Fnv64& Fnv64::update(const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {
-    hash_ ^= bytes[i];
-    hash_ *= 0x100000001b3ull;
-  }
+  // One FNV-1a implementation for the whole stack: defense RNG streams
+  // (core::fnv64_bytes) and result-store keys must hash identically, so
+  // the incremental form chains through the same function.
+  hash_ = pcss::core::fnv64_bytes(data, size, hash_);
   return *this;
 }
 

@@ -55,6 +55,34 @@ struct ModelSection {
   std::vector<VariantResult> variants;
 };
 
+/// One cloud of one defense-grid cell (kDefenseGrid documents).
+struct GridCaseRow {
+  double accuracy = 0.0;
+  double aiou = 0.0;
+  long long points_kept = 0;
+};
+
+/// One (attack x defense x victim) cell with its per-cloud rows and the
+/// mean column the report prints.
+struct GridCellResult {
+  std::string attack;
+  std::string defense;
+  std::string victim;
+  std::vector<GridCaseRow> cases;  ///< cloud order
+  double mean_accuracy = 0.0;
+  double mean_aiou = 0.0;
+  double mean_points_kept = 0.0;
+};
+
+/// Attack-side bookkeeping of one grid attack column.
+struct GridAttackResult {
+  std::string label;
+  std::vector<double> l2_color;   ///< per cloud
+  std::vector<long long> steps;   ///< per cloud
+  double mean_l2_color = 0.0;
+  long long total_steps = 0;
+};
+
 /// The content of one stored result document. Everything in here is a
 /// pure function of the cache key's inputs (spec, scale, seeds,
 /// weights): wall-clock lives in the .perf.json sidecar and the
@@ -63,12 +91,19 @@ struct ModelSection {
 struct RunDocument {
   std::string spec;
   std::string key;
+  std::string kind = "attack_table";  ///< to_string(SpecKind)
   Scale scale;
   std::string dataset;
   std::uint64_t scene_seed = 0;
   int scene_count = 0;
   bool use_l0_distance = false;
-  std::vector<ModelSection> models;
+  std::vector<ModelSection> models;  ///< kAttackTable documents
+
+  // kDefenseGrid documents:
+  std::string source_model;
+  std::uint64_t defense_seed = 0;
+  std::vector<GridAttackResult> grid_attacks;  ///< attack-column order
+  std::vector<GridCellResult> grid;  ///< attack-major, then defense, then victim
 };
 
 struct RunOutcome {
@@ -89,6 +124,16 @@ RunDocument document_from_json(const Json& json);
 /// the label so a reordered or renamed spec fails loudly, never by
 /// printing the wrong column.
 const VariantResult& find_variant(const ModelSection& section, const std::string& label);
+
+/// Same contract for defense-grid documents: cell lookup by the three
+/// labels, throwing std::out_of_range with all of them on a miss.
+const GridCellResult& find_cell(const RunDocument& doc, const std::string& attack,
+                                const std::string& defense, const std::string& victim);
+
+/// Prints a grid document's matrix to stdout, one block per attack
+/// column. Shared by the pcss_run CLI and bench_defense_grid so the
+/// report format cannot drift between entry points.
+void print_grid_matrix(const RunDocument& doc);
 
 /// Runs (or replays) one spec:
 ///

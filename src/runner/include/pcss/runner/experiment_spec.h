@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "pcss/core/attack.h"
+#include "pcss/core/defense_stage.h"
 #include "pcss/runner/scale.h"
 
 namespace pcss::runner {
@@ -47,19 +48,73 @@ struct AttackVariant {
   std::uint64_t noise_seed_base = 7000;
 };
 
+/// Declarative defense stage: a kind tag plus plain numeric parameters
+/// (no callables), so grid specs canonicalize to stable strings just
+/// like attack configs do. build_stage() materializes the pcss::core
+/// stage; unrelated fields are ignored per kind.
+enum class DefenseStageKind { kSrs, kSor, kVoxel, kQuantize, kKnnVote };
+
+const char* to_string(DefenseStageKind kind);
+
+struct DefenseStageSpec {
+  DefenseStageKind kind = DefenseStageKind::kSrs;
+  // kSrs: drops floor(n * fraction) points when fraction >= 0, else the
+  // absolute count.
+  float srs_fraction = -1.0f;
+  std::int64_t srs_remove = 0;
+  // kSor / kKnnVote:
+  int k = 2;
+  // kSor:
+  float stddev_mult = 1.0f;
+  float color_weight = 1.0f;
+  // kVoxel:
+  float voxel = 0.25f;
+  // kQuantize:
+  int quantize_levels = 8;
+};
+
+/// One labelled defense column of a grid spec; empty stages = "none".
+struct DefensePipelineSpec {
+  std::string label;
+  std::vector<DefenseStageSpec> stages;
+};
+
+std::shared_ptr<const pcss::core::DefenseStage> build_stage(const DefenseStageSpec& spec);
+pcss::core::DefensePipeline build_pipeline(const DefensePipelineSpec& spec);
+
+/// What shape of experiment a spec describes (selects the executor path
+/// and the result-document schema).
+enum class SpecKind {
+  kAttackTable,   ///< models x attack variants (Tables II/III/VI, ext_universal)
+  kDefenseGrid,   ///< attack x defense x victim matrix (Tables VIII/IX)
+};
+
+const char* to_string(SpecKind kind);
+
 /// Declarative description of one paper table/figure: everything the
 /// executor needs to regenerate the numbers, and everything the result
 /// store needs to content-address them. No callables — a spec plus a
 /// Scale plus the model fingerprints canonicalizes to a stable string
 /// (canonical_description) whose hash keys the cache.
+///
+/// kDefenseGrid specs reuse `variants` as the labelled attack columns
+/// (kPerCloud only); `models` holds exactly one entry, the source model
+/// the attacks are generated on.
 struct ExperimentSpec {
   std::string name;   ///< registry key, e.g. "table3"
   std::string title;  ///< human title, e.g. "Table III — ..."
+  SpecKind kind = SpecKind::kAttackTable;
   Dataset dataset = Dataset::kIndoor;
-  std::vector<ModelId> models;      ///< evaluated in order
+  std::vector<ModelId> models;      ///< evaluated in order (grid: the source)
   std::vector<AttackVariant> variants;  ///< computed in order (calibration!)
   std::uint64_t scene_seed = 5000;  ///< eval-scene generator seed
   bool use_l0_distance = false;     ///< report Eq. 8 L0 instead of Eq. 6 L2
+
+  // kDefenseGrid only:
+  std::vector<DefensePipelineSpec> defenses;  ///< defense columns, in order
+  std::vector<ModelId> victims;               ///< prediction models, in order
+  std::uint64_t defense_seed = 11000;         ///< base of the defense draws
+  bool grid_include_clean = true;  ///< prepend a no-attack baseline column
 };
 
 /// Supplies models, their weight fingerprints, and evaluation scenes to

@@ -66,6 +66,14 @@ Tensor sqrt_op(const Tensor& a, float eps = 1e-12f);
 /// Rows of x selected by idx: [N, C] x idx[M] -> [M, C].
 Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& idx);
 
+/// Inverse of gather_rows: out is [out_rows, C] with out[idx[i]] = rows[i]
+/// and every row not named by idx taken from `fill` (a constant
+/// [out_rows*C] buffer). Indices must be distinct and in range. Gradient
+/// flows to `rows` only; the fill is constant (the defended-model adapter
+/// uses it to scatter surviving-point logits back to full-cloud rows).
+Tensor scatter_rows(const Tensor& rows, const std::vector<std::int64_t>& idx,
+                    std::int64_t out_rows, const std::vector<float>& fill);
+
 /// y_n = sum_k weights[n*k_per_row + k] * x[idx[n*k_per_row + k]].
 /// Generalizes nearest-neighbor upsampling (k=1, w=1) and the 3-NN
 /// inverse-distance interpolation of PointNet++ feature propagation.

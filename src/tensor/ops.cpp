@@ -358,6 +358,19 @@ void gather_rows_bw(TensorImpl& node) {
   }
 }
 
+void scatter_rows_bw(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  if (!px->requires_grad) return;
+  px->ensure_grad();
+  const std::int64_t c = node.shape[1];
+  const auto& id = node.ctx->ibuf;
+  for (size_t i = 0; i < id.size(); ++i) {
+    float* dst = px->grad.data() + static_cast<std::int64_t>(i) * c;
+    const float* src = node.grad.data() + id[i] * c;
+    for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+  }
+}
+
 void weighted_gather_rows_bw(TensorImpl& node) {
   TensorImpl* px = parent(node, 0);
   if (!px->requires_grad) return;
@@ -1035,6 +1048,33 @@ Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& idx) {
   auto ctx = std::make_unique<BackwardCtx>();
   ctx->ibuf = idx;
   return make_node({m, c}, std::move(out), {x.impl()}, gather_rows_bw,
+                   {.ctx = std::move(ctx)});
+}
+
+Tensor scatter_rows(const Tensor& rows, const std::vector<std::int64_t>& idx,
+                    std::int64_t out_rows, const std::vector<float>& fill) {
+  check_matrix(rows, "scatter_rows");
+  const std::int64_t m = rows.dim(0), c = rows.dim(1);
+  check(static_cast<std::int64_t>(idx.size()) == m, "scatter_rows: idx/rows size mismatch");
+  check(static_cast<std::int64_t>(fill.size()) == out_rows * c,
+        "scatter_rows: fill size must be out_rows * cols");
+  std::vector<float> out = pool::acquire(static_cast<size_t>(out_rows * c));
+  std::copy(fill.begin(), fill.end(), out.begin());
+  const float* pr = rows.data();
+  std::vector<std::uint8_t> seen(static_cast<size_t>(out_rows), 0);
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int64_t row = idx[static_cast<size_t>(i)];
+    if (row < 0 || row >= out_rows) tensor_fail("scatter_rows: index out of range");
+    // Duplicates would be last-write-wins forward but double-read in
+    // backward — wrong gradients with no error — so the documented
+    // distinct-index contract is enforced.
+    if (seen[static_cast<size_t>(row)]) tensor_fail("scatter_rows: duplicate index");
+    seen[static_cast<size_t>(row)] = 1;
+    std::copy_n(pr + i * c, c, out.data() + row * c);
+  }
+  auto ctx = std::make_unique<BackwardCtx>();
+  ctx->ibuf = idx;
+  return make_node({out_rows, c}, std::move(out), {rows.impl()}, scatter_rows_bw,
                    {.ctx = std::move(ctx)});
 }
 

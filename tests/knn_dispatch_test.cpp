@@ -3,6 +3,7 @@
 // random clouds (ties at the k-th distance have measure zero there).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 #include "pcss/pointcloud/knn.h"
@@ -11,6 +12,9 @@
 using pcss::pointcloud::kKnnGridCutover;
 using pcss::pointcloud::knn_self;
 using pcss::pointcloud::knn_self_brute;
+using pcss::pointcloud::knn_self_combined;
+using pcss::pointcloud::knn_self_combined_brute;
+using pcss::pointcloud::knn_self_combined_grid;
 using pcss::pointcloud::knn_self_grid;
 using pcss::pointcloud::mean_knn_distance;
 using pcss::pointcloud::Vec3;
@@ -23,6 +27,15 @@ std::vector<Vec3> random_cloud(std::int64_t n, std::uint64_t seed) {
   std::vector<Vec3> out(static_cast<size_t>(n));
   for (auto& p : out) {
     p = {rng.uniform(0.0f, 8.0f), rng.uniform(0.0f, 8.0f), rng.uniform(0.0f, 3.0f)};
+  }
+  return out;
+}
+
+std::vector<Vec3> random_colors(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> out(static_cast<size_t>(n));
+  for (auto& c : out) {
+    c = {rng.uniform(0.0f, 1.0f), rng.uniform(0.0f, 1.0f), rng.uniform(0.0f, 1.0f)};
   }
   return out;
 }
@@ -49,6 +62,51 @@ TEST(KnnDispatch, KnnSelfRoutesLargeCloudsThroughGrid) {
   const auto large = random_cloud(kKnnGridCutover + 64, 6);
   EXPECT_EQ(knn_self(large, 8), knn_self_brute(large, 8));
   EXPECT_EQ(knn_self(large, 8), knn_self_grid(large, 8));
+}
+
+TEST(KnnCombined, GridMatchesBruteUnderTheCombinedMetric) {
+  // The grid's shell-termination bound is positional; the combined
+  // metric only adds a non-negative color term, so the search stays
+  // exact. Verified across color weights spanning "position dominates"
+  // to "color dominates".
+  for (std::int64_t n : {96, 1500}) {
+    const auto pos = random_cloud(n, 2000u + static_cast<std::uint64_t>(n));
+    const auto col = random_colors(n, 3000u + static_cast<std::uint64_t>(n));
+    for (float cw : {0.0f, 1.0f, 50.0f}) {
+      for (int k : {2, 8}) {
+        const auto brute = knn_self_combined_brute(pos, col, cw, k);
+        const auto grid = knn_self_combined_grid(pos, col, cw, k);
+        ASSERT_EQ(brute, grid) << "n=" << n << " cw=" << cw << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(KnnCombined, DispatchesToGridAtTheCutover) {
+  const auto small_pos = random_cloud(kKnnGridCutover - 1, 21);
+  const auto small_col = random_colors(kKnnGridCutover - 1, 22);
+  EXPECT_EQ(knn_self_combined(small_pos, small_col, 2.0f, 6),
+            knn_self_combined_brute(small_pos, small_col, 2.0f, 6));
+  const auto pos = random_cloud(kKnnGridCutover + 32, 23);
+  const auto col = random_colors(kKnnGridCutover + 32, 24);
+  EXPECT_EQ(knn_self_combined(pos, col, 2.0f, 6),
+            knn_self_combined_grid(pos, col, 2.0f, 6));
+}
+
+TEST(KnnCombined, ZeroColorWeightReducesToPositionalKnn) {
+  const auto pos = random_cloud(200, 31);
+  const auto col = random_colors(200, 32);
+  EXPECT_EQ(knn_self_combined(pos, col, 0.0f, 5),
+            knn_self_brute(pos, 5, /*include_self=*/false));
+}
+
+TEST(KnnCombined, RejectsBadArguments) {
+  const auto pos = random_cloud(10, 41);
+  const auto col = random_colors(9, 42);
+  EXPECT_THROW(knn_self_combined(pos, col, 1.0f, 2), std::invalid_argument);
+  const auto col_ok = random_colors(10, 43);
+  EXPECT_THROW(knn_self_combined(pos, col_ok, -1.0f, 2), std::invalid_argument);
+  EXPECT_THROW(knn_self_combined(pos, col_ok, 1.0f, 0), std::invalid_argument);
 }
 
 TEST(KnnDispatch, MeanKnnDistanceIdenticalAcrossPaths) {

@@ -102,6 +102,29 @@ ExperimentSpec mini_shared_spec() {
   return spec;
 }
 
+ExperimentSpec mini_grid_spec() {
+  ExperimentSpec spec;
+  spec.name = "mini_grid";
+  spec.title = "defense-grid executor fixture";
+  spec.kind = SpecKind::kDefenseGrid;
+  spec.models = {ModelId::kResGCNIndoor};
+  spec.victims = {ModelId::kResGCNIndoor, ModelId::kPointNet2Indoor};
+  spec.scene_seed = 4242;
+  spec.defense_seed = 2024;
+  AttackVariant bounded;
+  bounded.label = "bounded";
+  bounded.config.norm = pcss::core::AttackNorm::kBounded;
+  bounded.config.field = pcss::core::AttackField::kColor;
+  spec.variants.push_back(bounded);
+  spec.defenses.push_back({"none", {}});
+  spec.defenses.push_back(
+      {"srs", {{.kind = DefenseStageKind::kSrs, .srs_fraction = 0.1f}}});
+  spec.defenses.push_back(
+      {"srs+sor", {{.kind = DefenseStageKind::kSrs, .srs_fraction = 0.1f},
+                   {.kind = DefenseStageKind::kSor, .k = 2}}});
+  return spec;
+}
+
 RunOptions tiny_options() {
   RunOptions options;
   options.scale = tiny_scale();
@@ -387,6 +410,142 @@ TEST_F(RunnerTest, SharedDeltaSpecRunsAndCaches) {
   const RunOutcome second = run_spec(spec, provider, store, options);
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(second.json, first.json);
+}
+
+TEST(RunnerRegistry, DefenseGridSpecsAreRegistered) {
+  for (const char* name : {"table8", "defense_grid"}) {
+    const ExperimentSpec* spec = find_spec(name);
+    ASSERT_NE(spec, nullptr) << name;
+    EXPECT_EQ(spec->kind, SpecKind::kDefenseGrid) << name;
+    EXPECT_EQ(spec->models.size(), 1u) << name;
+    EXPECT_FALSE(spec->victims.empty()) << name;
+    EXPECT_FALSE(spec->defenses.empty()) << name;
+    for (const AttackVariant& variant : spec->variants) {
+      EXPECT_EQ(variant.kind, VariantKind::kPerCloud) << name << "/" << variant.label;
+    }
+    // Every declarative defense must materialize (bad params throw here,
+    // not mid-run) and produce a distinct describe string.
+    std::set<std::string> describes;
+    for (const DefensePipelineSpec& defense : spec->defenses) {
+      EXPECT_TRUE(describes.insert(build_pipeline(defense).describe()).second)
+          << name << "/" << defense.label;
+    }
+  }
+}
+
+TEST(RunnerKey, GridKeySensitiveToDefensesAndVictims) {
+  TinyProvider provider;
+  const ExperimentSpec spec = mini_grid_spec();
+  const Scale scale = tiny_scale();
+  const std::string base = run_key(spec, scale, provider);
+  EXPECT_EQ(base, run_key(spec, scale, provider));
+
+  ExperimentSpec tweaked = mini_grid_spec();
+  tweaked.defenses[1].stages[0].srs_fraction = 0.2f;
+  EXPECT_NE(base, run_key(tweaked, scale, provider)) << "stage params must re-key";
+
+  ExperimentSpec fewer_victims = mini_grid_spec();
+  fewer_victims.victims.pop_back();
+  EXPECT_NE(base, run_key(fewer_victims, scale, provider));
+
+  ExperimentSpec other_seed = mini_grid_spec();
+  other_seed.defense_seed = 1;
+  EXPECT_NE(base, run_key(other_seed, scale, provider));
+}
+
+TEST_F(RunnerTest, GridSecondRunIsAPureCacheHit) {
+  TinyProvider provider;
+  ResultStore store(root_);
+  const ExperimentSpec spec = mini_grid_spec();
+  const RunOptions options = tiny_options();
+
+  const RunOutcome first = run_spec(spec, provider, store, options);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_GT(first.attack_steps, 0);
+  EXPECT_EQ(first.shards_total, 2);  // ceil(3 clouds / shard_size 2)
+  EXPECT_EQ(first.document.kind, "defense_grid");
+  EXPECT_EQ(first.document.source_model, "resgcn_indoor");
+  // (clean + bounded) x 3 defenses x 2 victims.
+  ASSERT_EQ(first.document.grid.size(), 2u * 3u * 2u);
+  ASSERT_EQ(first.document.grid_attacks.size(), 2u);
+  EXPECT_EQ(first.document.grid_attacks[0].label, "clean");
+  EXPECT_EQ(first.document.grid_attacks[0].total_steps, 0);
+  EXPECT_GT(first.document.grid_attacks[1].total_steps, 0);
+  for (const GridCellResult& cell : first.document.grid) {
+    ASSERT_EQ(cell.cases.size(), 3u) << cell.attack << "/" << cell.defense;
+    for (const GridCaseRow& row : cell.cases) {
+      EXPECT_GE(row.accuracy, 0.0);
+      EXPECT_LE(row.accuracy, 1.0);
+      EXPECT_GT(row.points_kept, 0);
+    }
+    if (cell.defense == "none") {
+      EXPECT_EQ(cell.cases[0].points_kept, 96);
+    } else {
+      EXPECT_LT(cell.cases[0].points_kept, 96);
+    }
+  }
+  // The no-defense cell on the source must equal what find_cell returns.
+  const GridCellResult& cell = find_cell(first.document, "bounded", "none", "resgcn_indoor");
+  EXPECT_EQ(cell.victim, "resgcn_indoor");
+  EXPECT_THROW(find_cell(first.document, "bounded", "nope", "resgcn_indoor"),
+               std::out_of_range);
+
+  const RunOutcome second = run_spec(spec, provider, store, options);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.attack_steps, 0);
+  EXPECT_EQ(second.json, first.json);
+}
+
+TEST_F(RunnerTest, GridBytesInvariantAcrossThreadsAndShardSizes) {
+  TinyProvider provider;
+  const ExperimentSpec spec = mini_grid_spec();
+
+  ResultStore store_a(root_ + "-a");
+  RunOptions one = tiny_options();
+  const RunOutcome base = run_spec(spec, provider, store_a, one);
+
+  RunOptions two = tiny_options();
+  two.num_threads = 2;
+  two.force = true;
+  const RunOutcome threaded = run_spec(spec, provider, store_a, two);
+  EXPECT_FALSE(threaded.cache_hit);
+  EXPECT_EQ(threaded.json, base.json)
+      << "grid documents must not depend on the worker thread count";
+
+  ResultStore store_b(root_ + "-b");
+  RunOptions fine = tiny_options();
+  fine.shard_size = 1;
+  const RunOutcome sharded = run_spec(spec, provider, store_b, fine);
+  EXPECT_EQ(sharded.shards_total, 3);
+  EXPECT_EQ(sharded.json, base.json)
+      << "defense streams must stay keyed to the global cloud index";
+
+  fs::remove_all(root_ + "-a");
+  fs::remove_all(root_ + "-b");
+}
+
+TEST_F(RunnerTest, GridResumesFromShardCache) {
+  TinyProvider provider;
+  ResultStore store(root_);
+  const ExperimentSpec spec = mini_grid_spec();
+  const RunOptions options = tiny_options();
+
+  const RunOutcome first = run_spec(spec, provider, store, options);
+  ASSERT_TRUE(store.erase(first.document.key + ".json"));
+  const RunOutcome resumed = run_spec(spec, provider, store, options);
+  EXPECT_FALSE(resumed.cache_hit);
+  EXPECT_EQ(resumed.attack_steps, 0) << "all grid shards must replay from the cache";
+  EXPECT_EQ(resumed.shards_from_cache, resumed.shards_total);
+  EXPECT_EQ(resumed.json, first.json);
+}
+
+TEST_F(RunnerTest, GridDocumentSurvivesJsonRoundTrip) {
+  TinyProvider provider;
+  ResultStore store(root_);
+  const RunOutcome out = run_spec(mini_grid_spec(), provider, store, tiny_options());
+  const RunDocument reparsed = document_from_json(Json::parse(out.json));
+  EXPECT_EQ(document_to_json(reparsed).dump() + "\n", out.json);
+  EXPECT_EQ(reparsed.defense_seed, 2024u);
 }
 
 TEST_F(RunnerTest, DocumentSurvivesJsonRoundTrip) {

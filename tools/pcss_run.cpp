@@ -68,6 +68,12 @@ void print_record_row(const char* label, const pcss::core::CaseRecord& r,
 }
 
 void print_document(const RunDocument& doc) {
+  if (doc.kind == "defense_grid") {
+    std::printf("  source %s, %d scenes, defenses seeded %llu\n", doc.source_model.c_str(),
+                doc.scene_count, static_cast<unsigned long long>(doc.defense_seed));
+    print_grid_matrix(doc);
+    return;
+  }
   const char* dist_name = doc.use_l0_distance ? "L0" : "L2";
   for (const ModelSection& section : doc.models) {
     std::printf("  %s (clean Acc=%.2f%%, aIoU=%.2f%%, %d scenes)\n", section.model.c_str(),
