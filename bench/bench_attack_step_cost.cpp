@@ -18,6 +18,7 @@
 #include "bench_common.h"
 #include "pcss/runner/json.h"
 #include "pcss/tensor/ops.h"
+#include "pcss/tensor/simd.h"
 
 using namespace pcss::core;
 namespace ops = pcss::tensor::ops;
@@ -111,6 +112,7 @@ class StepCostJsonReporter : public benchmark::ConsoleReporter {
     Json doc = Json::object();
     doc.set("benchmark", std::string("attack_step_cost"));
     doc.set("fast", fast);
+    doc.set("simd_isa", std::string(pcss::tensor::simd::active_name()));
     Json results = Json::array();
     for (const auto& r : captured_) {
       Json entry = Json::object();
@@ -145,6 +147,9 @@ class StepCostJsonReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Surface the dispatch path next to the timings: the same binary can
+  // produce scalar or AVX2 numbers depending on PCSS_SIMD / the CPU.
+  benchmark::AddCustomContext("pcss_simd_isa", pcss::tensor::simd::active_name());
   StepCostJsonReporter json;
   benchmark::RunSpecifiedBenchmarks(&json);
   const char* out_path = std::getenv("PCSS_BENCH_OUT");

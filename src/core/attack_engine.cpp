@@ -55,7 +55,7 @@ struct MinImpactSchedule {
 
   /// Removes the n least impactful (|g . r| smallest) allowed points;
   /// returns their indices so the caller can restore their perturbation.
-  std::vector<std::int64_t> restore_step(const std::vector<float>& grad,
+  std::vector<std::int64_t> restore_step(const pcss::tensor::FloatBuffer& grad,
                                          const std::vector<float>& delta) {
     if (!restoring) return {};
     std::vector<std::pair<float, std::int64_t>> impact;

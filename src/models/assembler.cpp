@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "pcss/tensor/pool.h"
 #include "pcss/tensor/ops.h"
 
 namespace pcss::models {
@@ -55,8 +56,11 @@ AssembledInput assemble_input(const ModelInput& input, CoordConvention conventio
       break;
   }
 
-  // Base feature matrix from the raw (unperturbed) cloud.
-  std::vector<float> base(static_cast<size_t>(n * f));
+  // Base feature matrix from the raw (unperturbed) cloud, assembled
+  // directly in a pooled (32-byte aligned) buffer so from_buffer can
+  // adopt it without a copy — this runs on every model forward.
+  pcss::tensor::FloatBuffer base =
+      pcss::tensor::pool::acquire(static_cast<size_t>(n * f));
   for (std::int64_t i = 0; i < n; ++i) {
     const Vec3& p = cloud.positions[static_cast<size_t>(i)];
     const Vec3& c = cloud.colors[static_cast<size_t>(i)];
@@ -69,7 +73,7 @@ AssembledInput assemble_input(const ModelInput& input, CoordConvention conventio
       }
     }
   }
-  Tensor features = Tensor::from_data({n, f}, std::move(base));
+  Tensor features = Tensor::from_buffer({n, f}, std::move(base));
 
   // Splice the perturbations in. Color is 1:1; coordinates are scaled by
   // the same affine map as the base block (constants, so gradients are
@@ -78,20 +82,22 @@ AssembledInput assemble_input(const ModelInput& input, CoordConvention conventio
     features = ops::scatter_add_cols(features, input.color_delta, 3);
   }
   if (input.coord_delta.defined()) {
-    std::vector<float> scale_main(static_cast<size_t>(n * 3));
+    pcss::tensor::FloatBuffer scale_main =
+        pcss::tensor::pool::acquire(static_cast<size_t>(n * 3));
     for (std::int64_t i = 0; i < n; ++i) {
       for (int a = 0; a < 3; ++a) scale_main[i * 3 + a] = coord_scale[a];
     }
     Tensor scaled =
-        ops::mul(input.coord_delta, Tensor::from_data({n, 3}, std::move(scale_main)));
+        ops::mul(input.coord_delta, Tensor::from_buffer({n, 3}, std::move(scale_main)));
     features = ops::scatter_add_cols(features, scaled, 0);
     if (with_normalized_extra) {
-      std::vector<float> scale_extra(static_cast<size_t>(n * 3));
+      pcss::tensor::FloatBuffer scale_extra =
+          pcss::tensor::pool::acquire(static_cast<size_t>(n * 3));
       for (std::int64_t i = 0; i < n; ++i) {
         for (int a = 0; a < 3; ++a) scale_extra[i * 3 + a] = 1.0f / std::max(ext[a], 1e-6f);
       }
       Tensor scaled_extra =
-          ops::mul(input.coord_delta, Tensor::from_data({n, 3}, std::move(scale_extra)));
+          ops::mul(input.coord_delta, Tensor::from_buffer({n, 3}, std::move(scale_extra)));
       features = ops::scatter_add_cols(features, scaled_extra, 6);
     }
   }

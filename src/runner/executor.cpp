@@ -11,6 +11,7 @@
 #include "pcss/core/defense_grid.h"
 #include "pcss/runner/perf.h"
 #include "pcss/tensor/pool.h"
+#include "pcss/tensor/simd.h"
 
 namespace pcss::runner {
 
@@ -723,6 +724,10 @@ RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
   out.wall_seconds = timer.seconds();
 
   Json perf = Json::object();
+  // Which kernel table executed. The document bytes are ISA-independent
+  // (see the simd.h determinism contract); the sidecar records the path
+  // for perf-trail forensics only.
+  perf.set("simd_isa", std::string(pcss::tensor::simd::active_name()));
   perf.set("wall_seconds", out.wall_seconds);
   perf.set("attack_steps", out.attack_steps);
   perf.set("steps_per_second",

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
 #include <vector>
 
 /// Per-thread size-class buffer pool backing TensorImpl storage.
@@ -17,7 +18,54 @@
 /// Size classes are powers of two (min 64 floats). acquire() hands back a
 /// buffer whose capacity is at least the requested size with *unspecified*
 /// contents; callers that accumulate must use acquire_zeroed().
-namespace pcss::tensor::pool {
+///
+/// Alignment guarantee: every FloatBuffer allocation — fresh or recycled —
+/// starts on a 32-byte boundary (one AVX2 lane row). The SIMD kernels use
+/// unaligned loads so this is a performance property, not a correctness
+/// one, but it is part of the pool contract: release() asserts it in
+/// debug builds so a stray unaligned buffer cannot silently enter the
+/// free lists.
+namespace pcss::tensor {
+
+/// Minimal stateless allocator that over-aligns every allocation to
+/// `Alignment` bytes (32 = one AVX2 register). All instances compare
+/// equal, so containers can splice buffers freely.
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two no smaller than alignof(T)");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+/// The pooled tensor storage type: a std::vector whose data() is always
+/// 32-byte aligned. TensorImpl::data/grad and BackwardCtx::fbuf use this
+/// type; plain std::vector<float> stays the currency for non-pooled data
+/// (weights on disk, running stats, JSON payloads).
+using FloatBuffer = std::vector<float, AlignedAllocator<float, 32>>;
+
+namespace pool {
 
 /// Counters for the calling thread's pool. `cached_*` describe buffers
 /// currently parked in the free lists; the steady-state memory test
@@ -32,16 +80,21 @@ struct Stats {
 };
 
 /// Buffer of size n with unspecified contents (fast path: no fill).
-std::vector<float> acquire(std::size_t n);
+/// data() is 32-byte aligned (see the pool contract above).
+FloatBuffer acquire(std::size_t n);
 /// Buffer of size n, zero-filled (for accumulation targets and grads).
-std::vector<float> acquire_zeroed(std::size_t n);
+FloatBuffer acquire_zeroed(std::size_t n);
 /// Returns a buffer to the calling thread's pool (or frees it when the
-/// pool is over its cap or the thread is shutting down).
-void release(std::vector<float>&& buffer) noexcept;
+/// pool is over its cap or the thread is shutting down). Debug builds
+/// assert the buffer meets the 32-byte alignment contract before it can
+/// be recycled.
+void release(FloatBuffer&& buffer) noexcept;
 
 Stats stats() noexcept;
 void reset_stats() noexcept;
 /// Frees every cached buffer of the calling thread.
 void trim() noexcept;
 
-}  // namespace pcss::tensor::pool
+}  // namespace pool
+
+}  // namespace pcss::tensor

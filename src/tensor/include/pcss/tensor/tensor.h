@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "pcss/tensor/pool.h"
 #include "pcss/tensor/rng.h"
 
 namespace pcss::tensor {
@@ -35,7 +36,7 @@ using BackwardFn = void (*)(TensorImpl& node);
 /// Field meaning is op-specific; `fbuf` returns to the buffer pool on
 /// destruction.
 struct BackwardCtx {
-  std::vector<float> fbuf;            ///< saved activations / weights / stats
+  FloatBuffer fbuf;                   ///< saved activations / weights / stats
   std::vector<std::int64_t> ibuf;     ///< saved indices
   std::vector<int> labels;            ///< class labels (loss ops)
   std::vector<std::uint8_t> mask;     ///< row mask (loss ops)
@@ -46,8 +47,8 @@ struct BackwardCtx {
 /// (allocated lazily from the per-thread buffer pool), and the reverse-mode
 /// dispatch record linking it to its parents in the autograd graph.
 struct TensorImpl {
-  std::vector<float> data;
-  std::vector<float> grad;  ///< empty until touched by backward()
+  FloatBuffer data;  ///< pooled, 32-byte aligned (see pool.h)
+  FloatBuffer grad;  ///< empty until touched by backward()
   Shape shape;
   bool requires_grad = false;
   std::vector<TensorImplPtr> parents;
@@ -94,6 +95,9 @@ class Tensor {
   static Tensor zeros(Shape shape);
   static Tensor full(Shape shape, float value);
   static Tensor from_data(Shape shape, std::vector<float> data);
+  /// Zero-copy variant for callers that assembled the values directly in
+  /// a pooled (32-byte aligned) buffer.
+  static Tensor from_buffer(Shape shape, FloatBuffer data);
   /// i.i.d. normal entries with the given stddev.
   static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f);
   /// i.i.d. uniform entries in [lo, hi).
@@ -116,8 +120,8 @@ class Tensor {
 
   // -- Autograd ------------------------------------------------------------
   /// Gradient buffer (empty vector if backward never reached this node).
-  const std::vector<float>& grad() const;
-  std::vector<float>& grad_ref();
+  const FloatBuffer& grad() const;
+  FloatBuffer& grad_ref();
   void zero_grad();
   /// Reverse-mode accumulation from this (scalar) tensor. After the
   /// traversal the graph is released (PyTorch's retain_graph=false):

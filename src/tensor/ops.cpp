@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "pcss/tensor/pool.h"
+#include "pcss/tensor/simd.h"
 
 // NodeArgs is passed with designated initializers; omitted fields are
 // value-initialized per the standard, so the "missing initializer"
@@ -32,7 +33,7 @@ struct NodeArgs {
 /// Builds the result node, wiring parents and the backward dispatch only
 /// when some input participates in autograd (predict-mode graphs carry no
 /// backward state at all).
-Tensor make_node(Shape shape, std::vector<float> data, std::vector<TensorImplPtr> parents,
+Tensor make_node(Shape shape, FloatBuffer data, std::vector<TensorImplPtr> parents,
                  BackwardFn backward_fn, NodeArgs args = {}) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
@@ -56,80 +57,26 @@ Tensor make_node(Shape shape, std::vector<float> data, std::vector<TensorImplPtr
 }
 
 // ---------------------------------------------------------------------------
-// GEMM micro-kernels.
+// GEMM entry points.
 //
-// All three kernels accumulate every output element in ascending-p order
-// with a single accumulation chain, independent of register blocking, so
-// results are bit-identical for any tile size and any thread count. The
-// previous per-element `av == 0.0f` skip is gone: the dense axpy inner
-// loops are branch-free and vectorize, which beats skipping ~half the
-// work scalar-by-scalar on post-ReLU activations.
+// The register-tiled kernels live in simd_kernels.inc and are reached
+// through the runtime dispatch table (scalar or AVX2; bit-identical by
+// the contract in simd.h). Every output element accumulates in
+// ascending-p order in a single chain, independent of register blocking
+// and ISA, so results are identical for any tile size, thread count and
+// dispatch path.
 // ---------------------------------------------------------------------------
-
-/// C[n,m] += A[n,k] * B[k,m]. Register-blocked over 4 rows of A so each
-/// B row loaded from L1 is reused 4x; the j loop is a contiguous axpy.
-void gemm_nn(const float* __restrict a, const float* __restrict b, float* __restrict c,
-             std::int64_t n, std::int64_t k, std::int64_t m) {
-  std::int64_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const float* a0 = a + (i + 0) * k;
-    const float* a1 = a + (i + 1) * k;
-    const float* a2 = a + (i + 2) * k;
-    const float* a3 = a + (i + 3) * k;
-    float* c0 = c + (i + 0) * m;
-    float* c1 = c + (i + 1) * m;
-    float* c2 = c + (i + 2) * m;
-    float* c3 = c + (i + 3) * m;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float* br = b + p * m;
-      const float av0 = a0[p];
-      const float av1 = a1[p];
-      const float av2 = a2[p];
-      const float av3 = a3[p];
-      for (std::int64_t j = 0; j < m; ++j) {
-        c0[j] += av0 * br[j];
-        c1[j] += av1 * br[j];
-        c2[j] += av2 * br[j];
-        c3[j] += av3 * br[j];
-      }
-    }
-  }
-  for (; i < n; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * m;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      const float* br = b + p * m;
-      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * br[j];
-    }
-  }
-}
-
-/// C[n,m] += A^T * B where A is stored [k,n]. The [n,m] output stays hot
-/// in cache (it is a weight-shaped gradient), so a p-outer axpy suffices.
-void gemm_at_b(const float* __restrict a, const float* __restrict b, float* __restrict c,
-               std::int64_t k, std::int64_t n, std::int64_t m) {
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * n;
-    const float* brow = b + p * m;
-    for (std::int64_t i = 0; i < n; ++i) {
-      const float av = arow[i];
-      float* crow = c + i * m;
-      for (std::int64_t j = 0; j < m; ++j) crow[j] += av * brow[j];
-    }
-  }
-}
 
 /// C[n,k] += A[n,m] * B^T where B is [k,m]. B is packed (transposed) into
 /// a pooled [m,k] buffer once, turning the dot-product form into the same
-/// vectorizable axpy kernel as gemm_nn.
+/// vectorizable panel kernel as gemm_nn.
 void gemm_a_bt(const float* __restrict a, const float* __restrict b, float* __restrict c,
                std::int64_t n, std::int64_t m, std::int64_t k) {
-  std::vector<float> bt = pool::acquire(static_cast<size_t>(m * k));
+  FloatBuffer bt = pool::acquire(static_cast<size_t>(m * k));
   for (std::int64_t j = 0; j < k; ++j) {
     for (std::int64_t p = 0; p < m; ++p) bt[static_cast<size_t>(p * k + j)] = b[j * m + p];
   }
-  gemm_nn(a, bt.data(), c, n, m, k);
+  simd::active().gemm_nn(a, bt.data(), c, n, m, k);
   pool::release(std::move(bt));
 }
 
@@ -146,44 +93,47 @@ TensorImpl* parent(TensorImpl& node, size_t i) { return node.parents[i].get(); }
 // ---------------------------------------------------------------------------
 
 void add_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* pa = parent(node, 0);
   TensorImpl* pb = parent(node, 1);
   const size_t n = node.grad.size();
   if (pa->requires_grad) {
     pa->ensure_grad();
-    for (size_t i = 0; i < n; ++i) pa->grad[i] += node.grad[i];
+    K.acc_add(pa->grad.data(), node.grad.data(), n);
   }
   if (pb->requires_grad) {
     pb->ensure_grad();
-    for (size_t i = 0; i < n; ++i) pb->grad[i] += node.grad[i];
+    K.acc_add(pb->grad.data(), node.grad.data(), n);
   }
 }
 
 void sub_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* pa = parent(node, 0);
   TensorImpl* pb = parent(node, 1);
   const size_t n = node.grad.size();
   if (pa->requires_grad) {
     pa->ensure_grad();
-    for (size_t i = 0; i < n; ++i) pa->grad[i] += node.grad[i];
+    K.acc_add(pa->grad.data(), node.grad.data(), n);
   }
   if (pb->requires_grad) {
     pb->ensure_grad();
-    for (size_t i = 0; i < n; ++i) pb->grad[i] += -node.grad[i];
+    K.acc_axpy(pb->grad.data(), node.grad.data(), -1.0f, n);
   }
 }
 
 void mul_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* pa = parent(node, 0);
   TensorImpl* pb = parent(node, 1);
   const size_t n = node.grad.size();
   if (pa->requires_grad) {
     pa->ensure_grad();
-    for (size_t i = 0; i < n; ++i) pa->grad[i] += node.grad[i] * pb->data[i];
+    K.acc_mul(pa->grad.data(), node.grad.data(), pb->data.data(), n);
   }
   if (pb->requires_grad) {
     pb->ensure_grad();
-    for (size_t i = 0; i < n; ++i) pb->grad[i] += node.grad[i] * pa->data[i];
+    K.acc_mul(pb->grad.data(), node.grad.data(), pa->data.data(), n);
   }
 }
 
@@ -191,30 +141,29 @@ void scale_bw(TensorImpl& node) {
   TensorImpl* pa = parent(node, 0);
   if (!pa->requires_grad) return;
   pa->ensure_grad();
-  const float s = node.op_f0;
-  for (size_t i = 0; i < node.grad.size(); ++i) pa->grad[i] += node.grad[i] * s;
+  simd::active().acc_axpy(pa->grad.data(), node.grad.data(), node.op_f0,
+                          node.grad.size());
 }
 
 void add_scalar_bw(TensorImpl& node) {
   TensorImpl* pa = parent(node, 0);
   if (!pa->requires_grad) return;
   pa->ensure_grad();
-  for (size_t i = 0; i < node.grad.size(); ++i) pa->grad[i] += node.grad[i];
+  simd::active().acc_add(pa->grad.data(), node.grad.data(), node.grad.size());
 }
 
 void add_rowvec_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* px = parent(node, 0);
   TensorImpl* pb = parent(node, 1);
   const std::int64_t n = node.shape[0], c = node.shape[1];
   if (px->requires_grad) {
     px->ensure_grad();
-    for (size_t i = 0; i < node.grad.size(); ++i) px->grad[i] += node.grad[i];
+    K.acc_add(px->grad.data(), node.grad.data(), node.grad.size());
   }
   if (pb->requires_grad) {
     pb->ensure_grad();
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < c; ++j) pb->grad[j] += node.grad[i * c + j];
-    }
+    K.acc_col_sum(pb->grad.data(), node.grad.data(), n, c);
   }
 }
 
@@ -230,11 +179,12 @@ void matmul_bw(TensorImpl& node) {
   if (pb->requires_grad) {
     pb->ensure_grad();
     // dB = A^T * dY
-    gemm_at_b(pa->data.data(), node.grad.data(), pb->grad.data(), n, k, m);
+    simd::active().gemm_at_b(pa->data.data(), node.grad.data(), pb->grad.data(), n, k, m);
   }
 }
 
 void linear_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* px = parent(node, 0);
   TensorImpl* pw = parent(node, 1);
   const std::int64_t n = px->shape[0], k = px->shape[1], m = pw->shape[1];
@@ -244,15 +194,13 @@ void linear_bw(TensorImpl& node) {
   }
   if (pw->requires_grad) {
     pw->ensure_grad();
-    gemm_at_b(px->data.data(), node.grad.data(), pw->grad.data(), n, k, m);
+    K.gemm_at_b(px->data.data(), node.grad.data(), pw->grad.data(), n, k, m);
   }
   if (node.parents.size() > 2) {
     TensorImpl* pbias = parent(node, 2);
     if (pbias->requires_grad) {
       pbias->ensure_grad();
-      for (std::int64_t i = 0; i < n; ++i) {
-        for (std::int64_t j = 0; j < m; ++j) pbias->grad[j] += node.grad[i * m + j];
-      }
+      K.acc_col_sum(pbias->grad.data(), node.grad.data(), n, m);
     }
   }
 }
@@ -261,9 +209,8 @@ void relu_bw(TensorImpl& node) {
   TensorImpl* pa = parent(node, 0);
   if (!pa->requires_grad) return;
   pa->ensure_grad();
-  for (size_t i = 0; i < node.grad.size(); ++i) {
-    pa->grad[i] += node.grad[i] * (pa->data[i] > 0.0f ? 1.0f : 0.0f);
-  }
+  simd::active().acc_relu_mask(pa->grad.data(), node.grad.data(), pa->data.data(),
+                               node.grad.size());
 }
 
 /// In-place relu: the node owns the (transformed) buffer, so the sign of
@@ -272,66 +219,58 @@ void relu_inplace_bw(TensorImpl& node) {
   TensorImpl* pa = parent(node, 0);
   if (!pa->requires_grad) return;
   pa->ensure_grad();
-  for (size_t i = 0; i < node.grad.size(); ++i) {
-    pa->grad[i] += node.grad[i] * (node.data[i] > 0.0f ? 1.0f : 0.0f);
-  }
+  simd::active().acc_relu_mask(pa->grad.data(), node.grad.data(), node.data.data(),
+                               node.grad.size());
 }
 
 void leaky_relu_bw(TensorImpl& node) {
   TensorImpl* pa = parent(node, 0);
   if (!pa->requires_grad) return;
   pa->ensure_grad();
-  const float slope = node.op_f0;
-  for (size_t i = 0; i < node.grad.size(); ++i) {
-    pa->grad[i] += node.grad[i] * (pa->data[i] > 0.0f ? 1.0f : slope);
-  }
+  simd::active().acc_leaky_mask(pa->grad.data(), node.grad.data(), pa->data.data(),
+                                node.op_f0, node.grad.size());
 }
 
 void tanh_bw(TensorImpl& node) {
   TensorImpl* pa = parent(node, 0);
   if (!pa->requires_grad) return;
   pa->ensure_grad();
-  for (size_t i = 0; i < node.grad.size(); ++i) {
-    const float t = node.data[i];  // the node's own output, no saved copy
-    pa->grad[i] += node.grad[i] * (1.0f - t * t);
-  }
+  // node.data is the node's own output; no saved copy.
+  simd::active().acc_tanh_bw(pa->grad.data(), node.grad.data(), node.data.data(),
+                             node.grad.size());
 }
 
 void sigmoid_bw(TensorImpl& node) {
   TensorImpl* pa = parent(node, 0);
   if (!pa->requires_grad) return;
   pa->ensure_grad();
-  for (size_t i = 0; i < node.grad.size(); ++i) {
-    const float s = node.data[i];
-    pa->grad[i] += node.grad[i] * s * (1.0f - s);
-  }
+  simd::active().acc_sigmoid_bw(pa->grad.data(), node.grad.data(), node.data.data(),
+                                node.grad.size());
 }
 
 void square_bw(TensorImpl& node) {
   TensorImpl* pa = parent(node, 0);
   if (!pa->requires_grad) return;
   pa->ensure_grad();
-  for (size_t i = 0; i < node.grad.size(); ++i) {
-    pa->grad[i] += node.grad[i] * (2.0f * pa->data[i]);
-  }
+  simd::active().acc_square_bw(pa->grad.data(), node.grad.data(), pa->data.data(),
+                               node.grad.size());
 }
 
 void sum_bw(TensorImpl& node) {
   TensorImpl* pa = parent(node, 0);
   if (!pa->requires_grad) return;
   pa->ensure_grad();
-  const float g = node.grad[0];
-  for (auto& v : pa->grad) v += g;
+  simd::active().acc_scalar(pa->grad.data(), node.grad[0], pa->grad.size());
 }
 
 void row_sum_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* pa = parent(node, 0);
   if (!pa->requires_grad) return;
   pa->ensure_grad();
   const std::int64_t n = pa->shape[0], c = pa->shape[1];
   for (std::int64_t i = 0; i < n; ++i) {
-    const float g = node.grad[i];
-    for (std::int64_t j = 0; j < c; ++j) pa->grad[i * c + j] += g;
+    K.acc_scalar(pa->grad.data() + i * c, node.grad[i], static_cast<size_t>(c));
   }
 }
 
@@ -346,6 +285,7 @@ void sqrt_bw(TensorImpl& node) {
 }
 
 void gather_rows_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* px = parent(node, 0);
   if (!px->requires_grad) return;
   px->ensure_grad();
@@ -354,11 +294,12 @@ void gather_rows_bw(TensorImpl& node) {
   for (size_t i = 0; i < id.size(); ++i) {
     float* dst = px->grad.data() + id[i] * c;
     const float* src = node.grad.data() + static_cast<std::int64_t>(i) * c;
-    for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+    K.acc_add(dst, src, static_cast<size_t>(c));
   }
 }
 
 void scatter_rows_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* px = parent(node, 0);
   if (!px->requires_grad) return;
   px->ensure_grad();
@@ -367,11 +308,12 @@ void scatter_rows_bw(TensorImpl& node) {
   for (size_t i = 0; i < id.size(); ++i) {
     float* dst = px->grad.data() + static_cast<std::int64_t>(i) * c;
     const float* src = node.grad.data() + id[i] * c;
-    for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+    K.acc_add(dst, src, static_cast<size_t>(c));
   }
 }
 
 void weighted_gather_rows_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* px = parent(node, 0);
   if (!px->requires_grad) return;
   px->ensure_grad();
@@ -385,12 +327,13 @@ void weighted_gather_rows_bw(TensorImpl& node) {
     for (std::int64_t k = 0; k < k_per_row; ++k) {
       float* dst = px->grad.data() + id[static_cast<size_t>(i * k_per_row + k)] * c;
       const float wk = w[static_cast<size_t>(i * k_per_row + k)];
-      for (std::int64_t j = 0; j < c; ++j) dst[j] += wk * src[j];
+      K.acc_axpy(dst, src, wk, static_cast<size_t>(c));
     }
   }
 }
 
 void repeat_rows_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* px = parent(node, 0);
   if (!px->requires_grad) return;
   px->ensure_grad();
@@ -400,12 +343,13 @@ void repeat_rows_bw(TensorImpl& node) {
     float* dst = px->grad.data() + i * c;
     for (std::int64_t r = 0; r < k; ++r) {
       const float* src = node.grad.data() + (i * k + r) * c;
-      for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+      K.acc_add(dst, src, static_cast<size_t>(c));
     }
   }
 }
 
 void concat_cols_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* pa = parent(node, 0);
   TensorImpl* pb = parent(node, 1);
   const std::int64_t n = node.shape[0];
@@ -413,49 +357,47 @@ void concat_cols_bw(TensorImpl& node) {
   if (pa->requires_grad) {
     pa->ensure_grad();
     for (std::int64_t i = 0; i < n; ++i) {
-      const float* src = node.grad.data() + i * (ca + cb);
-      float* dst = pa->grad.data() + i * ca;
-      for (std::int64_t j = 0; j < ca; ++j) dst[j] += src[j];
+      K.acc_add(pa->grad.data() + i * ca, node.grad.data() + i * (ca + cb),
+                static_cast<size_t>(ca));
     }
   }
   if (pb->requires_grad) {
     pb->ensure_grad();
     for (std::int64_t i = 0; i < n; ++i) {
-      const float* src = node.grad.data() + i * (ca + cb) + ca;
-      float* dst = pb->grad.data() + i * cb;
-      for (std::int64_t j = 0; j < cb; ++j) dst[j] += src[j];
+      K.acc_add(pb->grad.data() + i * cb, node.grad.data() + i * (ca + cb) + ca,
+                static_cast<size_t>(cb));
     }
   }
 }
 
 void slice_cols_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* px = parent(node, 0);
   if (!px->requires_grad) return;
   px->ensure_grad();
   const std::int64_t c0 = node.op_i0;
   const std::int64_t n = node.shape[0], w = node.shape[1], c = px->shape[1];
   for (std::int64_t i = 0; i < n; ++i) {
-    const float* src = node.grad.data() + i * w;
-    float* dst = px->grad.data() + i * c + c0;
-    for (std::int64_t j = 0; j < w; ++j) dst[j] += src[j];
+    K.acc_add(px->grad.data() + i * c + c0, node.grad.data() + i * w,
+              static_cast<size_t>(w));
   }
 }
 
 void scatter_add_cols_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* pbase = parent(node, 0);
   TensorImpl* pdelta = parent(node, 1);
   const std::int64_t col0 = node.op_i0;
   const std::int64_t n = node.shape[0], c = node.shape[1], d = pdelta->shape[1];
   if (pbase->requires_grad) {
     pbase->ensure_grad();
-    for (size_t i = 0; i < node.grad.size(); ++i) pbase->grad[i] += node.grad[i];
+    K.acc_add(pbase->grad.data(), node.grad.data(), node.grad.size());
   }
   if (pdelta->requires_grad) {
     pdelta->ensure_grad();
     for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < d; ++j) {
-        pdelta->grad[i * d + j] += node.grad[i * c + col0 + j];
-      }
+      K.acc_add(pdelta->grad.data() + i * d, node.grad.data() + i * c + col0,
+                static_cast<size_t>(d));
     }
   }
 }
@@ -476,6 +418,7 @@ void segment_max_bw(TensorImpl& node) {
 }
 
 void segment_sum_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* px = parent(node, 0);
   if (!px->requires_grad) return;
   px->ensure_grad();
@@ -484,8 +427,7 @@ void segment_sum_bw(TensorImpl& node) {
   for (std::int64_t i = 0; i < n; ++i) {
     const float* src = node.grad.data() + i * c;
     for (std::int64_t r = 0; r < k; ++r) {
-      float* dst = px->grad.data() + (i * k + r) * c;
-      for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+      K.acc_add(px->grad.data() + (i * k + r) * c, src, static_cast<size_t>(c));
     }
   }
 }
@@ -496,20 +438,10 @@ void segment_softmax_bw(TensorImpl& node) {
   px->ensure_grad();
   const std::int64_t k = node.op_i0;
   const std::int64_t n = px->shape[0] / k, c = px->shape[1];
-  const float* y = node.data.data();  // the softmax output itself
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t j = 0; j < c; ++j) {
-      float dot = 0.0f;
-      for (std::int64_t r = 0; r < k; ++r) {
-        const std::int64_t off = (i * k + r) * c + j;
-        dot += node.grad[off] * y[off];
-      }
-      for (std::int64_t r = 0; r < k; ++r) {
-        const std::int64_t off = (i * k + r) * c + j;
-        px->grad[off] += y[off] * (node.grad[off] - dot);
-      }
-    }
-  }
+  FloatBuffer scratch = pool::acquire(static_cast<size_t>(c));
+  simd::active().acc_segment_softmax_bw(px->grad.data(), node.grad.data(),
+                                        node.data.data(), scratch.data(), n, k, c);
+  pool::release(std::move(scratch));
 }
 
 void log_softmax_rows_bw(TensorImpl& node) {
@@ -517,14 +449,8 @@ void log_softmax_rows_bw(TensorImpl& node) {
   if (!px->requires_grad) return;
   px->ensure_grad();
   const std::int64_t n = node.shape[0], c = node.shape[1];
-  const float* logp = node.data.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    float gsum = 0.0f;
-    for (std::int64_t j = 0; j < c; ++j) gsum += node.grad[i * c + j];
-    for (std::int64_t j = 0; j < c; ++j) {
-      px->grad[i * c + j] += node.grad[i * c + j] - std::exp(logp[i * c + j]) * gsum;
-    }
-  }
+  simd::active().acc_log_softmax_bw(px->grad.data(), node.grad.data(),
+                                    node.data.data(), n, c);
 }
 
 void nll_loss_masked_bw(TensorImpl& node) {
@@ -587,6 +513,7 @@ void smoothness_penalty_bw(TensorImpl& node) {
 }
 
 void batch_norm_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* px = parent(node, 0);
   TensorImpl* pg = parent(node, 1);
   TensorImpl* pb = parent(node, 2);
@@ -597,26 +524,16 @@ void batch_norm_bw(TensorImpl& node) {
   const float* gamma = pg->data.data();
   if (pg->requires_grad) {
     pg->ensure_grad();
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < c; ++j) {
-        pg->grad[j] += node.grad[i * c + j] * xhat[i * c + j];
-      }
-    }
+    K.acc_col_sum_mul(pg->grad.data(), node.grad.data(), xhat, n, c);
   }
   if (pb->requires_grad) {
     pb->ensure_grad();
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < c; ++j) pb->grad[j] += node.grad[i * c + j];
-    }
+    K.acc_col_sum(pb->grad.data(), node.grad.data(), n, c);
   }
   if (!px->requires_grad) return;
   px->ensure_grad();
   if (!node.op_flag) {  // eval mode
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < c; ++j) {
-        px->grad[i * c + j] += node.grad[i * c + j] * gamma[j] * inv_std[j];
-      }
-    }
+    K.acc_scaled_rowvec(px->grad.data(), node.grad.data(), gamma, inv_std, n, c);
     return;
   }
   // Training mode: gradient through the batch statistics.
@@ -640,10 +557,8 @@ void dropout_bw(TensorImpl& node) {
   TensorImpl* px = parent(node, 0);
   if (!px->requires_grad) return;
   px->ensure_grad();
-  const auto& mask = node.ctx->fbuf;
-  for (size_t i = 0; i < node.grad.size(); ++i) {
-    px->grad[i] += node.grad[i] * mask[i];
-  }
+  simd::active().acc_mul(px->grad.data(), node.grad.data(), node.ctx->fbuf.data(),
+                         node.grad.size());
 }
 
 // -- Fused-op backward rules -------------------------------------------------
@@ -658,33 +573,24 @@ void bn_relu_eval_bw(TensorImpl& node) {
   const std::int64_t n = node.shape[0], c = node.shape[1];
   const float* mean = node.ctx->fbuf.data();
   const float* inv_std = mean + c;
-  const float* gamma = pg->data.data();
+  float* dgamma = nullptr;
+  float* dbeta = nullptr;
+  float* dx = nullptr;
   if (pg->requires_grad) {
     pg->ensure_grad();
-    const float* xv = px->data.data();
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < c; ++j) {
-        const float dh = node.grad[i * c + j] * (node.data[i * c + j] > 0.0f ? 1.0f : 0.0f);
-        pg->grad[j] += dh * ((xv[i * c + j] - mean[j]) * inv_std[j]);
-      }
-    }
+    dgamma = pg->grad.data();
   }
   if (pb->requires_grad) {
     pb->ensure_grad();
-    for (std::int64_t i = 0; i < n; ++i) {
-      for (std::int64_t j = 0; j < c; ++j) {
-        pb->grad[j] += node.grad[i * c + j] * (node.data[i * c + j] > 0.0f ? 1.0f : 0.0f);
-      }
-    }
+    dbeta = pb->grad.data();
   }
-  if (!px->requires_grad) return;
-  px->ensure_grad();
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t j = 0; j < c; ++j) {
-      const float dh = node.grad[i * c + j] * (node.data[i * c + j] > 0.0f ? 1.0f : 0.0f);
-      px->grad[i * c + j] += dh * gamma[j] * inv_std[j];
-    }
+  if (px->requires_grad) {
+    px->ensure_grad();
+    dx = px->grad.data();
   }
+  simd::active().acc_bn_relu_eval_bw(dx, dgamma, dbeta, node.grad.data(),
+                                     node.data.data(), px->data.data(),
+                                     pg->data.data(), mean, inv_std, n, c);
 }
 
 /// Mirrors concat(x_i, x_j - x_i) built from gather/repeat/sub/concat:
@@ -694,26 +600,9 @@ void edge_features_bw(TensorImpl& node) {
   TensorImpl* ph = parent(node, 0);
   if (!ph->requires_grad) return;
   ph->ensure_grad();
-  const std::int64_t k = node.op_i0;
-  const std::int64_t c = ph->shape[1];
-  const std::int64_t n = ph->shape[0];
-  const auto& idx = node.ctx->ibuf;
-  const float* dy = node.grad.data();
-  float* dh = ph->grad.data();
-  // Pass A (gather backward): dh[idx[r]] += dy_right[r].
-  for (std::int64_t r = 0; r < n * k; ++r) {
-    const float* src = dy + r * 2 * c + c;
-    float* dst = dh + idx[static_cast<size_t>(r)] * c;
-    for (std::int64_t t = 0; t < c; ++t) dst[t] += src[t];
-  }
-  // Pass B (repeat backward): dh[i] += sum_r (dy_left + (-dy_right)).
-  for (std::int64_t i = 0; i < n; ++i) {
-    float* dst = dh + i * c;
-    for (std::int64_t r = 0; r < k; ++r) {
-      const float* row = dy + (i * k + r) * 2 * c;
-      for (std::int64_t t = 0; t < c; ++t) dst[t] += row[t] + -row[c + t];
-    }
-  }
+  simd::active().acc_edge_features_bw(ph->grad.data(), node.grad.data(),
+                                      node.ctx->ibuf.data(), ph->shape[0],
+                                      node.op_i0, ph->shape[1]);
 }
 
 /// Mirrors sub(gather(x, idx_a), repeat(gather(x, idx_b), k)): the
@@ -731,20 +620,17 @@ void gather_sub_rows_bw(TensorImpl& node) {
   const std::int64_t* idx_b = idx.data() + nout * k;
   const float* dy = node.grad.data();
   float* dx = px->grad.data();
-  std::vector<float> acc = pool::acquire(static_cast<size_t>(c));
+  const simd::Kernels& K = simd::active();
+  FloatBuffer acc = pool::acquire(static_cast<size_t>(c));
   for (std::int64_t i = 0; i < nout; ++i) {
     std::fill(acc.begin(), acc.end(), 0.0f);
     for (std::int64_t r = 0; r < k; ++r) {
-      const float* row = dy + (i * k + r) * c;
-      for (std::int64_t t = 0; t < c; ++t) acc[static_cast<size_t>(t)] += -row[t];
+      K.acc_axpy(acc.data(), dy + (i * k + r) * c, -1.0f, static_cast<size_t>(c));
     }
-    float* dst = dx + idx_b[i] * c;
-    for (std::int64_t t = 0; t < c; ++t) dst[t] += acc[static_cast<size_t>(t)];
+    K.acc_add(dx + idx_b[i] * c, acc.data(), static_cast<size_t>(c));
   }
   for (std::int64_t r = 0; r < nout * k; ++r) {
-    const float* row = dy + r * c;
-    float* dst = dx + idx_a[r] * c;
-    for (std::int64_t t = 0; t < c; ++t) dst[t] += row[t];
+    K.acc_add(dx + idx_a[r] * c, dy + r * c, static_cast<size_t>(c));
   }
   pool::release(std::move(acc));
 }
@@ -761,14 +647,14 @@ void concat_cols4_bw(TensorImpl& node) {
     offset[s] = total;
     total += width[s];
   }
+  const simd::Kernels& K = simd::active();
   for (int s : {2, 3, 0, 1}) {
     TensorImpl* p = parent(node, static_cast<size_t>(s));
     if (!p->requires_grad) continue;
     p->ensure_grad();
     for (std::int64_t i = 0; i < n; ++i) {
-      const float* src = node.grad.data() + i * total + offset[s];
-      float* dst = p->grad.data() + i * width[s];
-      for (std::int64_t j = 0; j < width[s]; ++j) dst[j] += src[j];
+      K.acc_add(p->grad.data() + i * width[s], node.grad.data() + i * total + offset[s],
+                static_cast<size_t>(width[s]));
     }
   }
 }
@@ -777,6 +663,7 @@ void concat_cols4_bw(TensorImpl& node) {
 /// then the column gradient as an ascending-j dot per row (the matmul
 /// backward's packed accumulation order).
 void mul_rows_bw(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
   TensorImpl* px = parent(node, 0);
   TensorImpl* pc = parent(node, 1);
   const std::int64_t n = node.shape[0], c = node.shape[1];
@@ -784,15 +671,16 @@ void mul_rows_bw(TensorImpl& node) {
   if (px->requires_grad) {
     px->ensure_grad();
     for (std::int64_t i = 0; i < n; ++i) {
-      const float cv = col[i];
-      const float* src = node.grad.data() + i * c;
-      float* dst = px->grad.data() + i * c;
-      for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j] * cv;
+      K.acc_axpy(px->grad.data() + i * c, node.grad.data() + i * c, col[i],
+                 static_cast<size_t>(c));
     }
   }
   if (pc->requires_grad) {
     pc->ensure_grad();
     const float* xv = px->data.data();
+    // Sequential ascending-j dot, NOT the 8-lane kernel: mul_rows promises
+    // bitwise identity with mul(x, matmul(col, ones_row)), whose column
+    // gradient runs through the GEMM chain (one mul+add per j, ascending).
     for (std::int64_t i = 0; i < n; ++i) {
       float acc = 0.0f;
       const float* src = node.grad.data() + i * c;
@@ -821,10 +709,8 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* name) {
 
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] + pb[i];
+  FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
+  simd::active().ew_add(a.data(), b.data(), out.data(), out.size());
   return make_node(a.shape(), std::move(out), {a.impl(), b.impl()}, add_bw);
 }
 
@@ -838,44 +724,37 @@ Tensor add_inplace(Tensor a, const Tensor& b) {
     // allocating op.
     return add(Tensor(std::move(ia)), b);
   }
-  std::vector<float> out = std::move(ia->data);
-  const float* pb = b.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] += pb[i];
+  FloatBuffer out = std::move(ia->data);
+  simd::active().acc_add(out.data(), b.data(), out.size());
   Shape shape = ia->shape;  // before ia moves into the parents list
   return make_node(std::move(shape), std::move(out), {std::move(ia), b.impl()}, add_bw);
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] - pb[i];
+  FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
+  simd::active().ew_sub(a.data(), b.data(), out.data(), out.size());
   return make_node(a.shape(), std::move(out), {a.impl(), b.impl()}, sub_bw);
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] * pb[i];
+  FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
+  simd::active().ew_mul(a.data(), b.data(), out.data(), out.size());
   return make_node(a.shape(), std::move(out), {a.impl(), b.impl()}, mul_bw);
 }
 
 Tensor scale(const Tensor& a, float s) {
   check(a.defined(), "scale: undefined input");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
-  const float* pa = a.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] * s;
+  FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
+  simd::active().ew_scale(a.data(), s, out.data(), out.size());
   return make_node(a.shape(), std::move(out), {a.impl()}, scale_bw, {.f0 = s});
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
   check(a.defined(), "add_scalar: undefined input");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
-  const float* pa = a.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] + s;
+  FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
+  simd::active().ew_add_scalar(a.data(), s, out.data(), out.size());
   return make_node(a.shape(), std::move(out), {a.impl()}, add_scalar_bw);
 }
 
@@ -886,12 +765,8 @@ Tensor add_rowvec(const Tensor& x, const Tensor& bias) {
   check(bias.defined() && bias.numel() == x.dim(1),
         "add_rowvec: bias size must equal column count");
   const std::int64_t n = x.dim(0), c = x.dim(1);
-  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
-  const float* px = x.data();
-  const float* pb = bias.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t j = 0; j < c; ++j) out[i * c + j] = px[i * c + j] + pb[j];
-  }
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * c));
+  simd::active().add_rowvec(x.data(), bias.data(), out.data(), n, c);
   return make_node(x.shape(), std::move(out), {x.impl(), bias.impl()}, add_rowvec_bw);
 }
 
@@ -905,8 +780,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   check(a.dim(1) == b.dim(0), "matmul: inner dimensions differ: " + shape_str(a.shape()) +
                                   " x " + shape_str(b.shape()));
   const std::int64_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
-  std::vector<float> out = pool::acquire_zeroed(static_cast<size_t>(n * m));
-  gemm_nn(a.data(), b.data(), out.data(), n, k, m);
+  // gemm_nn_init overwrites the buffer (chains start at 0), so the
+  // acquire skips the zero-fill an accumulating kernel would need.
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * m));
+  simd::active().gemm_nn_init(a.data(), b.data(), out.data(), n, k, m);
   return make_node({n, m}, std::move(out), {a.impl(), b.impl()}, matmul_bw);
 }
 
@@ -916,16 +793,13 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
   check(x.dim(1) == w.dim(0), "linear: inner dimensions differ: " + shape_str(x.shape()) +
                                   " x " + shape_str(w.shape()));
   const std::int64_t n = x.dim(0), k = x.dim(1), m = w.dim(1);
-  std::vector<float> out = pool::acquire_zeroed(static_cast<size_t>(n * m));
-  gemm_nn(x.data(), w.data(), out.data(), n, k, m);
+  const simd::Kernels& K = simd::active();
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * m));
+  K.gemm_nn_init(x.data(), w.data(), out.data(), n, k, m);
   std::vector<TensorImplPtr> parents{x.impl(), w.impl()};
   if (bias.defined()) {
     check(bias.numel() == m, "linear: bias size must equal output width");
-    const float* pb = bias.data();
-    for (std::int64_t i = 0; i < n; ++i) {
-      float* row = out.data() + i * m;
-      for (std::int64_t j = 0; j < m; ++j) row[j] = row[j] + pb[j];
-    }
+    K.add_rowvec(out.data(), bias.data(), out.data(), n, m);  // in-place epilogue
     parents.push_back(bias.impl());
   }
   return make_node({n, m}, std::move(out), std::move(parents), linear_bw);
@@ -937,9 +811,8 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
 
 Tensor relu(const Tensor& a) {
   check(a.defined(), "relu: undefined input");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
-  const float* pa = a.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
+  FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
+  simd::active().ew_relu(a.data(), out.data(), out.size());
   return make_node(a.shape(), std::move(out), {a.impl()}, relu_bw);
 }
 
@@ -950,8 +823,8 @@ Tensor relu_inplace(Tensor a) {
   if (ia.use_count() != 1 || !ia->grad.empty() || ia->backward_reads_output) {
     return relu(Tensor(std::move(ia)));
   }
-  std::vector<float> out = std::move(ia->data);
-  for (auto& v : out) v = v > 0.0f ? v : 0.0f;
+  FloatBuffer out = std::move(ia->data);
+  simd::active().ew_relu(out.data(), out.data(), out.size());
   Shape shape = ia->shape;  // before ia moves into the parents list
   return make_node(std::move(shape), std::move(out), {std::move(ia)}, relu_inplace_bw,
                    {.needs_output = true});
@@ -959,18 +832,15 @@ Tensor relu_inplace(Tensor a) {
 
 Tensor leaky_relu(const Tensor& a, float negative_slope) {
   check(a.defined(), "leaky_relu: undefined input");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
-  const float* pa = a.data();
-  for (size_t i = 0; i < out.size(); ++i) {
-    out[i] = pa[i] > 0.0f ? pa[i] : pa[i] * negative_slope;
-  }
+  FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
+  simd::active().ew_leaky_relu(a.data(), negative_slope, out.data(), out.size());
   return make_node(a.shape(), std::move(out), {a.impl()}, leaky_relu_bw,
                    {.f0 = negative_slope});
 }
 
 Tensor tanh_op(const Tensor& a) {
   check(a.defined(), "tanh: undefined input");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   const float* pa = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(pa[i]);
   return make_node(a.shape(), std::move(out), {a.impl()}, tanh_bw, {.needs_output = true});
@@ -978,7 +848,7 @@ Tensor tanh_op(const Tensor& a) {
 
 Tensor sigmoid(const Tensor& a) {
   check(a.defined(), "sigmoid: undefined input");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   const float* pa = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = 1.0f / (1.0f + std::exp(-pa[i]));
   return make_node(a.shape(), std::move(out), {a.impl()}, sigmoid_bw,
@@ -987,9 +857,8 @@ Tensor sigmoid(const Tensor& a) {
 
 Tensor square(const Tensor& a) {
   check(a.defined(), "square: undefined input");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
-  const float* pa = a.data();
-  for (size_t i = 0; i < out.size(); ++i) out[i] = pa[i] * pa[i];
+  FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
+  simd::active().ew_square(a.data(), out.data(), out.size());
   return make_node(a.shape(), std::move(out), {a.impl()}, square_bw);
 }
 
@@ -999,10 +868,11 @@ Tensor square(const Tensor& a) {
 
 Tensor sum(const Tensor& a) {
   check(a.defined(), "sum: undefined input");
-  double acc = 0.0;
-  const float* pa = a.data();
-  for (std::int64_t i = 0; i < a.numel(); ++i) acc += pa[i];
-  std::vector<float> out = pool::acquire(1);
+  // 8-lane double accumulation: deterministic across dispatch paths and
+  // still (near-)double precision like the previous sequential chain.
+  const double acc =
+      simd::active().reduce_sum_f64(a.data(), static_cast<size_t>(a.numel()));
+  FloatBuffer out = pool::acquire(1);
   out[0] = static_cast<float>(acc);
   return make_node({1}, std::move(out), {a.impl()}, sum_bw);
 }
@@ -1015,17 +885,14 @@ Tensor mean(const Tensor& a) {
 Tensor row_sum(const Tensor& a) {
   check_matrix(a, "row_sum");
   const std::int64_t n = a.dim(0), c = a.dim(1);
-  std::vector<float> out = pool::acquire_zeroed(static_cast<size_t>(n));
-  const float* pa = a.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t j = 0; j < c; ++j) out[i] += pa[i * c + j];
-  }
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n));
+  simd::active().row_sum(a.data(), out.data(), n, c);
   return make_node({n, 1}, std::move(out), {a.impl()}, row_sum_bw);
 }
 
 Tensor sqrt_op(const Tensor& a, float eps) {
   check(a.defined(), "sqrt_op: undefined input");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(a.numel()));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   const float* pa = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = std::sqrt(std::max(pa[i] + eps, 0.0f));
   return make_node(a.shape(), std::move(out), {a.impl()}, sqrt_bw, {.needs_output = true});
@@ -1039,7 +906,7 @@ Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& idx) {
   check_matrix(x, "gather_rows");
   const std::int64_t n = x.dim(0), c = x.dim(1);
   const std::int64_t m = static_cast<std::int64_t>(idx.size());
-  std::vector<float> out = pool::acquire(static_cast<size_t>(m * c));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(m * c));
   const float* px = x.data();
   for (std::int64_t i = 0; i < m; ++i) {
     if (idx[i] < 0 || idx[i] >= n) tensor_fail("gather_rows: index out of range");
@@ -1058,7 +925,7 @@ Tensor scatter_rows(const Tensor& rows, const std::vector<std::int64_t>& idx,
   check(static_cast<std::int64_t>(idx.size()) == m, "scatter_rows: idx/rows size mismatch");
   check(static_cast<std::int64_t>(fill.size()) == out_rows * c,
         "scatter_rows: fill size must be out_rows * cols");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(out_rows * c));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(out_rows * c));
   std::copy(fill.begin(), fill.end(), out.begin());
   const float* pr = rows.data();
   std::vector<std::uint8_t> seen(static_cast<size_t>(out_rows), 0);
@@ -1086,7 +953,8 @@ Tensor weighted_gather_rows(const Tensor& x, const std::vector<std::int64_t>& id
         "weighted_gather_rows: idx size must be a multiple of k_per_row");
   const std::int64_t nsrc = x.dim(0), c = x.dim(1);
   const std::int64_t nout = static_cast<std::int64_t>(idx.size()) / k_per_row;
-  std::vector<float> out = pool::acquire_zeroed(static_cast<size_t>(nout * c));
+  const simd::Kernels& K = simd::active();
+  FloatBuffer out = pool::acquire_zeroed(static_cast<size_t>(nout * c));
   const float* px = x.data();
   for (std::int64_t i = 0; i < nout; ++i) {
     float* dst = out.data() + i * c;
@@ -1095,14 +963,14 @@ Tensor weighted_gather_rows(const Tensor& x, const std::vector<std::int64_t>& id
       if (src_row < 0 || src_row >= nsrc) {
         tensor_fail("weighted_gather_rows: index out of range");
       }
-      const float w = weights[i * k_per_row + k];
-      const float* src = px + src_row * c;
-      for (std::int64_t j = 0; j < c; ++j) dst[j] += w * src[j];
+      K.acc_axpy(dst, px + src_row * c, weights[i * k_per_row + k],
+                 static_cast<size_t>(c));
     }
   }
   auto ctx = std::make_unique<BackwardCtx>();
   ctx->ibuf = idx;
-  ctx->fbuf = weights;
+  ctx->fbuf = pool::acquire(weights.size());
+  std::copy(weights.begin(), weights.end(), ctx->fbuf.begin());
   return make_node({nout, c}, std::move(out), {x.impl()}, weighted_gather_rows_bw,
                    {.i0 = k_per_row, .ctx = std::move(ctx)});
 }
@@ -1111,7 +979,7 @@ Tensor repeat_rows(const Tensor& x, std::int64_t k) {
   check_matrix(x, "repeat_rows");
   check(k > 0, "repeat_rows: k must be positive");
   const std::int64_t n = x.dim(0), c = x.dim(1);
-  std::vector<float> out = pool::acquire(static_cast<size_t>(n * k * c));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * k * c));
   const float* px = x.data();
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t r = 0; r < k; ++r) {
@@ -1126,7 +994,7 @@ Tensor concat_cols(const Tensor& a, const Tensor& b) {
   check_matrix(b, "concat_cols");
   check(a.dim(0) == b.dim(0), "concat_cols: row counts differ");
   const std::int64_t n = a.dim(0), ca = a.dim(1), cb = b.dim(1);
-  std::vector<float> out = pool::acquire(static_cast<size_t>(n * (ca + cb)));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * (ca + cb)));
   const float* pa = a.data();
   const float* pb = b.data();
   for (std::int64_t i = 0; i < n; ++i) {
@@ -1145,7 +1013,7 @@ Tensor concat_cols4(const Tensor& a, const Tensor& b, const Tensor& c, const Ten
     total += t->dim(1);
   }
   const std::int64_t n = a.dim(0);
-  std::vector<float> out = pool::acquire(static_cast<size_t>(n * total));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * total));
   std::int64_t offset = 0;
   for (const Tensor* t : parts) {
     const std::int64_t w = t->dim(1);
@@ -1163,7 +1031,7 @@ Tensor slice_cols(const Tensor& x, std::int64_t c0, std::int64_t c1) {
   check_matrix(x, "slice_cols");
   check(0 <= c0 && c0 < c1 && c1 <= x.dim(1), "slice_cols: bad column range");
   const std::int64_t n = x.dim(0), c = x.dim(1), w = c1 - c0;
-  std::vector<float> out = pool::acquire(static_cast<size_t>(n * w));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * w));
   const float* px = x.data();
   for (std::int64_t i = 0; i < n; ++i) std::copy_n(px + i * c + c0, w, out.data() + i * w);
   return make_node({n, w}, std::move(out), {x.impl()}, slice_cols_bw, {.i0 = c0});
@@ -1176,7 +1044,7 @@ Tensor scatter_add_cols(const Tensor& base, const Tensor& delta, std::int64_t co
   check(col0 >= 0 && col0 + delta.dim(1) <= base.dim(1),
         "scatter_add_cols: delta columns exceed base");
   const std::int64_t n = base.dim(0), c = base.dim(1), d = delta.dim(1);
-  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * c));
   std::copy_n(base.data(), n * c, out.data());
   const float* pd = delta.data();
   for (std::int64_t i = 0; i < n; ++i) {
@@ -1196,21 +1064,11 @@ Tensor edge_features(const Tensor& h, const std::vector<std::int64_t>& idx,
   const std::int64_t n = h.dim(0), c = h.dim(1);
   check(k > 0 && static_cast<std::int64_t>(idx.size()) == n * k,
         "edge_features: idx must have N*k entries");
-  std::vector<float> out = pool::acquire(static_cast<size_t>(n * k * 2 * c));
-  const float* ph = h.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* xi = ph + i * c;
-    for (std::int64_t r = 0; r < k; ++r) {
-      const std::int64_t j = idx[static_cast<size_t>(i * k + r)];
-      if (j < 0 || j >= n) tensor_fail("edge_features: index out of range");
-      const float* xj = ph + j * c;
-      float* row = out.data() + (i * k + r) * 2 * c;
-      for (std::int64_t t = 0; t < c; ++t) {
-        row[t] = xi[t];
-        row[c + t] = xj[t] - xi[t];
-      }
-    }
+  for (const std::int64_t j : idx) {
+    if (j < 0 || j >= n) tensor_fail("edge_features: index out of range");
   }
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * k * 2 * c));
+  simd::active().edge_features(h.data(), idx.data(), out.data(), n, k, c);
   auto ctx = std::make_unique<BackwardCtx>();
   ctx->ibuf = idx;
   return make_node({n * k, 2 * c}, std::move(out), {h.impl()}, edge_features_bw,
@@ -1224,7 +1082,7 @@ Tensor gather_sub_rows(const Tensor& x, const std::vector<std::int64_t>& idx_a,
         "gather_sub_rows: idx_a must have k entries per idx_b entry");
   const std::int64_t n = x.dim(0), c = x.dim(1);
   const std::int64_t nout = static_cast<std::int64_t>(idx_b.size());
-  std::vector<float> out = pool::acquire(static_cast<size_t>(nout * k * c));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(nout * k * c));
   const float* px = x.data();
   for (std::int64_t i = 0; i < nout; ++i) {
     if (idx_b[static_cast<size_t>(i)] < 0 || idx_b[static_cast<size_t>(i)] >= n) {
@@ -1252,15 +1110,8 @@ Tensor mul_rows(const Tensor& x, const Tensor& col) {
   check(col.defined() && col.rank() == 2 && col.dim(1) == 1 && col.dim(0) == x.dim(0),
         "mul_rows: col must be [N, 1] with matching rows");
   const std::int64_t n = x.dim(0), c = x.dim(1);
-  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
-  const float* px = x.data();
-  const float* pc = col.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float cv = pc[i];
-    const float* src = px + i * c;
-    float* dst = out.data() + i * c;
-    for (std::int64_t j = 0; j < c; ++j) dst[j] = src[j] * cv;
-  }
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * c));
+  simd::active().mul_rows(x.data(), col.data(), out.data(), n, c);
   return make_node(x.shape(), std::move(out), {x.impl(), col.impl()}, mul_rows_bw);
 }
 
@@ -1281,7 +1132,7 @@ void check_segments(const Tensor& x, std::int64_t k, const char* name) {
 Tensor segment_max(const Tensor& x, std::int64_t k) {
   check_segments(x, k, "segment_max");
   const std::int64_t n = x.dim(0) / k, c = x.dim(1);
-  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * c));
   auto ctx = std::make_unique<BackwardCtx>();
   ctx->ibuf.resize(static_cast<size_t>(n * c));
   const float* px = x.data();
@@ -1307,13 +1158,12 @@ Tensor segment_max(const Tensor& x, std::int64_t k) {
 Tensor segment_sum(const Tensor& x, std::int64_t k) {
   check_segments(x, k, "segment_sum");
   const std::int64_t n = x.dim(0) / k, c = x.dim(1);
-  std::vector<float> out = pool::acquire_zeroed(static_cast<size_t>(n * c));
+  const simd::Kernels& K = simd::active();
+  FloatBuffer out = pool::acquire_zeroed(static_cast<size_t>(n * c));
   const float* px = x.data();
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t r = 0; r < k; ++r) {
-      const float* src = px + (i * k + r) * c;
-      float* dst = out.data() + i * c;
-      for (std::int64_t j = 0; j < c; ++j) dst[j] += src[j];
+      K.acc_add(out.data() + i * c, px + (i * k + r) * c, static_cast<size_t>(c));
     }
   }
   return make_node({n, c}, std::move(out), {x.impl()}, segment_sum_bw, {.i0 = k});
@@ -1326,21 +1176,10 @@ Tensor segment_mean(const Tensor& x, std::int64_t k) {
 Tensor segment_softmax(const Tensor& x, std::int64_t k) {
   check_segments(x, k, "segment_softmax");
   const std::int64_t n = x.dim(0) / k, c = x.dim(1);
-  std::vector<float> out = pool::acquire(static_cast<size_t>(x.numel()));
-  const float* px = x.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t j = 0; j < c; ++j) {
-      float mx = px[(i * k) * c + j];
-      for (std::int64_t r = 1; r < k; ++r) mx = std::max(mx, px[(i * k + r) * c + j]);
-      float denom = 0.0f;
-      for (std::int64_t r = 0; r < k; ++r) {
-        const float e = std::exp(px[(i * k + r) * c + j] - mx);
-        out[(i * k + r) * c + j] = e;
-        denom += e;
-      }
-      for (std::int64_t r = 0; r < k; ++r) out[(i * k + r) * c + j] /= denom;
-    }
-  }
+  FloatBuffer out = pool::acquire(static_cast<size_t>(x.numel()));
+  FloatBuffer scratch = pool::acquire(static_cast<size_t>(2 * c));
+  simd::active().segment_softmax(x.data(), out.data(), scratch.data(), n, k, c);
+  pool::release(std::move(scratch));
   return make_node(x.shape(), std::move(out), {x.impl()}, segment_softmax_bw,
                    {.i0 = k, .needs_output = true});
 }
@@ -1352,16 +1191,8 @@ Tensor segment_softmax(const Tensor& x, std::int64_t k) {
 Tensor log_softmax_rows(const Tensor& x) {
   check_matrix(x, "log_softmax_rows");
   const std::int64_t n = x.dim(0), c = x.dim(1);
-  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
-  const float* px = x.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    float mx = px[i * c];
-    for (std::int64_t j = 1; j < c; ++j) mx = std::max(mx, px[i * c + j]);
-    float denom = 0.0f;
-    for (std::int64_t j = 0; j < c; ++j) denom += std::exp(px[i * c + j] - mx);
-    const float log_denom = std::log(denom) + mx;
-    for (std::int64_t j = 0; j < c; ++j) out[i * c + j] = px[i * c + j] - log_denom;
-  }
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * c));
+  simd::active().log_softmax_rows(x.data(), out.data(), n, c);
   return make_node(x.shape(), std::move(out), {x.impl()}, log_softmax_rows_bw,
                    {.needs_output = true});
 }
@@ -1387,7 +1218,7 @@ Tensor nll_loss_masked(const Tensor& log_probs, const std::vector<int>& labels,
   auto ctx = std::make_unique<BackwardCtx>();
   ctx->labels = labels;
   ctx->mask = mask;
-  std::vector<float> out = pool::acquire(1);
+  FloatBuffer out = pool::acquire(1);
   out[0] = static_cast<float>(acc * inv);
   return make_node({1}, std::move(out), {log_probs.impl()}, nll_loss_masked_bw,
                    {.f0 = inv, .ctx = std::move(ctx)});
@@ -1427,7 +1258,7 @@ Tensor hinge_margin_loss(const Tensor& logits, const std::vector<int>& labels,
       ctx->ibuf[static_cast<size_t>(i)] = bj;
     }
   }
-  std::vector<float> out = pool::acquire(1);
+  FloatBuffer out = pool::acquire(1);
   out[0] = static_cast<float>(total);
   return make_node({1}, std::move(out), {logits.impl()}, hinge_margin_loss_bw,
                    {.flag = targeted, .ctx = std::move(ctx)});
@@ -1455,7 +1286,7 @@ Tensor smoothness_penalty(const Tensor& x, const std::vector<std::int64_t>& neig
   }
   auto ctx = std::make_unique<BackwardCtx>();
   ctx->ibuf = neighbor_idx;
-  std::vector<float> out = pool::acquire(1);
+  FloatBuffer out = pool::acquire(1);
   out[0] = static_cast<float>(total);
   return make_node({1}, std::move(out), {x.impl()}, smoothness_penalty_bw,
                    {.i0 = alpha, .ctx = std::move(ctx)});
@@ -1498,20 +1329,13 @@ Tensor batch_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       inv_std[j] = 1.0f / std::sqrt(running_var[j] + eps);
     }
   }
-  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * c));
   // ctx.fbuf layout: [xhat (n*c) | inv_std (c)].
   auto ctx = std::make_unique<BackwardCtx>();
   ctx->fbuf = pool::acquire(static_cast<size_t>(n * c + c));
   float* xhat = ctx->fbuf.data();
-  const float* pg = gamma.data();
-  const float* pb = beta.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    for (std::int64_t j = 0; j < c; ++j) {
-      const float h = (px[i * c + j] - mean_v[j]) * inv_std[j];
-      xhat[i * c + j] = h;
-      out[i * c + j] = pg[j] * h + pb[j];
-    }
-  }
+  simd::active().bn_affine(px, gamma.data(), beta.data(), mean_v.data(),
+                           inv_std.data(), out.data(), xhat, n, c);
   std::copy_n(inv_std.data(), c, xhat + n * c);
   return make_node(x.shape(), std::move(out), {x.impl(), gamma.impl(), beta.impl()},
                    batch_norm_bw, {.flag = training, .ctx = std::move(ctx)});
@@ -1535,21 +1359,11 @@ Tensor bn_relu_eval(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     mean[j] = running_mean[j];
     inv_std[j] = 1.0f / std::sqrt(running_var[j] + eps);
   }
-  std::vector<float> out = pool::acquire(static_cast<size_t>(n * c));
-  const float* px = x.data();
-  const float* pg = gamma.data();
-  const float* pb = beta.data();
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* xr = px + i * c;
-    float* dst = out.data() + i * c;
-    for (std::int64_t j = 0; j < c; ++j) {
-      // Same expression shapes as the unfused bn -> relu chain, so the
-      // fused output is bit-identical to relu(batch_norm(x, ..., eval)).
-      const float h = (xr[j] - mean[j]) * inv_std[j];
-      const float y = pg[j] * h + pb[j];
-      dst[j] = y > 0.0f ? y : 0.0f;
-    }
-  }
+  FloatBuffer out = pool::acquire(static_cast<size_t>(n * c));
+  // Same expression shapes as the unfused bn -> relu chain, so the fused
+  // output is bit-identical to relu(batch_norm(x, ..., eval)).
+  simd::active().bn_relu_eval(x.data(), gamma.data(), beta.data(), mean, inv_std,
+                              out.data(), n, c);
   return make_node(x.shape(), std::move(out), {x.impl(), gamma.impl(), beta.impl()},
                    bn_relu_eval_bw, {.needs_output = true, .ctx = std::move(ctx)});
 }
@@ -1566,7 +1380,7 @@ Tensor dropout(const Tensor& x, float p, Rng& rng, bool training) {
   const float keep = 1.0f - p;
   auto ctx = std::make_unique<BackwardCtx>();
   ctx->fbuf = pool::acquire(static_cast<size_t>(x.numel()));
-  std::vector<float> out = pool::acquire(static_cast<size_t>(x.numel()));
+  FloatBuffer out = pool::acquire(static_cast<size_t>(x.numel()));
   const float* px = x.data();
   for (size_t i = 0; i < out.size(); ++i) {
     const float m = rng.uniform() < p ? 0.0f : 1.0f / keep;

@@ -1,6 +1,8 @@
 #include "pcss/tensor/pool.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstdint>
 #include <utility>
 
 namespace pcss::tensor::pool {
@@ -21,7 +23,7 @@ std::size_t class_log2_for_request(std::size_t n) {
 }
 
 struct Pool {
-  std::vector<std::vector<float>> free_lists[kNumClasses];
+  std::vector<FloatBuffer> free_lists[kNumClasses];
   Stats counters;
 
   ~Pool() = default;
@@ -50,42 +52,48 @@ Pool* ensure_pool() {
 
 }  // namespace
 
-std::vector<float> acquire(std::size_t n) {
+FloatBuffer acquire(std::size_t n) {
   Pool* p = ensure_pool();
-  if (p == nullptr) return std::vector<float>(n);
+  if (p == nullptr) return FloatBuffer(n);
   ++p->counters.acquires;
   const std::size_t log2 = class_log2_for_request(n);
   if (log2 >= kMinClassLog2 + kNumClasses) {
     // Beyond the largest size class: bypass the pool entirely (release()
     // byte-caps such buffers away anyway).
-    return std::vector<float>(n);
+    return FloatBuffer(n);
   }
   auto& list = p->free_lists[log2 - kMinClassLog2];
   if (!list.empty()) {
-    std::vector<float> buf = std::move(list.back());
+    FloatBuffer buf = std::move(list.back());
     list.pop_back();
     ++p->counters.hits;
     --p->counters.cached_buffers;
     p->counters.cached_floats -= buf.capacity();
     buf.resize(n);  // capacity >= 2^log2 >= n: never reallocates
+    assert(reinterpret_cast<std::uintptr_t>(buf.data()) % 32 == 0 &&
+           "pool: recycled buffer lost its 32-byte alignment");
     return buf;
   }
-  std::vector<float> buf;
+  FloatBuffer buf;
   buf.reserve(std::size_t{1} << log2);
   buf.resize(n);
   return buf;
 }
 
-std::vector<float> acquire_zeroed(std::size_t n) {
-  std::vector<float> buf = acquire(n);
+FloatBuffer acquire_zeroed(std::size_t n) {
+  FloatBuffer buf = acquire(n);
   std::fill(buf.begin(), buf.end(), 0.0f);
   return buf;
 }
 
-void release(std::vector<float>&& buffer) noexcept {
-  std::vector<float> buf = std::move(buffer);
+void release(FloatBuffer&& buffer) noexcept {
+  FloatBuffer buf = std::move(buffer);
   Pool* p = tl_pool;  // null before first acquire or after thread teardown
   if (p == nullptr || buf.capacity() < (std::size_t{1} << kMinClassLog2)) return;
+  // The allocator over-aligns every allocation; a violation here means a
+  // buffer from some other source was handed to the pool.
+  assert(reinterpret_cast<std::uintptr_t>(buf.data()) % 32 == 0 &&
+         "pool: released buffer violates the 32-byte alignment contract");
   // Class from the *capacity* floor: a buffer cached in class c always has
   // capacity >= 2^c, so acquire() can resize without reallocating.
   std::size_t log2 = kMinClassLog2;

@@ -1,0 +1,118 @@
+// Runtime ISA detection and kernel-table dispatch (see simd.h for the
+// determinism contract the tables uphold).
+#include "pcss/tensor/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace pcss::tensor::simd {
+
+namespace detail {
+// Defined in simd_kernels_scalar.cpp / simd_kernels_avx2.cpp.
+const Kernels& scalar_table();
+const Kernels* avx2_table();
+}  // namespace detail
+
+bool cpu_supports_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const Kernels& scalar_kernels() { return detail::scalar_table(); }
+
+const Kernels* avx2_kernels() {
+  // The cpuid guard must come first: merely constructing the AVX2 table
+  // executes code from the -mavx2 translation unit.
+  if (!cpu_supports_avx2()) return nullptr;
+  return detail::avx2_table();
+}
+
+const Kernels* kernels_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &scalar_kernels();
+    case Isa::kAvx2:
+      return avx2_kernels();
+  }
+  return nullptr;
+}
+
+Isa resolve_isa(const char* env_value, bool cpu_avx2) {
+  if (env_value == nullptr || *env_value == '\0') {
+    return cpu_avx2 ? Isa::kAvx2 : Isa::kScalar;
+  }
+  if (std::strcmp(env_value, "scalar") == 0) return Isa::kScalar;
+  if (std::strcmp(env_value, "avx2") == 0) {
+    if (cpu_avx2) return Isa::kAvx2;
+    // Requested but unavailable: fall back rather than fail, so one CI
+    // matrix definition can run on mixed fleets. The warning keeps the
+    // downgrade visible in logs.
+    std::fprintf(stderr,
+                 "[pcss::tensor::simd] PCSS_SIMD=avx2 requested but this "
+                 "CPU/binary lacks AVX2; using the scalar kernels\n");
+    return Isa::kScalar;
+  }
+  throw std::runtime_error(
+      "PCSS_SIMD: unrecognized value \"" + std::string(env_value) +
+      "\" (expected \"scalar\" or \"avx2\")");
+}
+
+namespace {
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels* resolve_active() {
+  const char* env = std::getenv("PCSS_SIMD");
+  Isa isa = resolve_isa(env, cpu_supports_avx2());
+  const Kernels* table = kernels_for(isa);
+  // resolve_isa only returns an ISA the CPU can run; kAvx2 can still
+  // yield a null table when the *binary* was built without AVX2
+  // support. Auto-selection downgrades silently (best effort), but an
+  // explicit PCSS_SIMD=avx2 request must stay visible in logs — a CI
+  // leg that thinks it is exercising the AVX2 table while running
+  // scalar twice is a coverage gap, not a convenience.
+  if (table == nullptr) {
+    if (env != nullptr && std::strcmp(env, "avx2") == 0) {
+      std::fprintf(stderr,
+                   "[pcss::tensor::simd] PCSS_SIMD=avx2 requested but this "
+                   "binary was built without AVX2 kernels; using the scalar "
+                   "table\n");
+    }
+    table = &scalar_kernels();
+  }
+  return table;
+}
+
+}  // namespace
+
+const Kernels& active() {
+  const Kernels* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    // Benign race: every thread resolves to the same table.
+    table = resolve_active();
+    g_active.store(table, std::memory_order_release);
+  }
+  return *table;
+}
+
+Isa active_isa() { return active().isa; }
+
+const char* active_name() { return active().name; }
+
+void force(Isa isa) {
+  const Kernels* table = kernels_for(isa);
+  if (table == nullptr) {
+    throw std::runtime_error(
+        "simd::force: requested ISA is unavailable on this CPU/binary");
+  }
+  g_active.store(table, std::memory_order_release);
+}
+
+}  // namespace pcss::tensor::simd

@@ -81,6 +81,19 @@ Tensor Tensor::from_data(Shape shape, std::vector<float> data) {
                     std::to_string(data.size()));
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
+  // Copy into a pooled buffer so the storage meets the pool's 32-byte
+  // alignment contract (a plain std::vector only guarantees 16 on glibc).
+  impl->data = pool::acquire(data.size());
+  std::copy(data.begin(), data.end(), impl->data.begin());
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::from_buffer(Shape shape, FloatBuffer data) {
+  detail::check(shape_numel(shape) == static_cast<std::int64_t>(data.size()),
+                "from_buffer: shape " + shape_str(shape) + " does not match data size " +
+                    std::to_string(data.size()));
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
   impl->data = std::move(data);
   return Tensor(std::move(impl));
 }
@@ -144,12 +157,12 @@ float Tensor::at(std::int64_t i) const {
   return impl_->data[static_cast<size_t>(i)];
 }
 
-const std::vector<float>& Tensor::grad() const {
+const FloatBuffer& Tensor::grad() const {
   detail::check(defined(), "grad() on undefined tensor");
   return impl_->grad;
 }
 
-std::vector<float>& Tensor::grad_ref() {
+FloatBuffer& Tensor::grad_ref() {
   detail::check(defined(), "grad_ref() on undefined tensor");
   impl_->ensure_grad();
   return impl_->grad;

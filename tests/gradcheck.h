@@ -26,7 +26,7 @@ inline void expect_gradcheck(const LossFn& loss_fn, const Shape& shape,
   Tensor loss = loss_fn(x);
   ASSERT_EQ(loss.numel(), 1) << "loss_fn must return a scalar";
   loss.backward();
-  const std::vector<float> analytic = x.grad();
+  const std::vector<float> analytic(x.grad().begin(), x.grad().end());
   ASSERT_EQ(analytic.size(), x0.size());
 
   for (size_t i = 0; i < x0.size(); ++i) {

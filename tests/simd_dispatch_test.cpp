@@ -1,0 +1,547 @@
+// SIMD dispatch contract tests: ISA resolution rules, and — the heart of
+// the determinism story — byte-for-byte equality of every dispatched
+// kernel between the scalar and AVX2 tables, across odd sizes covering
+// every tail length 1..7 past the 8-lane width. The file ends with
+// whole-model and whole-experiment checks: forward+backward and a full
+// runner document must be bit-identical whichever table executed, and a
+// result store warmed under one ISA must be a 100% cache hit under the
+// other.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "pcss/data/indoor.h"
+#include "pcss/models/resgcn.h"
+#include "pcss/runner/executor.h"
+#include "pcss/runner/result_store.h"
+#include "pcss/tensor/nn.h"
+#include "pcss/tensor/ops.h"
+#include "pcss/tensor/pool.h"
+#include "pcss/tensor/simd.h"
+#include "pcss/tensor/tensor.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+namespace simd = pcss::tensor::simd;
+namespace ops = pcss::tensor::ops;
+using pcss::tensor::FloatBuffer;
+using pcss::tensor::Rng;
+using pcss::tensor::Tensor;
+
+/// Restores the dispatch table active at construction (tests that force
+/// an ISA must not leak it into the rest of the suite).
+struct IsaGuard {
+  simd::Isa saved = simd::active_isa();
+  ~IsaGuard() { simd::force(saved); }
+};
+
+/// Deterministic values with sign changes, exact zeros and a spread of
+/// magnitudes (so relu masks, max lanes and accumulation chains all see
+/// interesting inputs).
+std::vector<float> test_values(size_t n, std::uint64_t seed) {
+  std::vector<float> out(n);
+  std::uint64_t s = seed * 0x9E3779B97F4A7C15ull + 1;
+  for (size_t i = 0; i < n; ++i) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    const float u = static_cast<float>(s % 20011) / 20011.0f;  // [0, 1)
+    float v = (u - 0.5f) * 4.0f;
+    if (s % 11 == 0) v = 0.0f;                  // exact zeros
+    if (s % 13 == 0) v *= 1e-4f;                // small magnitudes
+    if (s % 17 == 0) v *= 64.0f;                // large magnitudes
+    out[i] = v;
+  }
+  return out;
+}
+
+bool bytes_equal(const float* a, const float* b, size_t n) {
+  return std::memcmp(a, b, n * sizeof(float)) == 0;
+}
+
+/// Sizes covering every 8-lane tail 1..7 plus multi-vector lengths.
+const std::vector<std::int64_t>& tail_sizes() {
+  static const std::vector<std::int64_t> sizes = {1,  2,  3,  4,  5,  6,   7,  8,
+                                                  9,  11, 13, 15, 16, 17,  23, 31,
+                                                  32, 33, 63, 64, 65, 100, 129};
+  return sizes;
+}
+
+#define PCSS_REQUIRE_AVX2_TABLE()                                     \
+  const simd::Kernels* avx2_ptr = simd::avx2_kernels();               \
+  if (avx2_ptr == nullptr) GTEST_SKIP() << "AVX2 unavailable here";   \
+  const simd::Kernels& A = *avx2_ptr;                                 \
+  const simd::Kernels& S = simd::scalar_kernels()
+
+// ---------------------------------------------------------------------------
+// Resolution rules
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, ResolveIsaPicksBestWhenUnset) {
+  EXPECT_EQ(simd::resolve_isa(nullptr, true), simd::Isa::kAvx2);
+  EXPECT_EQ(simd::resolve_isa(nullptr, false), simd::Isa::kScalar);
+  EXPECT_EQ(simd::resolve_isa("", true), simd::Isa::kAvx2);
+}
+
+TEST(SimdDispatch, ResolveIsaHonorsOverrides) {
+  EXPECT_EQ(simd::resolve_isa("scalar", true), simd::Isa::kScalar);
+  EXPECT_EQ(simd::resolve_isa("avx2", true), simd::Isa::kAvx2);
+  // Requested-but-unsupported downgrades instead of failing, so one CI
+  // matrix definition runs on mixed fleets.
+  EXPECT_EQ(simd::resolve_isa("avx2", false), simd::Isa::kScalar);
+}
+
+TEST(SimdDispatch, ResolveIsaRejectsGarbage) {
+  EXPECT_THROW(simd::resolve_isa("sse9", true), std::runtime_error);
+  EXPECT_THROW(simd::resolve_isa("AVX2", true), std::runtime_error);
+}
+
+TEST(SimdDispatch, TablesReportTheirIsa) {
+  EXPECT_STREQ(simd::scalar_kernels().name, "scalar");
+  EXPECT_EQ(simd::scalar_kernels().isa, simd::Isa::kScalar);
+  const simd::Kernels* avx2 = simd::avx2_kernels();
+  if (!simd::cpu_supports_avx2()) {
+    EXPECT_EQ(avx2, nullptr);
+  } else if (avx2 != nullptr) {
+    EXPECT_STREQ(avx2->name, "avx2");
+    EXPECT_EQ(avx2->isa, simd::Isa::kAvx2);
+  }
+  EXPECT_NE(simd::active_name(), nullptr);
+}
+
+TEST(SimdDispatch, ForceSwitchesTheActiveTable) {
+  IsaGuard guard;
+  simd::force(simd::Isa::kScalar);
+  EXPECT_STREQ(simd::active_name(), "scalar");
+  if (simd::avx2_kernels() != nullptr) {
+    simd::force(simd::Isa::kAvx2);
+    EXPECT_STREQ(simd::active_name(), "avx2");
+  } else {
+    EXPECT_THROW(simd::force(simd::Isa::kAvx2), std::runtime_error);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-kernel bit-exactness, scalar vs AVX2
+// ---------------------------------------------------------------------------
+
+TEST(SimdBitExact, ElementwiseMaps) {
+  PCSS_REQUIRE_AVX2_TABLE();
+  for (const std::int64_t n64 : tail_sizes()) {
+    const size_t n = static_cast<size_t>(n64);
+    const auto a = test_values(n, 1), b = test_values(n, 2);
+    std::vector<float> ys(n), ya(n);
+    struct Unary {
+      void (*s)(const float*, float*, size_t);
+      void (*a)(const float*, float*, size_t);
+      const char* name;
+    };
+    const Unary unary[] = {{S.ew_square, A.ew_square, "ew_square"},
+                           {S.ew_relu, A.ew_relu, "ew_relu"}};
+    for (const auto& k : unary) {
+      k.s(a.data(), ys.data(), n);
+      k.a(a.data(), ya.data(), n);
+      EXPECT_TRUE(bytes_equal(ys.data(), ya.data(), n)) << k.name << " n=" << n;
+    }
+    struct Binary {
+      void (*s)(const float*, const float*, float*, size_t);
+      void (*a)(const float*, const float*, float*, size_t);
+      const char* name;
+    };
+    const Binary binary[] = {{S.ew_add, A.ew_add, "ew_add"},
+                             {S.ew_sub, A.ew_sub, "ew_sub"},
+                             {S.ew_mul, A.ew_mul, "ew_mul"}};
+    for (const auto& k : binary) {
+      k.s(a.data(), b.data(), ys.data(), n);
+      k.a(a.data(), b.data(), ya.data(), n);
+      EXPECT_TRUE(bytes_equal(ys.data(), ya.data(), n)) << k.name << " n=" << n;
+    }
+    S.ew_scale(a.data(), 1.7f, ys.data(), n);
+    A.ew_scale(a.data(), 1.7f, ya.data(), n);
+    EXPECT_TRUE(bytes_equal(ys.data(), ya.data(), n)) << "ew_scale n=" << n;
+    S.ew_add_scalar(a.data(), -0.3f, ys.data(), n);
+    A.ew_add_scalar(a.data(), -0.3f, ya.data(), n);
+    EXPECT_TRUE(bytes_equal(ys.data(), ya.data(), n)) << "ew_add_scalar n=" << n;
+    S.ew_leaky_relu(a.data(), 0.2f, ys.data(), n);
+    A.ew_leaky_relu(a.data(), 0.2f, ya.data(), n);
+    EXPECT_TRUE(bytes_equal(ys.data(), ya.data(), n)) << "ew_leaky_relu n=" << n;
+  }
+}
+
+TEST(SimdBitExact, ElementwiseAccumulators) {
+  PCSS_REQUIRE_AVX2_TABLE();
+  for (const std::int64_t n64 : tail_sizes()) {
+    const size_t n = static_cast<size_t>(n64);
+    const auto g = test_values(n, 3), x = test_values(n, 4), base = test_values(n, 5);
+    auto run = [&](auto&& fs, auto&& fa, const char* name) {
+      std::vector<float> ys(base), ya(base);
+      fs(ys.data());
+      fa(ya.data());
+      EXPECT_TRUE(bytes_equal(ys.data(), ya.data(), n)) << name << " n=" << n;
+    };
+    run([&](float* y) { S.acc_add(y, g.data(), n); },
+        [&](float* y) { A.acc_add(y, g.data(), n); }, "acc_add");
+    run([&](float* y) { S.acc_scalar(y, 0.77f, n); },
+        [&](float* y) { A.acc_scalar(y, 0.77f, n); }, "acc_scalar");
+    run([&](float* y) { S.acc_axpy(y, g.data(), -1.3f, n); },
+        [&](float* y) { A.acc_axpy(y, g.data(), -1.3f, n); }, "acc_axpy");
+    run([&](float* y) { S.acc_mul(y, g.data(), x.data(), n); },
+        [&](float* y) { A.acc_mul(y, g.data(), x.data(), n); }, "acc_mul");
+    run([&](float* y) { S.acc_relu_mask(y, g.data(), x.data(), n); },
+        [&](float* y) { A.acc_relu_mask(y, g.data(), x.data(), n); }, "acc_relu_mask");
+    run([&](float* y) { S.acc_leaky_mask(y, g.data(), x.data(), 0.1f, n); },
+        [&](float* y) { A.acc_leaky_mask(y, g.data(), x.data(), 0.1f, n); },
+        "acc_leaky_mask");
+    run([&](float* y) { S.acc_square_bw(y, g.data(), x.data(), n); },
+        [&](float* y) { A.acc_square_bw(y, g.data(), x.data(), n); }, "acc_square_bw");
+    run([&](float* y) { S.acc_tanh_bw(y, g.data(), x.data(), n); },
+        [&](float* y) { A.acc_tanh_bw(y, g.data(), x.data(), n); }, "acc_tanh_bw");
+    run([&](float* y) { S.acc_sigmoid_bw(y, g.data(), x.data(), n); },
+        [&](float* y) { A.acc_sigmoid_bw(y, g.data(), x.data(), n); }, "acc_sigmoid_bw");
+  }
+}
+
+TEST(SimdBitExact, GemmNNAcrossOddShapes) {
+  PCSS_REQUIRE_AVX2_TABLE();
+  const std::int64_t ns[] = {1, 3, 4, 5, 9};
+  const std::int64_t ks[] = {1, 2, 7, 16, 33};
+  const std::int64_t ms[] = {1, 3, 7, 8, 13, 16, 24, 33};
+  for (const auto n : ns) {
+    for (const auto k : ks) {
+      for (const auto m : ms) {
+        const auto a = test_values(static_cast<size_t>(n * k), 6);
+        const auto b = test_values(static_cast<size_t>(k * m), 7);
+        const auto c0 = test_values(static_cast<size_t>(n * m), 8);
+        std::vector<float> cs(c0), ca(c0);
+        S.gemm_nn(a.data(), b.data(), cs.data(), n, k, m);
+        A.gemm_nn(a.data(), b.data(), ca.data(), n, k, m);
+        EXPECT_TRUE(bytes_equal(cs.data(), ca.data(), cs.size()))
+            << "gemm_nn n=" << n << " k=" << k << " m=" << m;
+        S.gemm_nn_init(a.data(), b.data(), cs.data(), n, k, m);
+        A.gemm_nn_init(a.data(), b.data(), ca.data(), n, k, m);
+        EXPECT_TRUE(bytes_equal(cs.data(), ca.data(), cs.size()))
+            << "gemm_nn_init n=" << n << " k=" << k << " m=" << m;
+        // A reinterpreted as [k, n] (same element count), C is [n, m].
+        std::vector<float> ds(c0), da(c0);
+        S.gemm_at_b(a.data(), b.data(), ds.data(), k, n, m);
+        A.gemm_at_b(a.data(), b.data(), da.data(), k, n, m);
+        EXPECT_TRUE(bytes_equal(ds.data(), da.data(), ds.size()))
+            << "gemm_at_b k=" << k << " n=" << n << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(SimdBitExact, RowStructuredKernels) {
+  PCSS_REQUIRE_AVX2_TABLE();
+  for (const std::int64_t c : tail_sizes()) {
+    const std::int64_t n = 7;
+    const auto x = test_values(static_cast<size_t>(n * c), 9);
+    const auto v = test_values(static_cast<size_t>(c), 10);
+    const auto col = test_values(static_cast<size_t>(n), 11);
+    std::vector<float> ys(static_cast<size_t>(n * c)), ya(ys);
+    S.add_rowvec(x.data(), v.data(), ys.data(), n, c);
+    A.add_rowvec(x.data(), v.data(), ya.data(), n, c);
+    EXPECT_TRUE(bytes_equal(ys.data(), ya.data(), ys.size())) << "add_rowvec c=" << c;
+    S.mul_rows(x.data(), col.data(), ys.data(), n, c);
+    A.mul_rows(x.data(), col.data(), ya.data(), n, c);
+    EXPECT_TRUE(bytes_equal(ys.data(), ya.data(), ys.size())) << "mul_rows c=" << c;
+    const auto acc0 = test_values(static_cast<size_t>(c), 12);
+    std::vector<float> as(acc0), aa(acc0);
+    S.acc_col_sum(as.data(), x.data(), n, c);
+    A.acc_col_sum(aa.data(), x.data(), n, c);
+    EXPECT_TRUE(bytes_equal(as.data(), aa.data(), as.size())) << "acc_col_sum c=" << c;
+    as = acc0;
+    aa = acc0;
+    const auto g = test_values(static_cast<size_t>(n * c), 13);
+    S.acc_col_sum_mul(as.data(), g.data(), x.data(), n, c);
+    A.acc_col_sum_mul(aa.data(), g.data(), x.data(), n, c);
+    EXPECT_TRUE(bytes_equal(as.data(), aa.data(), as.size()))
+        << "acc_col_sum_mul c=" << c;
+    std::vector<float> dxs(static_cast<size_t>(n * c), 0.25f), dxa(dxs);
+    const auto s1 = test_values(static_cast<size_t>(c), 14);
+    S.acc_scaled_rowvec(dxs.data(), g.data(), v.data(), s1.data(), n, c);
+    A.acc_scaled_rowvec(dxa.data(), g.data(), v.data(), s1.data(), n, c);
+    EXPECT_TRUE(bytes_equal(dxs.data(), dxa.data(), dxs.size()))
+        << "acc_scaled_rowvec c=" << c;
+  }
+}
+
+TEST(SimdBitExact, LaneReductions) {
+  PCSS_REQUIRE_AVX2_TABLE();
+  for (const std::int64_t n64 : tail_sizes()) {
+    const size_t n = static_cast<size_t>(n64);
+    const auto a = test_values(n, 15), b = test_values(n, 16);
+    const double sum_s = S.reduce_sum_f64(a.data(), n);
+    const double sum_a = A.reduce_sum_f64(a.data(), n);
+    EXPECT_EQ(std::memcmp(&sum_s, &sum_a, sizeof(double)), 0) << "reduce_sum_f64 n=" << n;
+    const float max_s = S.reduce_max(a.data(), n);
+    const float max_a = A.reduce_max(a.data(), n);
+    EXPECT_TRUE(bytes_equal(&max_s, &max_a, 1)) << "reduce_max n=" << n;
+    const float dot_s = S.dot(a.data(), b.data(), n);
+    const float dot_a = A.dot(a.data(), b.data(), n);
+    EXPECT_TRUE(bytes_equal(&dot_s, &dot_a, 1)) << "dot n=" << n;
+  }
+  for (const std::int64_t c : tail_sizes()) {
+    const std::int64_t n = 5;
+    const auto x = test_values(static_cast<size_t>(n * c), 17);
+    std::vector<float> ys(static_cast<size_t>(n)), ya(ys);
+    S.row_sum(x.data(), ys.data(), n, c);
+    A.row_sum(x.data(), ya.data(), n, c);
+    EXPECT_TRUE(bytes_equal(ys.data(), ya.data(), ys.size())) << "row_sum c=" << c;
+  }
+}
+
+TEST(SimdBitExact, SoftmaxFamily) {
+  PCSS_REQUIRE_AVX2_TABLE();
+  for (const std::int64_t c : tail_sizes()) {
+    const std::int64_t n = 6;
+    const auto x = test_values(static_cast<size_t>(n * c), 18);
+    const auto g = test_values(static_cast<size_t>(n * c), 19);
+    std::vector<float> ys(static_cast<size_t>(n * c)), ya(ys);
+    S.log_softmax_rows(x.data(), ys.data(), n, c);
+    A.log_softmax_rows(x.data(), ya.data(), n, c);
+    EXPECT_TRUE(bytes_equal(ys.data(), ya.data(), ys.size()))
+        << "log_softmax_rows c=" << c;
+    std::vector<float> dxs(static_cast<size_t>(n * c), 0.5f), dxa(dxs);
+    S.acc_log_softmax_bw(dxs.data(), g.data(), ys.data(), n, c);
+    A.acc_log_softmax_bw(dxa.data(), g.data(), ya.data(), n, c);
+    EXPECT_TRUE(bytes_equal(dxs.data(), dxa.data(), dxs.size()))
+        << "acc_log_softmax_bw c=" << c;
+    // Segment softmax over 3 groups of 2 rows, c channels.
+    const std::int64_t nseg = 3, k = 2;
+    const auto sx = test_values(static_cast<size_t>(nseg * k * c), 20);
+    const auto sg = test_values(static_cast<size_t>(nseg * k * c), 21);
+    std::vector<float> sys(sx.size()), sya(sx.size());
+    std::vector<float> scratch_s(static_cast<size_t>(2 * c)),
+        scratch_a(static_cast<size_t>(2 * c));
+    S.segment_softmax(sx.data(), sys.data(), scratch_s.data(), nseg, k, c);
+    A.segment_softmax(sx.data(), sya.data(), scratch_a.data(), nseg, k, c);
+    EXPECT_TRUE(bytes_equal(sys.data(), sya.data(), sys.size()))
+        << "segment_softmax c=" << c;
+    std::vector<float> sds(sx.size(), 0.1f), sda(sds);
+    S.acc_segment_softmax_bw(sds.data(), sg.data(), sys.data(), scratch_s.data(),
+                             nseg, k, c);
+    A.acc_segment_softmax_bw(sda.data(), sg.data(), sya.data(), scratch_a.data(),
+                             nseg, k, c);
+    EXPECT_TRUE(bytes_equal(sds.data(), sda.data(), sds.size()))
+        << "acc_segment_softmax_bw c=" << c;
+  }
+}
+
+TEST(SimdBitExact, FusedModelBlocks) {
+  PCSS_REQUIRE_AVX2_TABLE();
+  for (const std::int64_t c : tail_sizes()) {
+    const std::int64_t n = 6;
+    const auto x = test_values(static_cast<size_t>(n * c), 22);
+    const auto g = test_values(static_cast<size_t>(n * c), 23);
+    auto gamma = test_values(static_cast<size_t>(c), 24);
+    const auto beta = test_values(static_cast<size_t>(c), 25);
+    const auto mean = test_values(static_cast<size_t>(c), 26);
+    auto inv_std = test_values(static_cast<size_t>(c), 27);
+    for (auto& v : inv_std) v = 0.5f + (v > 0 ? v : -v);  // positive scales
+    std::vector<float> ys(static_cast<size_t>(n * c)), ya(ys);
+    std::vector<float> hs(ys), ha(ys);
+    S.bn_affine(x.data(), gamma.data(), beta.data(), mean.data(), inv_std.data(),
+                ys.data(), hs.data(), n, c);
+    A.bn_affine(x.data(), gamma.data(), beta.data(), mean.data(), inv_std.data(),
+                ya.data(), ha.data(), n, c);
+    EXPECT_TRUE(bytes_equal(ys.data(), ya.data(), ys.size())) << "bn_affine y c=" << c;
+    EXPECT_TRUE(bytes_equal(hs.data(), ha.data(), hs.size())) << "bn_affine xhat c=" << c;
+    S.bn_relu_eval(x.data(), gamma.data(), beta.data(), mean.data(), inv_std.data(),
+                   ys.data(), n, c);
+    A.bn_relu_eval(x.data(), gamma.data(), beta.data(), mean.data(), inv_std.data(),
+                   ya.data(), n, c);
+    EXPECT_TRUE(bytes_equal(ys.data(), ya.data(), ys.size())) << "bn_relu_eval c=" << c;
+    // Backward: all-grads and dx-only variants.
+    std::vector<float> dxs(static_cast<size_t>(n * c), 0.1f), dxa(dxs);
+    std::vector<float> dgs(static_cast<size_t>(c), 0.2f), dga(dgs);
+    std::vector<float> dbs(static_cast<size_t>(c), 0.3f), dba(dbs);
+    S.acc_bn_relu_eval_bw(dxs.data(), dgs.data(), dbs.data(), g.data(), ys.data(),
+                          x.data(), gamma.data(), mean.data(), inv_std.data(), n, c);
+    A.acc_bn_relu_eval_bw(dxa.data(), dga.data(), dba.data(), g.data(), ya.data(),
+                          x.data(), gamma.data(), mean.data(), inv_std.data(), n, c);
+    EXPECT_TRUE(bytes_equal(dxs.data(), dxa.data(), dxs.size())) << "bnre_bw dx c=" << c;
+    EXPECT_TRUE(bytes_equal(dgs.data(), dga.data(), dgs.size())) << "bnre_bw dg c=" << c;
+    EXPECT_TRUE(bytes_equal(dbs.data(), dba.data(), dbs.size())) << "bnre_bw db c=" << c;
+    std::fill(dxs.begin(), dxs.end(), 0.1f);
+    dxa = dxs;
+    S.acc_bn_relu_eval_bw(dxs.data(), nullptr, nullptr, g.data(), ys.data(), x.data(),
+                          gamma.data(), mean.data(), inv_std.data(), n, c);
+    A.acc_bn_relu_eval_bw(dxa.data(), nullptr, nullptr, g.data(), ya.data(), x.data(),
+                          gamma.data(), mean.data(), inv_std.data(), n, c);
+    EXPECT_TRUE(bytes_equal(dxs.data(), dxa.data(), dxs.size()))
+        << "bnre_bw dx-only c=" << c;
+    // Edge features over every channel tail.
+    const std::int64_t en = 5, ek = 3;
+    const auto h = test_values(static_cast<size_t>(en * c), 28);
+    const auto eg = test_values(static_cast<size_t>(en * ek * 2 * c), 29);
+    std::vector<std::int64_t> idx(static_cast<size_t>(en * ek));
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<std::int64_t>((i * 2 + 1) % en);
+    std::vector<float> es(static_cast<size_t>(en * ek * 2 * c)), ea(es);
+    S.edge_features(h.data(), idx.data(), es.data(), en, ek, c);
+    A.edge_features(h.data(), idx.data(), ea.data(), en, ek, c);
+    EXPECT_TRUE(bytes_equal(es.data(), ea.data(), es.size())) << "edge_features c=" << c;
+    std::vector<float> dhs(static_cast<size_t>(en * c), 0.4f), dha(dhs);
+    S.acc_edge_features_bw(dhs.data(), eg.data(), idx.data(), en, ek, c);
+    A.acc_edge_features_bw(dha.data(), eg.data(), idx.data(), en, ek, c);
+    EXPECT_TRUE(bytes_equal(dhs.data(), dha.data(), dhs.size()))
+        << "acc_edge_features_bw c=" << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-model and whole-experiment determinism across the dispatch paths
+// ---------------------------------------------------------------------------
+
+TEST(SimdBitExact, MlpForwardBackwardAcrossIsas) {
+  if (simd::avx2_kernels() == nullptr) GTEST_SKIP() << "AVX2 unavailable here";
+  IsaGuard guard;
+  auto run = [](simd::Isa isa) {
+    simd::force(isa);
+    Rng rng(97);
+    pcss::tensor::nn::Mlp mlp({9, 33, 17, 13}, rng);
+    Tensor x = Tensor::uniform({21, 9}, rng, -1.0f, 1.0f);
+    x.set_requires_grad(true);
+    Tensor logits = mlp.forward(x, /*training=*/false);
+    Tensor probs = ops::log_softmax_rows(logits);
+    Tensor loss = ops::mean(probs);
+    loss.backward();
+    std::vector<float> out(logits.data(), logits.data() + logits.numel());
+    out.insert(out.end(), x.grad().begin(), x.grad().end());
+    out.push_back(loss.item());
+    return out;
+  };
+  const auto scalar_out = run(simd::Isa::kScalar);
+  const auto avx2_out = run(simd::Isa::kAvx2);
+  ASSERT_EQ(scalar_out.size(), avx2_out.size());
+  EXPECT_TRUE(bytes_equal(scalar_out.data(), avx2_out.data(), scalar_out.size()))
+      << "MLP forward+backward must be bit-identical across dispatch paths";
+}
+
+/// Tiny untrained model provider (mirrors the runner tests' fixture).
+class TinyProvider : public pcss::runner::ModelProvider {
+ public:
+  TinyProvider() {
+    pcss::models::ResGCNConfig config;
+    config.num_classes = pcss::data::kIndoorNumClasses;
+    config.channels = 8;
+    config.blocks = 1;
+    Rng init(31);
+    model_ = std::make_shared<pcss::models::ResGCNSeg>(config, init);
+  }
+  std::shared_ptr<pcss::runner::SegmentationModel> model(pcss::runner::ModelId) override {
+    return model_;
+  }
+  std::string model_fingerprint(pcss::runner::ModelId) override {
+    return "tiny-weights-v1";
+  }
+  std::vector<pcss::runner::PointCloud> scenes(pcss::runner::Dataset, int count,
+                                               std::uint64_t seed) override {
+    pcss::data::IndoorSceneGenerator gen({.num_points = 96});
+    Rng rng(seed);
+    std::vector<pcss::runner::PointCloud> out;
+    for (int i = 0; i < count; ++i) out.push_back(gen.generate(rng));
+    return out;
+  }
+
+ private:
+  std::shared_ptr<pcss::runner::SegmentationModel> model_;
+};
+
+pcss::runner::ExperimentSpec tiny_spec() {
+  pcss::runner::ExperimentSpec spec;
+  spec.name = "simd-identity";
+  spec.title = "dispatch-path identity fixture";
+  spec.models = {pcss::runner::ModelId::kResGCNIndoor};
+  spec.scene_seed = 777;
+  pcss::runner::AttackVariant bounded;
+  bounded.label = "bounded";
+  bounded.config.norm = pcss::core::AttackNorm::kBounded;
+  bounded.config.field = pcss::core::AttackField::kColor;
+  spec.variants.push_back(bounded);
+  return spec;
+}
+
+pcss::runner::RunOptions tiny_options() {
+  pcss::runner::RunOptions options;
+  options.scale.scenes = 2;
+  options.scale.pgd_steps = 3;
+  options.scale.cw_steps = 3;
+  options.fast = true;
+  options.num_threads = 1;
+  options.shard_size = 2;
+  return options;
+}
+
+TEST(SimdBitExact, RunnerDocumentBytesAndWarmCacheAcrossIsas) {
+  if (simd::avx2_kernels() == nullptr) GTEST_SKIP() << "AVX2 unavailable here";
+  IsaGuard guard;
+  const std::string root =
+      (fs::temp_directory_path() / "pcss_simd_doc_identity").string();
+  fs::remove_all(root);
+
+  TinyProvider provider;
+  const auto spec = tiny_spec();
+  const auto options = tiny_options();
+
+  // Fresh stores: the document bytes must not depend on the dispatch path.
+  simd::force(simd::Isa::kScalar);
+  pcss::runner::ResultStore scalar_store(root + "/scalar");
+  const auto scalar_run = pcss::runner::run_spec(spec, provider, scalar_store, options);
+  simd::force(simd::Isa::kAvx2);
+  pcss::runner::ResultStore avx2_store(root + "/avx2");
+  const auto avx2_run = pcss::runner::run_spec(spec, provider, avx2_store, options);
+  EXPECT_GT(scalar_run.attack_steps, 0);
+  EXPECT_EQ(scalar_run.json, avx2_run.json)
+      << "result documents must be byte-identical under scalar and avx2";
+
+  // Warm store: a store written under scalar must be a 100% cache hit
+  // when read back under avx2 (zero attack steps executed).
+  const auto warm = pcss::runner::run_spec(spec, provider, scalar_store, options);
+  EXPECT_EQ(warm.attack_steps, 0)
+      << "avx2 rerun over a scalar-warmed store must be a pure cache hit";
+  EXPECT_EQ(warm.json, scalar_run.json);
+
+  fs::remove_all(root);
+}
+
+// ---------------------------------------------------------------------------
+// Pool alignment contract
+// ---------------------------------------------------------------------------
+
+bool aligned32(const float* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % 32 == 0;
+}
+
+TEST(PoolAlignment, FreshAndRecycledBuffersAre32ByteAligned) {
+  namespace pool = pcss::tensor::pool;
+  for (size_t n : {1ul, 7ul, 63ul, 64ul, 65ul, 1000ul, 5000ul}) {
+    FloatBuffer buf = pool::acquire(n);
+    ASSERT_TRUE(aligned32(buf.data())) << "fresh buffer n=" << n;
+    pool::release(std::move(buf));
+    FloatBuffer recycled = pool::acquire(n);
+    EXPECT_TRUE(aligned32(recycled.data())) << "recycled buffer n=" << n;
+    pool::release(std::move(recycled));
+  }
+}
+
+TEST(PoolAlignment, TensorStorageIs32ByteAligned) {
+  Tensor z = Tensor::zeros({17, 3});
+  EXPECT_TRUE(aligned32(z.data()));
+  Tensor d = Tensor::from_data({5}, {1, 2, 3, 4, 5});
+  EXPECT_TRUE(aligned32(d.data()));
+  d.set_requires_grad(true);
+  Tensor loss = ops::mean(ops::square(d));
+  loss.backward();
+  EXPECT_TRUE(aligned32(d.grad().data()));
+}
+
+}  // namespace

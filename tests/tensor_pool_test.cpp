@@ -24,7 +24,7 @@ TEST(BufferPool, SizeClassReuse) {
   pool::trim();
   pool::reset_stats();
   {
-    std::vector<float> a = pool::acquire(100);
+    pcss::tensor::FloatBuffer a = pool::acquire(100);
     EXPECT_EQ(a.size(), 100u);
     EXPECT_GE(a.capacity(), 128u) << "buffers are padded to their size class";
     pool::release(std::move(a));
@@ -32,7 +32,7 @@ TEST(BufferPool, SizeClassReuse) {
   EXPECT_EQ(pool::stats().releases, 1u);
   EXPECT_EQ(pool::stats().cached_buffers, 1u);
   // A different size in the same class (65..128 floats) reuses the buffer.
-  std::vector<float> b = pool::acquire(80);
+  pcss::tensor::FloatBuffer b = pool::acquire(80);
   EXPECT_EQ(b.size(), 80u);
   EXPECT_EQ(pool::stats().hits, 1u);
   EXPECT_EQ(pool::stats().cached_buffers, 0u);
@@ -118,9 +118,9 @@ TEST(BufferPool, NoCrossThreadAliasing) {
     }
     return x.grad();
   };
-  const std::vector<float> ref1 = chain(11);
-  const std::vector<float> ref2 = chain(22);
-  std::vector<float> got1, got2;
+  const pcss::tensor::FloatBuffer ref1 = chain(11);
+  const pcss::tensor::FloatBuffer ref2 = chain(22);
+  pcss::tensor::FloatBuffer got1, got2;
   // Each worker hammers its own thread-local pool; if buffers ever
   // aliased across threads the accumulated gradients would diverge.
   std::thread t1([&] { got1 = chain(11); });

@@ -1,0 +1,144 @@
+// bench_check — machine-checked perf-regression gate over the BENCH_*
+// JSON trail that bench_attack_step_cost (and friends) emit.
+//
+//   bench_check <current.json> <baseline.json> [options]
+//
+//   --threshold F     fail when current ms_per_iteration exceeds the
+//                     baseline's by more than F (fraction; default 0.10)
+//   --min-speedup R   additionally require baseline_ms / current_ms >= R
+//                     for every compared benchmark (default: off)
+//   --filter SUBSTR   only compare benchmarks whose name contains SUBSTR
+//                     (e.g. BM_AttackStep)
+//
+// Exit status: 0 when every compared benchmark passes, 1 on regression
+// (or when the filter matches nothing — a silently-empty gate would
+// "pass" forever). Both files use the BENCH_step_cost.json layout:
+// {"results": [{"name": ..., "ms_per_iteration": ...}, ...]}.
+//
+// Two deployment modes, both used by CI:
+//   - same-machine A/B: run the bench twice (PCSS_SIMD=scalar, =avx2)
+//     and gate avx2 against scalar — hardware-independent, tight
+//     threshold;
+//   - trail gate: compare a fresh run against the committed baseline in
+//     bench/baselines/. Absolute times move with the host, so CI uses a
+//     generous threshold there and the tight default is for the dev box
+//     that recorded the baseline.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pcss/runner/json.h"
+
+namespace {
+
+using pcss::runner::Json;
+
+struct Entry {
+  double ms = 0.0;
+};
+
+std::map<std::string, Entry> load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_check: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Json doc = Json::parse(buffer.str());
+  std::map<std::string, Entry> out;
+  for (const Json& r : doc.at("results").items()) {
+    out[r.at("name").str()] = {r.at("ms_per_iteration").number()};
+  }
+  return out;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: bench_check <current.json> <baseline.json> "
+               "[--threshold F] [--min-speedup R] [--filter SUBSTR]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  const std::string current_path = argv[1];
+  const std::string baseline_path = argv[2];
+  double threshold = 0.10;
+  double min_speedup = 0.0;
+  std::string filter;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--threshold") {
+      threshold = std::atof(next());
+    } else if (arg == "--min-speedup") {
+      min_speedup = std::atof(next());
+    } else if (arg == "--filter") {
+      filter = next();
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  const auto current = load(current_path);
+  const auto baseline = load(baseline_path);
+
+  int compared = 0;
+  int failures = 0;
+  std::printf("%-30s %12s %12s %9s  %s\n", "benchmark", "current ms", "baseline ms",
+              "ratio", "verdict");
+  for (const auto& [name, base] : baseline) {
+    if (!filter.empty() && name.find(filter) == std::string::npos) continue;
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      std::printf("%-30s %12s %12.3f %9s  MISSING from current run\n", name.c_str(),
+                  "-", base.ms, "-");
+      ++failures;
+      continue;
+    }
+    ++compared;
+    const double ratio = base.ms > 0.0 ? base.ms / it->second.ms : 0.0;
+    const bool regressed = it->second.ms > base.ms * (1.0 + threshold);
+    const bool too_slow = min_speedup > 0.0 && ratio < min_speedup;
+    const char* verdict = regressed  ? "REGRESSION"
+                          : too_slow ? "BELOW MIN SPEEDUP"
+                                     : "ok";
+    if (regressed || too_slow) ++failures;
+    std::printf("%-30s %12.3f %12.3f %8.2fx  %s\n", name.c_str(), it->second.ms,
+                base.ms, ratio, verdict);
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "bench_check: no benchmarks compared (filter \"%s\")\n",
+                 filter.c_str());
+    return 1;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench_check: %d failure(s) (threshold %.0f%%%s) — %s vs %s\n",
+                 failures, threshold * 100.0,
+                 min_speedup > 0.0
+                     ? (" / min-speedup " + std::to_string(min_speedup)).c_str()
+                     : "",
+                 current_path.c_str(), baseline_path.c_str());
+    return 1;
+  }
+  std::printf("bench_check: all %d benchmark(s) within threshold\n", compared);
+  return 0;
+}
