@@ -725,7 +725,9 @@ class WorkerPool {
     }
   }
 
-  std::vector<std::thread> threads_;
+  std::vector<std::thread> threads_;  // pcss-lint: allow(C001) — this IS the WorkerPool
+  // GUARDS: fn_, jobs_, error_, active_, generation_, stop_ (round
+  // hand-off state; next_/failed_ are atomics claimed lock-free in drain)
   std::mutex mutex_;
   std::condition_variable cv_, cv_done_;
   const std::function<void(std::size_t)>* fn_ = nullptr;

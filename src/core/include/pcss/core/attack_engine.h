@@ -242,6 +242,8 @@ class AttackEngine {
   AttackConfig config_;
   AttackRecipe recipe_;
   ProgressObserver observer_;
+  // GUARDS: observer_ invocations (serializes per-cloud progress callbacks
+  // fired from concurrent worker threads during run_batch/run_shared)
   mutable std::mutex observer_mutex_;
   int num_threads_ = 0;
 };

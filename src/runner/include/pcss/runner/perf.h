@@ -5,10 +5,12 @@
 
 namespace pcss::runner {
 
+/// Wall-clock feeds the .perf.json sidecar and "[perf]" log lines only —
+/// never a cached result document — so the D002 clock ban does not apply.
 struct WallTimer {
-  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();
+  std::chrono::steady_clock::time_point start = std::chrono::steady_clock::now();  // pcss-lint: allow(D002)
   double seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();  // pcss-lint: allow(D002)
   }
 };
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,14 +40,20 @@ class ResultStore {
   /// (subdirectories are searched too), sorted lexicographically.
   std::vector<std::string> list(const std::string& prefix) const;
 
-  int hits() const { return hits_; }
-  int misses() const { return misses_; }
-  void reset_counters() { hits_ = misses_ = 0; }
+  int hits() const { return hits_.load(std::memory_order_relaxed); }
+  int misses() const { return misses_.load(std::memory_order_relaxed); }
+  void reset_counters() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::string root_;
-  int hits_ = 0;
-  int misses_ = 0;
+  // Telemetry only, so relaxed ordering suffices; atomic because one store
+  // is shared by concurrent shard workers (and, next, pcss_serve request
+  // threads) — file-level consistency comes from tmp+rename, not these.
+  std::atomic<int> hits_{0};
+  std::atomic<int> misses_{0};
 };
 
 }  // namespace pcss::runner

@@ -28,15 +28,15 @@ std::string ResultStore::path_for(const std::string& key) const {
 std::optional<std::string> ResultStore::get(const std::string& key) {
   std::ifstream in(path_for(key), std::ios::binary);
   if (!in) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   std::string content{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
   if (in.bad()) {
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  ++hits_;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return content;
 }
 

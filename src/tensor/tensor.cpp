@@ -54,6 +54,11 @@ void TensorImpl::ensure_grad() {
 }
 
 void TensorImpl::release_graph() {
+  // Pure leaves must take a read-only path: frozen model parameters are
+  // shared by every concurrently-built per-cloud graph, so backward() on
+  // one thread must not write (even idempotently) to a node another
+  // thread's backward() is reading. A leaf has no graph state to drop.
+  if (parents.empty() && backward_fn == nullptr && ctx == nullptr) return;
   if (backward_fn != nullptr) graph_released = true;
   parents.clear();
   backward_fn = nullptr;

@@ -1,0 +1,11 @@
+// C001 corpus: ad-hoc threads bypass the WorkerPool's reuse, error
+// propagation and shutdown discipline.
+#include <thread>
+#include <vector>
+
+void bad_threads() {
+  std::thread worker([] {});
+  std::vector<std::thread> pool;
+  worker.join();
+  pool.clear();
+}

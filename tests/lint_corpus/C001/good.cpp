@@ -1,0 +1,7 @@
+// C001 corpus: querying the hardware width is not constructing a
+// thread, and the include alone is harmless.
+#include <thread>
+
+unsigned good_width() {
+  return std::thread::hardware_concurrency();
+}

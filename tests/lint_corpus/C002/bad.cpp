@@ -1,0 +1,15 @@
+// C002 corpus: a mutex with no GUARDS: annotation is lockable state
+// nobody can reason about.
+#include <mutex>
+
+class BadStore {
+ public:
+  void set(int v) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    value_ = v;
+  }
+
+ private:
+  int value_ = 0;
+  std::mutex mutex_;
+};

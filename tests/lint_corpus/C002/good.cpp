@@ -1,0 +1,21 @@
+// C002 corpus: annotated declarations pass, lock_guard template
+// arguments and reference parameters are not declarations, and the
+// annotation may sit anywhere in the comment block above the member.
+#include <mutex>
+
+class GoodStore {
+ public:
+  void set(int v) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    value_ = v;
+  }
+
+ private:
+  int value_ = 0;
+  // Serializes writers from every request thread.
+  // GUARDS: value_
+  std::mutex mutex_;
+  std::mutex inline_annotated_;  // GUARDS: nothing yet (reserved for stats)
+};
+
+void lock_external(std::mutex& shared);

@@ -1,0 +1,14 @@
+// D001 corpus: iteration over unordered containers leaks
+// implementation-defined order into whatever consumes the loop.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int bad() {
+  std::unordered_map<std::string, int> counts;
+  std::unordered_set<int> seen;
+  int total = 0;
+  for (const auto& kv : counts) total += kv.second;
+  for (auto it = seen.begin(); it != seen.end(); ++it) ++total;
+  return total;
+}

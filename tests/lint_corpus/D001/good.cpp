@@ -1,0 +1,20 @@
+// D001 corpus: order-insensitive unordered-container use is legal, and
+// neither comments nor string literals may trigger the rule:
+// for (const auto& kv : counts) would be a violation in code.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int good() {
+  std::unordered_map<std::string, int> counts;
+  std::unordered_set<int> seen;
+  std::map<std::string, int> ordered;  // ordered iteration is fine
+  counts["a"] = 1;
+  if (seen.count(3) != 0) return counts.find("a")->second;
+  for (const auto& kv : ordered) {
+    if (kv.second > 0) return kv.second;
+  }
+  const std::string prose = "for (const auto& kv : counts)";
+  return static_cast<int>(prose.size());
+}

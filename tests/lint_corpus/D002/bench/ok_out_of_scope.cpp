@@ -1,0 +1,11 @@
+// D002 corpus: outside src/core, src/tensor and src/runner the clock and
+// rand() are legal (benches time things; nothing here feeds a document).
+#include <chrono>
+#include <cstdlib>
+
+double wall_and_jitter() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int jitter = rand();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count() + jitter;
+}

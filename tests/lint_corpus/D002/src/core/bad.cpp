@@ -1,0 +1,12 @@
+// D002 corpus: nondeterministic value sources inside a document path
+// (this file lives under a src/core/ path, so the rule applies).
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+double bad_seed() {
+  std::random_device rd;
+  const int r = rand();
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(rd()) + r + static_cast<double>(t.time_since_epoch().count());
+}

@@ -1,0 +1,10 @@
+// D002 corpus: seeded, stream-addressed randomness is the sanctioned
+// source on document paths.
+#include <cstdint>
+#include <random>
+
+float good_noise(std::uint64_t seed, std::uint64_t cloud_index) {
+  std::mt19937_64 engine(seed + cloud_index);  // per-cloud stream
+  std::normal_distribution<float> dist(0.0f, 1.0f);
+  return dist(engine);
+}

@@ -1,0 +1,11 @@
+// D003 corpus: raw float storage outside the pool breaks the 32-byte
+// alignment and steady-state reuse contracts.
+#include <cstdlib>
+
+float* bad_alloc(int n) {
+  float* a = new float[static_cast<unsigned>(n)];
+  void* b = malloc(sizeof(float) * 16);
+  static_cast<float*>(b)[0] = a[0];
+  free(b);
+  return a;
+}

@@ -1,0 +1,12 @@
+// D003 corpus: non-float allocations are out of the rule's reach, and
+// prose about malloc (like this sentence) must never trigger it.
+#include <string>
+#include <vector>
+
+int* good_alloc(int n) {
+  std::vector<float> pooled_elsewhere(16);  // stand-in for pool::acquire
+  int* indices = new int[static_cast<unsigned>(n)];
+  const std::string prose = "rebuilt from malloc every step";
+  indices[0] = static_cast<int>(prose.size() + pooled_elsewhere.size());
+  return indices;
+}

@@ -1,0 +1,7 @@
+// D003 corpus: pool.cpp is the one file allowed to own raw float
+// storage — the rule must stay silent here.
+#include <cstdlib>
+
+float* pool_backing(unsigned n) {
+  return static_cast<float*>(malloc(n * sizeof(float)));
+}

@@ -1,0 +1,8 @@
+// D004 corpus: explicit contraction in a tensor TU breaks scalar==AVX2
+// and fused==unfused bit-identity.
+#include <cmath>
+#pragma STDC FP_CONTRACT ON
+
+float bad_fma(float a, float b, float c) {
+  return std::fma(a, b, c);
+}

@@ -1,0 +1,6 @@
+// D004 corpus: one explicit multiply and one explicit add round twice,
+// identically on every path — mentioning fma in a comment is fine.
+float good_mul_add(float a, float b, float c) {
+  const float product = a * b;
+  return product + c;
+}

@@ -1,0 +1,10 @@
+// D005 corpus: float reductions outside the fixed 8-lane kernels have
+// unpinned (accumulate) or unspecified (reduce) summation order.
+#include <numeric>
+#include <vector>
+
+float bad_sum(const std::vector<float>& v) {
+  const float a = std::accumulate(v.begin(), v.end(), 0.0f);
+  const float b = std::reduce(v.begin(), v.end(), 0.0f);
+  return a + b;
+}

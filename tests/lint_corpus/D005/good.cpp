@@ -1,0 +1,8 @@
+// D005 corpus: integer accumulation is exact in any order, so it stays
+// legal outside the kernels.
+#include <numeric>
+#include <vector>
+
+long long good_sum(const std::vector<int>& v) {
+  return std::accumulate(v.begin(), v.end(), 0LL);
+}

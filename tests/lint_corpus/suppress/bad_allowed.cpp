@@ -1,0 +1,13 @@
+// Suppression corpus: same-line and previous-line allow() comments
+// silence a rule; an allow() naming a different rule does not.
+#include <numeric>
+#include <vector>
+
+float cases(const std::vector<float>& v) {
+  float a = std::accumulate(v.begin(), v.end(), 0.0f);  // pcss-lint: allow(D005)
+  // pcss-lint: allow(D005)
+  float b = std::accumulate(v.begin(), v.end(), 0.0f);
+  float c = std::accumulate(v.begin(), v.end(), 0.0f);  // pcss-lint: allow(D001)
+  float d = std::accumulate(v.begin(), v.end(), 0.0f);  // pcss-lint: allow(D001, D005)
+  return a + b + c + d;
+}

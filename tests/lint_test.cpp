@@ -1,0 +1,186 @@
+// pcss_lint contract tests: every rule detects its seeded corpus
+// violation with the exact rule ID and line number, good twins and
+// scope exemptions stay clean, suppression comments behave, and the
+// real tree (src/ tools/ tests/) is lint-clean — so a new violation
+// anywhere fails this suite before it ever reaches the CI lint job.
+//
+// The corpus lives in tests/lint_corpus/<RULE>/; "bad" files carry the
+// violations, "good" twins the closest legal idiom, and path-scoped
+// rules get files under mirrored src/core-style subtrees. The binary
+// under test and the corpus root come in via compile definitions
+// (PCSS_LINT_BIN, PCSS_LINT_CORPUS, PCSS_SOURCE_ROOT).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct LintRun {
+  std::string output;
+  int exit_code = -1;
+};
+
+/// Runs the pcss_lint binary with `args`, capturing stdout+stderr.
+LintRun run_lint(const std::string& args) {
+  const std::string cmd = std::string(PCSS_LINT_BIN) + " " + args + " 2>&1";
+  LintRun run;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << cmd;
+    return run;
+  }
+  std::array<char, 4096> buffer;
+  while (std::fgets(buffer.data(), static_cast<int>(buffer.size()), pipe) != nullptr) {
+    run.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+std::string corpus(const std::string& rel) {
+  return std::string(PCSS_LINT_CORPUS) + "/" + rel;
+}
+
+/// Splits output into lines for exact-match assertions.
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+/// Asserts the run flagged exactly `expected` as "file:line: error: RULE"
+/// prefixes, in order, and exited 1.
+void expect_errors(const std::string& rel,
+                   const std::vector<std::pair<int, std::string>>& expected) {
+  const LintRun run = run_lint("--errors-only " + corpus(rel));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  const std::vector<std::string> lines = lines_of(run.output);
+  ASSERT_EQ(lines.size(), expected.size()) << run.output;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const std::string prefix = corpus(rel) + ":" + std::to_string(expected[i].first) +
+                               ": error: " + expected[i].second + ":";
+    EXPECT_EQ(lines[i].rfind(prefix, 0), 0u)
+        << "line " << i << " is \"" << lines[i] << "\", want prefix \"" << prefix << "\"";
+  }
+}
+
+void expect_clean(const std::string& rel) {
+  const LintRun run = run_lint("--errors-only " + corpus(rel));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_TRUE(run.output.empty()) << run.output;
+}
+
+TEST(PcssLint, HelpExitsZero) {
+  const LintRun run = run_lint("--help");
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_NE(run.output.find("usage: pcss_lint"), std::string::npos) << run.output;
+}
+
+TEST(PcssLint, ListRulesNamesEveryRule) {
+  const LintRun run = run_lint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0);
+  for (const char* rule : {"D001", "D002", "D003", "D004", "D005", "C001", "C002"}) {
+    EXPECT_NE(run.output.find(rule), std::string::npos) << "missing " << rule;
+  }
+}
+
+TEST(PcssLint, NoArgumentsIsAUsageError) {
+  EXPECT_EQ(run_lint("").exit_code, 2);
+  EXPECT_EQ(run_lint("--no-such-flag").exit_code, 2);
+  EXPECT_EQ(run_lint("no/such/file.cpp").exit_code, 2);
+}
+
+TEST(PcssLint, D001UnorderedIteration) {
+  expect_errors("D001/bad.cpp", {{11, "D001"}, {12, "D001"}});
+  expect_clean("D001/good.cpp");
+}
+
+TEST(PcssLint, D002NondeterministicSources) {
+  expect_errors("D002/src/core/bad.cpp", {{8, "D002"}, {9, "D002"}, {10, "D002"}});
+  expect_clean("D002/src/core/good.cpp");
+  // Scope: the same constructs are legal outside src/{core,tensor,runner}.
+  expect_clean("D002/bench/ok_out_of_scope.cpp");
+}
+
+TEST(PcssLint, D003RawFloatBuffers) {
+  expect_errors("D003/bad.cpp", {{6, "D003"}, {7, "D003"}});
+  expect_clean("D003/good.cpp");
+  // Scope: pool.cpp owns raw storage by design.
+  expect_clean("D003/src/tensor/pool.cpp");
+}
+
+TEST(PcssLint, D004FpContraction) {
+  expect_errors("D004/src/tensor/bad.cpp", {{4, "D004"}, {7, "D004"}});
+  expect_clean("D004/src/tensor/good.cpp");
+}
+
+TEST(PcssLint, D005UnorderedFloatReductions) {
+  expect_errors("D005/bad.cpp", {{7, "D005"}, {8, "D005"}});
+  expect_clean("D005/good.cpp");
+  // Scope: the kernel source spells its reductions out by hand.
+  expect_clean("D005/src/tensor/simd_kernels.inc");
+}
+
+TEST(PcssLint, C001AdHocThreads) {
+  expect_errors("C001/bad.cpp", {{7, "C001"}, {8, "C001"}});
+  expect_clean("C001/good.cpp");
+}
+
+TEST(PcssLint, C002UnannotatedMutex) {
+  expect_errors("C002/bad.cpp", {{14, "C002"}});
+  expect_clean("C002/good.cpp");
+}
+
+TEST(PcssLint, SuppressionsSilenceOnlyTheNamedRule) {
+  // Same-line (7), previous-line (9) and multi-rule (11) allows
+  // suppress; the allow naming the wrong rule (10) does not.
+  expect_errors("suppress/bad_allowed.cpp", {{10, "D005"}});
+
+  // Without --errors-only the suppressed findings surface as notes.
+  const LintRun run = run_lint(corpus("suppress/bad_allowed.cpp"));
+  EXPECT_EQ(run.exit_code, 1);
+  for (int line : {7, 9, 11}) {
+    const std::string note = corpus("suppress/bad_allowed.cpp") + ":" +
+                             std::to_string(line) + ": note: suppressed D005:";
+    EXPECT_NE(run.output.find(note), std::string::npos) << run.output;
+  }
+  EXPECT_NE(run.output.find("1 error(s), 3 suppressed"), std::string::npos) << run.output;
+}
+
+TEST(PcssLint, ErrorsOnlyOmitsNotesAndSummary) {
+  const LintRun run = run_lint("--errors-only " + corpus("suppress/bad_allowed.cpp"));
+  EXPECT_EQ(run.exit_code, 1);
+  EXPECT_EQ(run.output.find("note:"), std::string::npos) << run.output;
+  EXPECT_EQ(run.output.find("pcss_lint:"), std::string::npos) << run.output;
+}
+
+TEST(PcssLint, CorpusIsSkippedWhenRecursingDirectories) {
+  // Passing the tests/ directory must not descend into lint_corpus/ —
+  // otherwise the seeded violations would fail the CI tree scan.
+  const LintRun run = run_lint(std::string(PCSS_SOURCE_ROOT) + "/tests");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output.find("lint_corpus"), std::string::npos) << run.output;
+}
+
+TEST(PcssLint, RealTreeIsLintClean) {
+  const std::string root(PCSS_SOURCE_ROOT);
+  const LintRun run =
+      run_lint(root + "/src " + root + "/tools " + root + "/tests");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(run.output.find("error:"), std::string::npos) << run.output;
+}
+
+}  // namespace

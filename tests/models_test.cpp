@@ -283,8 +283,8 @@ TEST_P(ModelFamilies, OverfitsTinyScene) {
 INSTANTIATE_TEST_SUITE_P(AllFamilies, ModelFamilies,
                          ::testing::Values(Family::kPointNet2, Family::kResGCN,
                                            Family::kRandLA),
-                         [](const ::testing::TestParamInfo<Family>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<Family>& param_info) {
+                           switch (param_info.param) {
                              case Family::kPointNet2: return "PointNet2";
                              case Family::kResGCN: return "ResGCN";
                              case Family::kRandLA: return "RandLA";

@@ -393,8 +393,12 @@ TEST_P(AttackMatrix, RunsAndRespectsFieldIsolation) {
   const auto result = pcss::core::run_attack(*model_, *cloud_, config);
   EXPECT_EQ(static_cast<std::int64_t>(result.predictions.size()), cloud_->size());
   EXPECT_NO_THROW(result.perturbed.validate());
-  if (field == AttackField::kColor) EXPECT_EQ(result.l0_coord, 0);
-  if (field == AttackField::kCoordinate) EXPECT_EQ(result.l0_color, 0);
+  if (field == AttackField::kColor) {
+    EXPECT_EQ(result.l0_coord, 0);
+  }
+  if (field == AttackField::kCoordinate) {
+    EXPECT_EQ(result.l0_color, 0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -20,6 +20,16 @@ using pcss::tensor::TensorImpl;
 
 namespace {
 
+// The steady-state property is reached within a handful of steps; the
+// long loop exists to catch slow drift. Under ThreadSanitizer (~20x
+// slowdown; the tsan preset defines PCSS_TSAN) a shorter loop checks the
+// same invariant without dominating the CI job's wall-clock.
+#if defined(PCSS_TSAN) || defined(__SANITIZE_THREAD__)
+constexpr int kSteadyStateSteps = 100;
+#else
+constexpr int kSteadyStateSteps = 1000;
+#endif
+
 TEST(BufferPool, SizeClassReuse) {
   pool::trim();
   pool::reset_stats();
@@ -87,7 +97,7 @@ void attack_like_step(const Tensor& weights) {
   ASSERT_FALSE(delta.grad().empty());
 }
 
-TEST(BufferPool, SteadyStateFlatAcross1000Steps) {
+TEST(BufferPool, SteadyStateFlatAcrossStepLoop) {
   Rng rng(7);
   Tensor weights = Tensor::randn({3, 8}, rng);
   weights.set_requires_grad(true);
@@ -95,7 +105,7 @@ TEST(BufferPool, SteadyStateFlatAcross1000Steps) {
   weights.zero_grad();
   const pool::Stats warm = pool::stats();
   pool::reset_stats();
-  for (int i = 0; i < 1000; ++i) attack_like_step(weights);
+  for (int i = 0; i < kSteadyStateSteps; ++i) attack_like_step(weights);
   const pool::Stats after = pool::stats();
   EXPECT_EQ(after.cached_buffers, warm.cached_buffers)
       << "pool must not grow once the step loop reaches steady state";
@@ -123,8 +133,10 @@ TEST(BufferPool, NoCrossThreadAliasing) {
   pcss::tensor::FloatBuffer got1, got2;
   // Each worker hammers its own thread-local pool; if buffers ever
   // aliased across threads the accumulated gradients would diverge.
-  std::thread t1([&] { got1 = chain(11); });
-  std::thread t2([&] { got2 = chain(22); });
+  // Raw threads on purpose: the test needs bare OS threads, not the
+  // WorkerPool whose pool-reuse behaviour is the thing under test.
+  std::thread t1([&] { got1 = chain(11); });  // pcss-lint: allow(C001)
+  std::thread t2([&] { got2 = chain(22); });  // pcss-lint: allow(C001)
   t1.join();
   t2.join();
   EXPECT_EQ(got1, ref1);

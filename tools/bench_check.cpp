@@ -58,17 +58,26 @@ std::map<std::string, Entry> load(const std::string& path) {
   return out;
 }
 
-void usage() {
-  std::fprintf(stderr,
+void usage(std::FILE* to) {
+  std::fprintf(to,
                "usage: bench_check <current.json> <baseline.json> "
-               "[--threshold F] [--min-speedup R] [--filter SUBSTR]\n");
+               "[--threshold F] [--min-speedup R] [--filter SUBSTR]\n"
+               "Compares ms_per_iteration between two BENCH_*.json files; "
+               "exit 0 when every benchmark is within threshold, 1 on "
+               "regression or an empty comparison, 2 on usage errors.\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    }
+  }
   if (argc < 3) {
-    usage();
+    usage(stderr);
     return 2;
   }
   const std::string current_path = argv[1];
@@ -80,7 +89,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
-        usage();
+        usage(stderr);
         std::exit(2);
       }
       return argv[++i];
@@ -92,7 +101,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--filter") {
       filter = next();
     } else {
-      usage();
+      usage(stderr);
       return 2;
     }
   }
