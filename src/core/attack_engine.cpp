@@ -8,13 +8,17 @@
 #include <stdexcept>
 #include <thread>
 
+#include "pcss/obs/metrics.h"
+#include "pcss/obs/trace.h"
 #include "pcss/pointcloud/knn.h"
 #include "pcss/tensor/ops.h"
 #include "pcss/tensor/optim.h"
+#include "pcss/tensor/simd.h"
 
 namespace pcss::core {
 
 namespace ops = pcss::tensor::ops;
+namespace obs = pcss::obs;
 using pcss::pointcloud::Vec3;
 
 namespace {
@@ -878,6 +882,23 @@ AttackResult AttackEngine::attack_cloud(const PointCloud& cloud, std::uint64_t s
   }
   const auto mask = full_mask_if_empty(config_.target_mask, cloud.size());
 
+  // Telemetry only (never reaches AttackResult or any cached document):
+  // spans for the trace timeline, a per-model x ISA step-latency
+  // histogram, and a global step counter. Labels are interned once per
+  // process; the histogram lookup happens once per cloud.
+  static const obs::trace::Label kCloudSpan = obs::trace::intern("attack.cloud");
+  static const obs::trace::Label kStepSpan = obs::trace::intern("attack.step");
+  static const obs::trace::Label kForwardSpan = obs::trace::intern("attack.forward");
+  static const obs::trace::Label kObjectiveSpan = obs::trace::intern("attack.objective");
+  static const obs::trace::Label kBackwardSpan = obs::trace::intern("attack.backward");
+  static const obs::trace::Label kProjectionSpan = obs::trace::intern("attack.projection");
+  static const obs::trace::Label kStepArg = obs::trace::intern("step");
+  obs::metrics::Histogram& step_ms = obs::metrics::histogram(
+      std::string("attack.step_ms.") + model_.name() + "." +
+      tensor::simd::active_name());
+  obs::metrics::Counter& steps_total = obs::metrics::counter("attack.steps");
+  obs::trace::ScopedSpan cloud_span(kCloudSpan);
+
   Rng rng(seed);
   auto objective = recipe_.make_objective();
   auto projection = recipe_.make_projection();
@@ -888,9 +909,16 @@ AttackResult AttackEngine::attack_cloud(const PointCloud& cloud, std::uint64_t s
   int step = 0;
   const int budget = stop->max_steps();
   for (; step < budget; ++step) {
+    obs::trace::ScopedSpan step_span(kStepSpan);
+    step_span.arg(kStepArg, step);
+    obs::metrics::ScopedTimerMs step_timer(step_ms);
+    steps_total.add(1);
     FieldDeltas deltas = projection->make_deltas();
     ModelInput input{&cloud, deltas.color, deltas.coord};
-    Tensor logits = model_.forward(input, /*training=*/false);
+    Tensor logits = [&] {
+      obs::trace::ScopedSpan span(kForwardSpan);
+      return model_.forward(input, /*training=*/false);
+    }();
     const std::vector<int> pred = ops::argmax_rows(logits);
     const double gain = objective->gain(pred, cloud, mask, model_.num_classes());
     projection->observe_gain(gain);
@@ -899,13 +927,22 @@ AttackResult AttackEngine::attack_cloud(const PointCloud& cloud, std::uint64_t s
     const StepAction action = stop->on_gain(step, gain, objective->converged(gain));
     if (action == StepAction::kStop) break;
 
-    Tensor loss = projection->total_loss(objective->loss(logits, cloud, mask));
+    Tensor loss = [&] {
+      obs::trace::ScopedSpan span(kObjectiveSpan);
+      return projection->total_loss(objective->loss(logits, cloud, mask));
+    }();
     step_rule->zero_grad(*projection);
-    loss.backward();
-    step_rule->apply(*projection);
-    projection->project();
-    if (action == StepAction::kRestart) projection->random_restart(rng);
-    projection->post_step();
+    {
+      obs::trace::ScopedSpan span(kBackwardSpan);
+      loss.backward();
+    }
+    {
+      obs::trace::ScopedSpan span(kProjectionSpan);
+      step_rule->apply(*projection);
+      projection->project();
+      if (action == StepAction::kRestart) projection->random_restart(rng);
+      projection->post_step();
+    }
   }
 
   AttackResult result;
@@ -962,9 +999,19 @@ SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds) c
   // of re-tensorizing (backward() released the previous step's graph).
   std::vector<Tensor> deltas(clouds.size());
   std::vector<float> losses(clouds.size(), 0.0f);
+  // Telemetry only: one span per shared-PGD round plus a per-cloud
+  // gradient-pass span emitted from the worker threads.
+  static const obs::trace::Label kRoundSpan = obs::trace::intern("attack.shared.step");
+  static const obs::trace::Label kGradSpan = obs::trace::intern("attack.shared.grad");
+  static const obs::trace::Label kStepArg = obs::trace::intern("step");
+  obs::metrics::Counter& shared_steps = obs::metrics::counter("attack.shared.steps");
   int step = 0;
   for (; step < config_.steps; ++step) {
+    obs::trace::ScopedSpan round_span(kRoundSpan);
+    round_span.arg(kStepArg, step);
+    shared_steps.add(1);
     pool.run(clouds.size(), [&](std::size_t ci) {
+      obs::trace::ScopedSpan grad_span(kGradSpan);
       Tensor& delta = deltas[ci];
       if (!delta.defined()) {
         delta = Tensor::from_data({n, 3}, result.color_delta);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "pcss/core/attack.h"
+#include "pcss/obs/trace.h"
 #include "pcss/tensor/ops.h"
 
 namespace pcss::core {
@@ -82,6 +83,12 @@ Tensor defended_field_delta(const Tensor& full_delta, const float* full_numeric,
 Tensor DefendedModel::forward(const ModelInput& input, bool training) {
   if (pipeline_.empty()) return inner_.forward(input, training);
   if (input.cloud == nullptr) throw std::invalid_argument("DefendedModel: null cloud");
+  // Telemetry only: a span around the defended forward (pipeline apply +
+  // EOT samples + inner forwards). eot_samples rides along as the arg.
+  static const obs::trace::Label kSpan = obs::trace::intern("defense.forward");
+  static const obs::trace::Label kEotArg = obs::trace::intern("eot_samples");
+  obs::trace::ScopedSpan span(kSpan);
+  span.arg(kEotArg, options_.eot_samples);
   const PointCloud& cloud = *input.cloud;
   const std::int64_t n = cloud.size();
   const int classes = inner_.num_classes();

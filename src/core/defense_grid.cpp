@@ -4,6 +4,7 @@
 
 #include "pcss/core/attack_engine.h"
 #include "pcss/core/metrics.h"
+#include "pcss/obs/trace.h"
 
 namespace pcss::core {
 
@@ -55,8 +56,15 @@ DefenseGridResult evaluate_defense_grid(SegmentationModel& source,
     result.attacks.push_back(std::move(trace));
   }
 
+  // Telemetry only: one span per (attack, defense) grid cell so a trace
+  // shows which cells dominate grid wall-time. The arg records how many
+  // clouds the cell scored.
+  static const obs::trace::Label kCellSpan = obs::trace::intern("grid.cell");
+  static const obs::trace::Label kCloudsArg = obs::trace::intern("clouds");
   for (std::size_t ai = 0; ai < attacks.size(); ++ai) {
     for (std::size_t di = 0; di < defenses.size(); ++di) {
+      obs::trace::ScopedSpan cell_span(kCellSpan);
+      cell_span.arg(kCloudsArg, static_cast<std::int64_t>(clouds.size()));
       const GridDefense& defense = defenses[di];
       const std::string defense_describe = defense.pipeline.describe();
       std::vector<GridCell> cells(victims.size());

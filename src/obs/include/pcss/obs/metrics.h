@@ -1,0 +1,125 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "pcss/obs/trace.h"
+
+/// Named counters / gauges / fixed-bucket histograms (the queryable half
+/// of `pcss::obs`; the span tracer is the streaming half).
+///
+/// The registry is process-global and append-only: counter()/gauge()/
+/// histogram() return references that stay valid for the process
+/// lifetime, so hot paths look a metric up once (per run, or in a
+/// function-local static) and then touch only relaxed atomics. Metrics
+/// are always on — unlike spans there is no enable flag, because an
+/// increment is cheaper than the branch would be worth — and, like every
+/// obs sink, they are telemetry only: snapshots feed the `.perf.json`
+/// sidecar and `pcss_run --metrics`, never a result document or cache
+/// key (lint rule D006).
+namespace pcss::obs::metrics {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges;
+/// one implicit overflow bucket catches everything above the last edge.
+/// Buckets are fixed at construction so concurrent observers never
+/// allocate or rebalance.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value) noexcept;
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (last = overflow)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default edges for millisecond latency histograms.
+const std::vector<double>& latency_buckets_ms();
+
+/// Registry lookups: find-or-create by name; a name is permanently bound
+/// to its first kind (a kind mismatch throws std::logic_error naming the
+/// metric). References remain valid forever.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name);  ///< latency_buckets_ms() edges
+Histogram& histogram(std::string_view name, const std::vector<double>& bounds);
+
+/// Point-in-time copy of every registered metric, sorted by name (so a
+/// serialized snapshot has a deterministic layout regardless of the
+/// thread interleaving that registered the metrics).
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+RegistrySnapshot snapshot();
+
+/// snapshot() as a self-contained JSON document (counters / gauges /
+/// histograms objects, name-sorted keys). Parses under
+/// pcss::runner::Json; the executor embeds it in the .perf.json sidecar.
+std::string snapshot_json();
+
+/// Zeroes every registered value (entries and references survive).
+/// Test and per-process-run isolation; never called on hot paths.
+void reset();
+
+/// RAII histogram timer: observes elapsed milliseconds on destruction.
+/// The clock lives in obs (trace::now_ns), keeping D002-scoped layers
+/// chrono-free.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(Histogram& hist) noexcept
+      : hist_(hist), start_(trace::now_ns()) {}
+  ~ScopedTimerMs() {
+    hist_.observe(static_cast<double>(trace::now_ns() - start_) / 1e6);
+  }
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+
+ private:
+  Histogram& hist_;
+  std::int64_t start_;
+};
+
+}  // namespace pcss::obs::metrics

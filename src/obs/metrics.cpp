@@ -1,0 +1,255 @@
+#include "pcss/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace pcss::obs::metrics {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::logic_error("obs::metrics::Histogram bounds must be ascending");
+  }
+}
+
+void Histogram::observe(double value) noexcept {
+  // Buckets are few (~12 for latency) and bounds are hot in cache; a
+  // linear scan beats binary search at this size and stays branch-simple.
+  std::size_t bucket = bounds_.size();
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    s.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& latency_buckets_ms() {
+  static const std::vector<double> buckets{
+      0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0};
+  return buckets;
+}
+
+namespace {
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+struct Entry {
+  std::string name;
+  Kind kind;
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+// GUARDS: g_entries / g_index (registration and snapshot; the metric
+// objects themselves are lock-free once handed out)
+std::mutex g_registry_mutex;
+std::vector<std::unique_ptr<Entry>>& entries() {
+  static std::vector<std::unique_ptr<Entry>> list;
+  return list;
+}
+// Lookup index only — every iteration below walks the `entries()` vector
+// in registration order, never this map.
+std::unordered_map<std::string, std::size_t>& index() {
+  static std::unordered_map<std::string, std::size_t> map;
+  return map;
+}
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+Entry& find_or_create(std::string_view name, Kind kind,
+                      const std::vector<double>* bounds) {
+  const std::lock_guard<std::mutex> lock(g_registry_mutex);
+  std::string key(name);
+  auto it = index().find(key);
+  if (it != index().end()) {
+    Entry& entry = *entries()[it->second];
+    if (entry.kind != kind) {
+      throw std::logic_error("obs::metrics: '" + key + "' is a " +
+                             kind_name(entry.kind) + ", requested as " +
+                             kind_name(kind));
+    }
+    return entry;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = key;
+  entry->kind = kind;
+  switch (kind) {
+    case Kind::kCounter: entry->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>(
+          bounds != nullptr ? *bounds : latency_buckets_ms());
+      break;
+  }
+  entries().push_back(std::move(entry));
+  index().emplace(std::move(key), entries().size() - 1);
+  return *entries().back();
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_double(std::string& out, double v) {
+  // "inf"/"nan" are not JSON tokens — clamp defensively.
+  if (!(v == v) || v > 1e308 || v < -1e308) v = 0.0;
+  char num[64];
+  // Prefer the short %g form when it round-trips; fall back to the
+  // full-precision form so the value survives parse/dump cycles.
+  std::snprintf(num, sizeof(num), "%g", v);
+  double reparsed = 0.0;
+  std::sscanf(num, "%lf", &reparsed);
+  if (reparsed != v) std::snprintf(num, sizeof(num), "%.17g", v);
+  out += num;
+}
+
+}  // namespace
+
+Counter& counter(std::string_view name) {
+  return *find_or_create(name, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& gauge(std::string_view name) {
+  return *find_or_create(name, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& histogram(std::string_view name) {
+  return *find_or_create(name, Kind::kHistogram, nullptr).histogram;
+}
+
+Histogram& histogram(std::string_view name, const std::vector<double>& bounds) {
+  return *find_or_create(name, Kind::kHistogram, &bounds).histogram;
+}
+
+RegistrySnapshot snapshot() {
+  RegistrySnapshot snap;
+  const std::lock_guard<std::mutex> lock(g_registry_mutex);
+  for (const auto& entry : entries()) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        snap.counters.emplace_back(entry->name, entry->counter->value());
+        break;
+      case Kind::kGauge:
+        snap.gauges.emplace_back(entry->name, entry->gauge->value());
+        break;
+      case Kind::kHistogram:
+        snap.histograms.emplace_back(entry->name, entry->histogram->snapshot());
+        break;
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+std::string snapshot_json() {
+  const RegistrySnapshot snap = snapshot();
+  std::string out = "{\"counters\": {";
+  char num[64];
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out += i == 0 ? "\"" : ", \"";
+    append_escaped(out, snap.counters[i].first);
+    out += "\": ";
+    std::snprintf(num, sizeof(num), "%llu",
+                  static_cast<unsigned long long>(snap.counters[i].second));
+    out += num;
+  }
+  out += "}, \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out += i == 0 ? "\"" : ", \"";
+    append_escaped(out, snap.gauges[i].first);
+    out += "\": ";
+    append_double(out, snap.gauges[i].second);
+  }
+  out += "}, \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, hist] = snap.histograms[i];
+    out += i == 0 ? "\"" : ", \"";
+    append_escaped(out, name);
+    out += "\": {\"count\": ";
+    std::snprintf(num, sizeof(num), "%llu",
+                  static_cast<unsigned long long>(hist.count));
+    out += num;
+    out += ", \"sum\": ";
+    append_double(out, hist.sum);
+    out += ", \"bounds\": [";
+    for (std::size_t k = 0; k < hist.bounds.size(); ++k) {
+      if (k != 0) out += ", ";
+      append_double(out, hist.bounds[k]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t k = 0; k < hist.counts.size(); ++k) {
+      if (k != 0) out += ", ";
+      std::snprintf(num, sizeof(num), "%llu",
+                    static_cast<unsigned long long>(hist.counts[k]));
+      out += num;
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void reset() {
+  const std::lock_guard<std::mutex> lock(g_registry_mutex);
+  for (const auto& entry : entries()) {
+    switch (entry->kind) {
+      case Kind::kCounter: entry->counter->reset(); break;
+      case Kind::kGauge: entry->gauge->set(0.0); break;
+      case Kind::kHistogram: entry->histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace pcss::obs::metrics

@@ -5,10 +5,11 @@
 #include <map>
 #include <span>
 #include <stdexcept>
-#include <thread>
 
 #include "pcss/core/attack_engine.h"
 #include "pcss/core/defense_grid.h"
+#include "pcss/obs/metrics.h"
+#include "pcss/obs/trace.h"
 #include "pcss/runner/perf.h"
 #include "pcss/tensor/pool.h"
 #include "pcss/tensor/simd.h"
@@ -23,7 +24,69 @@ using pcss::core::CaseRecord;
 using pcss::core::SegMetrics;
 using pcss::core::SharedDeltaResult;
 
+namespace obs = pcss::obs;
+
 namespace {
+
+/// Upper edges (ms) for the shard wall-time histogram: a shard runs a
+/// whole attack batch, so the buckets stretch well past the sub-second
+/// latency defaults.
+const std::vector<double>& shard_ms_buckets() {
+  static const std::vector<double> buckets{1.0,    5.0,     10.0,    25.0,   50.0,
+                                           100.0,  250.0,   500.0,   1000.0, 2500.0,
+                                           5000.0, 10000.0, 30000.0, 60000.0};
+  return buckets;
+}
+
+/// Telemetry plumbing for the shard loops: registry metrics plus the
+/// RunOptions::on_progress callback. Observation only — it reads loop
+/// state and copies of counters; nothing here can reach document bytes.
+class ShardTelemetry {
+ public:
+  ShardTelemetry(const RunOptions& options, const WallTimer& timer, int planned_total)
+      : options_(options), timer_(timer), planned_total_(planned_total) {}
+
+  /// Call after every shard (cached or computed) with the shard's wall
+  /// time and the running outcome counters.
+  void finish_shard(bool from_cache, double shard_seconds, const RunOutcome& out) {
+    if (from_cache) {
+      cached_.add(1);
+    } else {
+      computed_.add(1);
+      shard_ms_.observe(shard_seconds * 1000.0);
+      live_seconds_ += shard_seconds;
+      ++live_count_;
+    }
+    ++done_;
+    if (!options_.on_progress) return;
+    ShardProgress progress;
+    progress.shards_done = done_;
+    progress.shards_total = planned_total_;
+    progress.shards_from_cache = out.shards_from_cache;
+    progress.attack_steps = out.attack_steps;
+    progress.wall_seconds = timer_.seconds();
+    const int remaining = planned_total_ > done_ ? planned_total_ - done_ : 0;
+    if (live_count_ > 0 && remaining > 0) {
+      // Optimistic when the remaining shards replay from cache; exact
+      // when they all run live. Good enough for a heartbeat line.
+      progress.eta_seconds =
+          static_cast<double>(remaining) * (live_seconds_ / live_count_);
+    }
+    options_.on_progress(progress);
+  }
+
+ private:
+  const RunOptions& options_;
+  const WallTimer& timer_;
+  int planned_total_;
+  int done_ = 0;
+  double live_seconds_ = 0.0;
+  int live_count_ = 0;
+  obs::metrics::Counter& computed_ = obs::metrics::counter("runner.shards.computed");
+  obs::metrics::Counter& cached_ = obs::metrics::counter("runner.shards.cached");
+  obs::metrics::Histogram& shard_ms_ =
+      obs::metrics::histogram("runner.shard_ms", shard_ms_buckets());
+};
 
 VariantKind variant_kind_from_string(const std::string& kind) {
   if (kind == "per_cloud") return VariantKind::kPerCloud;
@@ -246,6 +309,21 @@ ShardData compute_shared_shard(SegmentationModel& model, const AttackConfig& con
   return shard;
 }
 
+/// Planned shard count for the whole run, computed up front so progress
+/// lines can show "done/total" and an ETA before the loops start.
+int planned_shard_count(const ExperimentSpec& spec, std::size_t cloud_count,
+                        int shard_size) {
+  const int per_variant = static_cast<int>(
+      (cloud_count + static_cast<std::size_t>(shard_size) - 1) /
+      static_cast<std::size_t>(shard_size));
+  if (spec.kind == SpecKind::kDefenseGrid) return per_variant;
+  int per_model = 0;
+  for (const AttackVariant& variant : spec.variants) {
+    per_model += variant.kind == VariantKind::kSharedDelta ? 1 : per_variant;
+  }
+  return per_model * static_cast<int>(spec.models.size());
+}
+
 /// Executes (or replays) a kDefenseGrid spec into `doc`/`out`: shards of
 /// clouds, each computed by core::evaluate_defense_grid with the shard's
 /// global offset, so attack RNG (seed + g) and defense streams
@@ -253,7 +331,8 @@ ShardData compute_shared_shard(SegmentationModel& model, const AttackConfig& con
 void execute_defense_grid(const ExperimentSpec& spec, ModelProvider& provider,
                           ResultStore& store, const RunOptions& options,
                           const std::string& key, std::span<const PointCloud> clouds,
-                          int shard_size, RunDocument& doc, RunOutcome& out) {
+                          int shard_size, RunDocument& doc, RunOutcome& out,
+                          ShardTelemetry& telemetry) {
   if (spec.models.size() != 1) {
     throw std::invalid_argument("run_spec: defense-grid spec '" + spec.name +
                                 "' needs exactly one source model");
@@ -308,6 +387,10 @@ void execute_defense_grid(const ExperimentSpec& spec, ModelProvider& provider,
     }
   }
 
+  // Telemetry only: one span per shard, with a cache_hit annotation so a
+  // trace distinguishes replayed shards from executed ones at a glance.
+  static const obs::trace::Label kShardSpan = obs::trace::intern("runner.shard");
+  static const obs::trace::Label kCacheArg = obs::trace::intern("cache_hit");
   for (std::size_t offset = 0; offset < clouds.size();
        offset += static_cast<std::size_t>(shard_size)) {
     const std::size_t count =
@@ -317,41 +400,48 @@ void execute_defense_grid(const ExperimentSpec& spec, ModelProvider& provider,
     ++out.shards_total;
     GridShardData shard;
     bool from_cache = false;
-    if (!options.force) {
-      if (auto cached = store.get(shard_key)) {
-        try {
-          shard = grid_shard_from_json(Json::parse(*cached), attacks.size(),
-                                       doc.grid.size());
-          from_cache = true;
-          ++out.shards_from_cache;
-        } catch (const std::exception&) {
-          shard = GridShardData{};  // unreadable shard: recompute it
+    const std::int64_t shard_start = obs::trace::now_ns();
+    {
+      obs::trace::ScopedSpan shard_span(kShardSpan);
+      if (!options.force) {
+        if (auto cached = store.get(shard_key)) {
+          try {
+            shard = grid_shard_from_json(Json::parse(*cached), attacks.size(),
+                                         doc.grid.size());
+            from_cache = true;
+            ++out.shards_from_cache;
+          } catch (const std::exception&) {
+            shard = GridShardData{};  // unreadable shard: recompute it
+          }
         }
       }
-    }
-    if (!from_cache) {
-      pcss::core::DefenseGridOptions grid_options;
-      grid_options.defense_seed = spec.defense_seed;
-      grid_options.cloud_index_base = offset;
-      grid_options.num_threads = options.num_threads;
-      const pcss::core::DefenseGridResult result = pcss::core::evaluate_defense_grid(
-          *source, victims, clouds.subspan(offset, count), attacks, defenses,
-          grid_options);
-      shard.attacks = result.attacks;
-      shard.cells.reserve(result.cells.size());
-      for (const pcss::core::GridCell& cell : result.cells) {
-        std::vector<GridCaseRow> rows;
-        rows.reserve(cell.cases.size());
-        for (const pcss::core::GridCase& c : cell.cases) {
-          rows.push_back({c.accuracy, c.aiou, static_cast<long long>(c.points_kept)});
+      if (!from_cache) {
+        pcss::core::DefenseGridOptions grid_options;
+        grid_options.defense_seed = spec.defense_seed;
+        grid_options.cloud_index_base = offset;
+        grid_options.num_threads = options.num_threads;
+        const pcss::core::DefenseGridResult result = pcss::core::evaluate_defense_grid(
+            *source, victims, clouds.subspan(offset, count), attacks, defenses,
+            grid_options);
+        shard.attacks = result.attacks;
+        shard.cells.reserve(result.cells.size());
+        for (const pcss::core::GridCell& cell : result.cells) {
+          std::vector<GridCaseRow> rows;
+          rows.reserve(cell.cases.size());
+          for (const pcss::core::GridCase& c : cell.cases) {
+            rows.push_back({c.accuracy, c.aiou, static_cast<long long>(c.points_kept)});
+          }
+          shard.cells.push_back(std::move(rows));
         }
-        shard.cells.push_back(std::move(rows));
+        store.put(shard_key, grid_shard_to_json(shard).dump() + "\n");
+        for (const auto& trace : shard.attacks) {
+          for (long long s : trace.steps) out.attack_steps += s;
+        }
       }
-      store.put(shard_key, grid_shard_to_json(shard).dump() + "\n");
-      for (const auto& trace : shard.attacks) {
-        for (long long s : trace.steps) out.attack_steps += s;
-      }
+      shard_span.arg(kCacheArg, from_cache ? 1 : 0);
     }
+    telemetry.finish_shard(
+        from_cache, static_cast<double>(obs::trace::now_ns() - shard_start) / 1e9, out);
     for (std::size_t ai = 0; ai < shard.attacks.size(); ++ai) {
       doc.grid_attacks[ai].l2_color.insert(doc.grid_attacks[ai].l2_color.end(),
                                            shard.attacks[ai].l2_color.begin(),
@@ -567,7 +657,12 @@ RunDocument document_from_json(const Json& j) {
 RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
                     ResultStore& store, const RunOptions& options) {
   WallTimer timer;
-  const pcss::tensor::pool::Stats pool_before = pcss::tensor::pool::stats();
+  // Telemetry only: the root span plus a per-slot pool baseline so the
+  // sidecar can report per-run pool deltas across every worker thread.
+  static const obs::trace::Label kRunSpan = obs::trace::intern("runner.run_spec");
+  obs::trace::ScopedSpan run_span(kRunSpan);
+  const std::vector<pcss::tensor::pool::SlotStats> slots_before =
+      pcss::tensor::pool::slot_stats();
   const std::string key = run_key(spec, options.scale, provider);
   const std::string doc_key = key + ".json";
 
@@ -607,9 +702,12 @@ RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
   doc.scene_count = static_cast<int>(clouds.size());
   doc.use_l0_distance = spec.use_l0_distance;
 
+  ShardTelemetry telemetry(options, timer,
+                           planned_shard_count(spec, clouds.size(), shard_size));
+
   if (spec.kind == SpecKind::kDefenseGrid) {
     execute_defense_grid(spec, provider, store, options, key, cloud_span, shard_size, doc,
-                         out);
+                         out, telemetry);
   }
 
   const std::size_t attack_table_models =
@@ -649,6 +747,10 @@ RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
       const std::size_t stride =
           variant.kind == VariantKind::kSharedDelta ? clouds.size()
                                                     : static_cast<std::size_t>(shard_size);
+      // Telemetry only: per-shard span with a cache_hit annotation (same
+      // labels as the grid path, so traces aggregate across spec kinds).
+      static const obs::trace::Label kShardSpan = obs::trace::intern("runner.shard");
+      static const obs::trace::Label kCacheArg = obs::trace::intern("cache_hit");
       for (std::size_t offset = 0; offset < clouds.size(); offset += stride) {
         const std::size_t count = std::min(stride, clouds.size() - offset);
         const std::string shard_key = "shards/" + key + "-m" + std::to_string(mi) + "-v" +
@@ -657,39 +759,48 @@ RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
         ++out.shards_total;
         ShardData shard;
         bool from_cache = false;
-        if (!options.force) {
-          if (auto cached = store.get(shard_key)) {
-            try {
-              shard = shard_from_json(Json::parse(*cached), variant.kind);
-              from_cache = true;
-              ++out.shards_from_cache;
-            } catch (const std::exception&) {
-              shard = ShardData{};  // unreadable shard: recompute it
+        const std::int64_t shard_start = obs::trace::now_ns();
+        {
+          obs::trace::ScopedSpan shard_span(kShardSpan);
+          if (!options.force) {
+            if (auto cached = store.get(shard_key)) {
+              try {
+                shard = shard_from_json(Json::parse(*cached), variant.kind);
+                from_cache = true;
+                ++out.shards_from_cache;
+              } catch (const std::exception&) {
+                shard = ShardData{};  // unreadable shard: recompute it
+              }
             }
           }
-        }
-        if (!from_cache) {
-          switch (variant.kind) {
-            case VariantKind::kPerCloud:
-              shard = compute_attack_shard(*model, config, cloud_span, offset, count,
-                                           spec.use_l0_distance, options.num_threads);
-              break;
-            case VariantKind::kNoiseBaseline:
-              shard = compute_noise_shard(*model, variant, config, cloud_span, offset,
-                                          count, spec.use_l0_distance, *calibration);
-              break;
-            case VariantKind::kSharedDelta:
-              shard = compute_shared_shard(*model, config, cloud_span, options.num_threads);
-              break;
+          if (!from_cache) {
+            switch (variant.kind) {
+              case VariantKind::kPerCloud:
+                shard = compute_attack_shard(*model, config, cloud_span, offset, count,
+                                             spec.use_l0_distance, options.num_threads);
+                break;
+              case VariantKind::kNoiseBaseline:
+                shard = compute_noise_shard(*model, variant, config, cloud_span, offset,
+                                            count, spec.use_l0_distance, *calibration);
+                break;
+              case VariantKind::kSharedDelta:
+                shard =
+                    compute_shared_shard(*model, config, cloud_span, options.num_threads);
+                break;
+            }
+            store.put(shard_key, shard_to_json(shard, variant.kind).dump() + "\n");
+            if (variant.kind == VariantKind::kSharedDelta) {
+              out.attack_steps += static_cast<long long>(shard.steps_used) *
+                                  static_cast<long long>(count);
+            } else {
+              for (const CaseRow& row : shard.rows) out.attack_steps += row.steps;
+            }
           }
-          store.put(shard_key, shard_to_json(shard, variant.kind).dump() + "\n");
-          if (variant.kind == VariantKind::kSharedDelta) {
-            out.attack_steps += static_cast<long long>(shard.steps_used) *
-                                static_cast<long long>(count);
-          } else {
-            for (const CaseRow& row : shard.rows) out.attack_steps += row.steps;
-          }
+          shard_span.arg(kCacheArg, from_cache ? 1 : 0);
         }
+        telemetry.finish_shard(
+            from_cache, static_cast<double>(obs::trace::now_ns() - shard_start) / 1e9,
+            out);
         if (variant.kind == VariantKind::kSharedDelta) {
           vr.accuracy_before = std::move(shard.accuracy_before);
           vr.accuracy_after = std::move(shard.accuracy_after);
@@ -738,27 +849,49 @@ RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
   perf.set("num_threads", options.num_threads);
   perf.set("shard_size", shard_size);
   perf.set("fast", options.fast);
-  // Tensor buffer-pool telemetry. pool::stats() is per-thread, so the
-  // numbers only describe the whole run when it executed inline on this
-  // thread; for multi-threaded runs the block is omitted rather than
-  // reporting a misleading near-zero hit rate.
-  const int effective_workers =
-      options.num_threads > 0
-          ? options.num_threads
-          : std::max(1u, std::thread::hardware_concurrency());
-  if (effective_workers == 1) {
-    const pcss::tensor::pool::Stats pool_after = pcss::tensor::pool::stats();
-    const std::uint64_t acquires = pool_after.acquires - pool_before.acquires;
-    const std::uint64_t hits = pool_after.hits - pool_before.hits;
-    Json pool = Json::object();
-    pool.set("acquires", static_cast<double>(acquires));
-    pool.set("hit_rate", acquires > 0 ? static_cast<double>(hits) /
-                                            static_cast<double>(acquires)
-                                      : 0.0);
-    pool.set("cached_mb",
-             static_cast<double>(pool_after.cached_floats) * 4.0 / 1048576.0);
-    perf.set("tensor_pool", std::move(pool));
+  // Tensor buffer-pool telemetry, aggregated over every pool slot (one
+  // per thread that ever touched the pool; exited workers' slots persist
+  // with monotonic counters, so per-run numbers are before/after deltas
+  // per slot). Unlike the pre-obs sidecar, the block is always present —
+  // multi-threaded runs report the sum of acquires and the min/mean of
+  // the per-thread hit rates instead of omitting the section.
+  const std::vector<pcss::tensor::pool::SlotStats> slots_after =
+      pcss::tensor::pool::slot_stats();
+  std::uint64_t pool_acquires = 0, pool_hits = 0, pool_cached_floats = 0;
+  double rate_min = 0.0, rate_sum = 0.0;
+  int active_slots = 0;
+  for (std::size_t i = 0; i < slots_after.size(); ++i) {
+    const std::uint64_t acquires_0 = i < slots_before.size() ? slots_before[i].acquires : 0;
+    const std::uint64_t hits_0 = i < slots_before.size() ? slots_before[i].hits : 0;
+    const std::uint64_t d_acquires = slots_after[i].acquires - acquires_0;
+    const std::uint64_t d_hits = slots_after[i].hits - hits_0;
+    pool_cached_floats += slots_after[i].cached_floats;
+    if (d_acquires == 0) continue;
+    const double rate = static_cast<double>(d_hits) / static_cast<double>(d_acquires);
+    rate_min = active_slots == 0 ? rate : std::min(rate_min, rate);
+    rate_sum += rate;
+    ++active_slots;
+    pool_acquires += d_acquires;
+    pool_hits += d_hits;
   }
+  Json pool = Json::object();
+  pool.set("acquires", static_cast<double>(pool_acquires));
+  pool.set("hit_rate", pool_acquires > 0
+                           ? static_cast<double>(pool_hits) /
+                                 static_cast<double>(pool_acquires)
+                           : 0.0);
+  pool.set("hit_rate_min", active_slots > 0 ? rate_min : 0.0);
+  pool.set("hit_rate_mean",
+           active_slots > 0 ? rate_sum / static_cast<double>(active_slots) : 0.0);
+  pool.set("threads", active_slots);
+  pool.set("cached_mb", static_cast<double>(pool_cached_floats) * 4.0 / 1048576.0);
+  perf.set("tensor_pool", std::move(pool));
+  // Queryable metrics, folded in wholesale: the registry serializes
+  // itself (deterministic name-sorted layout) and the runner re-parses
+  // it, so sidecar readers see one consistent JSON document.
+  obs::metrics::gauge("store.hits").set(static_cast<double>(store.hits()));
+  obs::metrics::gauge("store.misses").set(static_cast<double>(store.misses()));
+  perf.set("metrics", Json::parse(obs::metrics::snapshot_json()));
   store.put(key + ".perf.json", perf.dump() + "\n");
   return out;
 }

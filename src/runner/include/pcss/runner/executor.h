@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -12,17 +13,35 @@
 
 namespace pcss::runner {
 
+/// Progress of one run_spec invocation, reported after every finished
+/// shard. Pure telemetry: the callback sees wall-clock numbers but can
+/// never influence the result document (RunOptions documents why).
+struct ShardProgress {
+  int shards_done = 0;
+  int shards_total = 0;        ///< planned shards for the whole run
+  int shards_from_cache = 0;   ///< of shards_done, how many replayed
+  long long attack_steps = 0;  ///< optimization steps executed live so far
+  double wall_seconds = 0.0;   ///< elapsed since run_spec started
+  double eta_seconds = 0.0;    ///< remaining x mean live-shard wall; 0 until
+                               ///< the first live shard finishes
+};
+
 /// Knobs for one run_spec invocation. None of them may change the
 /// numbers: `scale` is part of the cache key, and thread count / shard
 /// size only repartition work whose per-cloud RNG stream stays
 /// `config.seed + global cloud index` (so any partitioning reproduces
 /// bit-identical documents — tested in tests/runner_test.cpp).
+/// `on_progress` is observation only — it runs on the executor thread
+/// between shards and receives copies of telemetry counters, so no
+/// callback can perturb document bytes (tested: tracing/progress on vs.
+/// off yields byte-identical documents).
 struct RunOptions {
   Scale scale = active_scale();
   bool fast = fast_mode();  ///< informational; recorded in the .perf.json sidecar
   bool force = false;       ///< recompute, ignoring document and shard caches
   int num_threads = 0;      ///< AttackEngine workers per shard; 0 = hardware
   int shard_size = 4;       ///< clouds per cached shard (min 1)
+  std::function<void(const ShardProgress&)> on_progress;  ///< may be empty
 };
 
 /// One cloud's numbers inside a variant.

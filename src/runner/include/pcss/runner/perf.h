@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 namespace pcss::runner {
 
@@ -14,13 +15,27 @@ struct WallTimer {
   }
 };
 
-/// The one "[perf]" line format. CI greps these lines across PRs to
-/// track attack throughput, so benches and the pcss_run CLI must emit
-/// the exact same shape — hence one definition.
+/// The one "[perf]" line format, as a string. CI greps these lines
+/// across PRs to track attack throughput, so benches and the pcss_run
+/// CLI must emit the exact same shape — hence one definition. Labels
+/// longer than the 32-char column are truncated to 29 chars + "..." so
+/// the columns to the right never shift (defended-model labels like
+/// "resgcn+defended[sor(k=8)|srs(p=0.9)]" used to push them around).
+inline std::string perf_line(const char* label, double wall_seconds,
+                             long long attack_steps) {
+  std::string shown(label);
+  if (shown.size() > 32) shown = shown.substr(0, 29) + "...";
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "  [perf] %-32s %8.2fs wall  %7lld steps  %8.1f steps/s\n",
+                shown.c_str(), wall_seconds, attack_steps,
+                wall_seconds > 0.0 ? static_cast<double>(attack_steps) / wall_seconds
+                                   : 0.0);
+  return std::string(buf);
+}
+
 inline void print_perf(const char* label, double wall_seconds, long long attack_steps) {
-  std::printf("  [perf] %-32s %8.2fs wall  %7lld steps  %8.1f steps/s\n", label,
-              wall_seconds, attack_steps,
-              wall_seconds > 0.0 ? static_cast<double>(attack_steps) / wall_seconds : 0.0);
+  std::fputs(perf_line(label, wall_seconds, attack_steps).c_str(), stdout);
 }
 
 }  // namespace pcss::runner

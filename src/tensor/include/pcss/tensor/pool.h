@@ -95,6 +95,28 @@ void reset_stats() noexcept;
 /// Frees every cached buffer of the calling thread.
 void trim() noexcept;
 
+/// Cross-thread view of one pool slot. Each thread's pool registers a
+/// slot on first use; when the thread exits, the slot is marked not-live
+/// and recycled by the next new pool thread (so the slot count is
+/// bounded by peak concurrency, like the obs trace rings). The event
+/// counters are *monotonic across slot reuse* — consumers that want
+/// per-run numbers (the executor's `.perf.json` tensor_pool block) take
+/// before/after deltas per slot index. `cached_floats` is instantaneous
+/// and drops to 0 when the owning thread tears down.
+struct SlotStats {
+  std::uint64_t acquires = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t discards = 0;
+  std::uint64_t cached_floats = 0;
+  bool live = false;
+};
+
+/// Snapshot of every slot ever registered, in slot order. Safe to call
+/// from any thread at any time (counters are relaxed atomics); exact at
+/// quiescence, slightly stale while workers are mid-step.
+std::vector<SlotStats> slot_stats();
+
 }  // namespace pool
 
 }  // namespace pcss::tensor

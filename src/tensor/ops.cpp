@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "pcss/obs/metrics.h"
 #include "pcss/tensor/pool.h"
 #include "pcss/tensor/simd.h"
 
@@ -56,6 +57,19 @@ Tensor make_node(Shape shape, FloatBuffer data, std::vector<TensorImplPtr> paren
   return Tensor(std::move(impl));
 }
 
+/// Telemetry only (lint rule D006 keeps obs out of document and cache
+/// paths): GEMM call/FLOP counters for the metrics registry. Static refs
+/// amortize the registry lookup to one per process; the per-call cost is
+/// two relaxed atomic adds. No clock reads here — tensor stays inside
+/// the D002 chrono ban; time attribution comes from the span tracer at
+/// the attack-engine layer.
+void note_gemm(std::int64_t n, std::int64_t k, std::int64_t m) {
+  static obs::metrics::Counter& calls = obs::metrics::counter("tensor.gemm.calls");
+  static obs::metrics::Counter& flops = obs::metrics::counter("tensor.gemm.flops");
+  calls.add(1);
+  flops.add(static_cast<std::uint64_t>(2 * n * k * m));
+}
+
 // ---------------------------------------------------------------------------
 // GEMM entry points.
 //
@@ -76,6 +90,7 @@ void gemm_a_bt(const float* __restrict a, const float* __restrict b, float* __re
   for (std::int64_t j = 0; j < k; ++j) {
     for (std::int64_t p = 0; p < m; ++p) bt[static_cast<size_t>(p * k + j)] = b[j * m + p];
   }
+  note_gemm(n, m, k);
   simd::active().gemm_nn(a, bt.data(), c, n, m, k);
   pool::release(std::move(bt));
 }
@@ -194,6 +209,7 @@ void linear_bw(TensorImpl& node) {
   }
   if (pw->requires_grad) {
     pw->ensure_grad();
+    note_gemm(n, k, m);
     K.gemm_at_b(px->data.data(), node.grad.data(), pw->grad.data(), n, k, m);
   }
   if (node.parents.size() > 2) {
@@ -783,6 +799,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   // gemm_nn_init overwrites the buffer (chains start at 0), so the
   // acquire skips the zero-fill an accumulating kernel would need.
   FloatBuffer out = pool::acquire(static_cast<size_t>(n * m));
+  note_gemm(n, k, m);
   simd::active().gemm_nn_init(a.data(), b.data(), out.data(), n, k, m);
   return make_node({n, m}, std::move(out), {a.impl(), b.impl()}, matmul_bw);
 }
@@ -795,6 +812,7 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
   const std::int64_t n = x.dim(0), k = x.dim(1), m = w.dim(1);
   const simd::Kernels& K = simd::active();
   FloatBuffer out = pool::acquire(static_cast<size_t>(n * m));
+  note_gemm(n, k, m);
   K.gemm_nn_init(x.data(), w.data(), out.data(), n, k, m);
   std::vector<TensorImplPtr> parents{x.impl(), w.impl()};
   if (bias.defined()) {

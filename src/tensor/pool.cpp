@@ -1,8 +1,11 @@
 #include "pcss/tensor/pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 namespace pcss::tensor::pool {
@@ -22,9 +25,45 @@ std::size_t class_log2_for_request(std::size_t n) {
   return log2;
 }
 
+/// Cross-thread mirror of one pool's counters (see pool.h SlotStats).
+/// The owning thread is the only writer; readers use relaxed loads.
+/// Event counters are monotonic across slot reuse; cached_floats tracks
+/// the live cache and is zeroed when the owner tears down.
+struct SlotCounters {
+  std::atomic<std::uint64_t> acquires{0};
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> releases{0};
+  std::atomic<std::uint64_t> discards{0};
+  std::atomic<std::uint64_t> cached_floats{0};
+  std::atomic<bool> live{true};
+};
+
+// GUARDS: g_slots (slot claim in PoolOwner, enumeration in slot_stats;
+// the counters themselves are relaxed atomics and lock-free)
+std::mutex g_slots_mutex;
+std::vector<std::unique_ptr<SlotCounters>>& slots() {
+  static std::vector<std::unique_ptr<SlotCounters>> list;
+  return list;
+}
+
+SlotCounters* claim_slot() {
+  const std::lock_guard<std::mutex> lock(g_slots_mutex);
+  auto& list = slots();
+  for (auto& slot : list) {
+    bool expected = false;
+    if (slot->live.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+      return slot.get();
+    }
+  }
+  list.push_back(std::make_unique<SlotCounters>());
+  return list.back().get();
+}
+
 struct Pool {
   std::vector<FloatBuffer> free_lists[kNumClasses];
   Stats counters;
+  SlotCounters* slot = nullptr;
 
   ~Pool() = default;
 };
@@ -38,9 +77,16 @@ thread_local Pool* tl_pool = nullptr;
 
 struct PoolOwner {
   Pool* pool;
-  PoolOwner() : pool(new Pool) { tl_pool = pool; }
+  PoolOwner() : pool(new Pool) {
+    pool->slot = claim_slot();
+    tl_pool = pool;
+  }
   ~PoolOwner() {
     tl_pool = nullptr;
+    // The cached buffers die with the pool: zero the cross-thread gauge
+    // before handing the slot back (event counters stay monotonic).
+    pool->slot->cached_floats.store(0, std::memory_order_relaxed);
+    pool->slot->live.store(false, std::memory_order_release);
     delete pool;
   }
 };
@@ -56,6 +102,7 @@ FloatBuffer acquire(std::size_t n) {
   Pool* p = ensure_pool();
   if (p == nullptr) return FloatBuffer(n);
   ++p->counters.acquires;
+  p->slot->acquires.fetch_add(1, std::memory_order_relaxed);
   const std::size_t log2 = class_log2_for_request(n);
   if (log2 >= kMinClassLog2 + kNumClasses) {
     // Beyond the largest size class: bypass the pool entirely (release()
@@ -69,6 +116,8 @@ FloatBuffer acquire(std::size_t n) {
     ++p->counters.hits;
     --p->counters.cached_buffers;
     p->counters.cached_floats -= buf.capacity();
+    p->slot->hits.fetch_add(1, std::memory_order_relaxed);
+    p->slot->cached_floats.fetch_sub(buf.capacity(), std::memory_order_relaxed);
     buf.resize(n);  // capacity >= 2^log2 >= n: never reallocates
     assert(reinterpret_cast<std::uintptr_t>(buf.data()) % 32 == 0 &&
            "pool: recycled buffer lost its 32-byte alignment");
@@ -105,11 +154,14 @@ void release(FloatBuffer&& buffer) noexcept {
   if (list.size() >= kMaxPerClass ||
       p->counters.cached_floats + buf.capacity() > kMaxCachedFloats) {
     ++p->counters.discards;
+    p->slot->discards.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   ++p->counters.releases;
   ++p->counters.cached_buffers;
   p->counters.cached_floats += buf.capacity();
+  p->slot->releases.fetch_add(1, std::memory_order_relaxed);
+  p->slot->cached_floats.fetch_add(buf.capacity(), std::memory_order_relaxed);
   list.push_back(std::move(buf));
 }
 
@@ -134,6 +186,23 @@ void trim() noexcept {
   for (auto& list : p->free_lists) list.clear();
   p->counters.cached_buffers = 0;
   p->counters.cached_floats = 0;
+  p->slot->cached_floats.store(0, std::memory_order_relaxed);
+}
+
+std::vector<SlotStats> slot_stats() {
+  std::vector<SlotStats> out;
+  const std::lock_guard<std::mutex> lock(g_slots_mutex);
+  for (const auto& slot : slots()) {
+    SlotStats s;
+    s.acquires = slot->acquires.load(std::memory_order_relaxed);
+    s.hits = slot->hits.load(std::memory_order_relaxed);
+    s.releases = slot->releases.load(std::memory_order_relaxed);
+    s.discards = slot->discards.load(std::memory_order_relaxed);
+    s.cached_floats = slot->cached_floats.load(std::memory_order_relaxed);
+    s.live = slot->live.load(std::memory_order_acquire);
+    out.push_back(s);
+  }
+  return out;
 }
 
 }  // namespace pcss::tensor::pool

@@ -1,0 +1,10 @@
+// D006 corpus scope witness: the executor orchestrates runs and is the
+// intended home of telemetry — obs:: here must NOT flag (the rule is
+// limited to json/hash/result_store, the TUs that define stored bytes).
+#include "pcss/obs/metrics.h"
+#include "pcss/obs/trace.h"
+
+void ok_instrumented_shard() {
+  pcss::obs::metrics::counter("runner.shards.computed").add(1);
+  pcss::obs::trace::ScopedSpan span(pcss::obs::trace::intern("runner.shard"));
+}

@@ -1,0 +1,14 @@
+// D006 corpus good twin: serialization code that wants visibility keeps
+// plain counters and lets callers export them — no pcss::obs anywhere
+// near the bytes that become documents or cache keys.
+#include <cstdint>
+#include <string>
+
+namespace {
+std::uint64_t g_dumps = 0;  // exported by the caller, never serialized
+}
+
+std::string good_dump(const std::string& body) {
+  ++g_dumps;
+  return "{" + body + "}";
+}

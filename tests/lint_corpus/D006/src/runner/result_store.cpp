@@ -1,0 +1,13 @@
+// D006 corpus: telemetry symbols inside a document-serialization /
+// cache-key TU (this path mirrors src/runner/result_store.cpp, so the
+// rule applies to both the include and every obs:: use).
+#include <string>
+
+#include "pcss/obs/metrics.h"
+
+std::string bad_put(const std::string& key, const std::string& document) {
+  pcss::obs::metrics::counter("store.puts").add(1);
+  namespace obs = pcss::obs;
+  obs::metrics::gauge("store.bytes").set(static_cast<double>(document.size()));
+  return key + document;
+}

@@ -92,7 +92,8 @@ TEST(PcssLint, HelpExitsZero) {
 TEST(PcssLint, ListRulesNamesEveryRule) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
-  for (const char* rule : {"D001", "D002", "D003", "D004", "D005", "C001", "C002"}) {
+  for (const char* rule :
+       {"D001", "D002", "D003", "D004", "D005", "D006", "C001", "C002"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << "missing " << rule;
   }
 }
@@ -132,6 +133,17 @@ TEST(PcssLint, D005UnorderedFloatReductions) {
   expect_clean("D005/good.cpp");
   // Scope: the kernel source spells its reductions out by hand.
   expect_clean("D005/src/tensor/simd_kernels.inc");
+}
+
+TEST(PcssLint, D006TelemetryInSerializationTUs) {
+  // The include (6) and both obs:: uses (9, 11) flag; the namespace
+  // alias on 10 spells "pcss::obs" without a trailing "::" and stays
+  // quiet — its uses are what leak, and those are caught.
+  expect_errors("D006/src/runner/result_store.cpp",
+                {{6, "D006"}, {9, "D006"}, {11, "D006"}});
+  expect_clean("D006/src/runner/json.cpp");
+  // Scope: the executor is the intended home of telemetry.
+  expect_clean("D006/src/runner/executor.cpp");
 }
 
 TEST(PcssLint, C001AdHocThreads) {

@@ -524,6 +524,36 @@ TEST_F(RunnerTest, GridBytesInvariantAcrossThreadsAndShardSizes) {
   fs::remove_all(root_ + "-b");
 }
 
+TEST_F(RunnerTest, SidecarReportsPoolAndMetricsForThreadedRuns) {
+  // PR 3 regression: the .perf.json sidecar used to omit the tensor_pool
+  // block whenever worker threads did the allocating. It must now always
+  // be present (aggregated across the per-thread pool slots), alongside
+  // the folded-in metrics registry snapshot.
+  TinyProvider provider;
+  ResultStore store(root_);
+  RunOptions two = tiny_options();
+  two.num_threads = 2;
+  const RunOutcome out = run_spec(mini_spec(), provider, store, two);
+
+  const auto sidecar = store.get(out.document.key + ".perf.json");
+  ASSERT_TRUE(sidecar.has_value());
+  const Json perf = Json::parse(*sidecar);
+  const Json* pool = perf.find("tensor_pool");
+  ASSERT_NE(pool, nullptr) << "tensor_pool block must exist for threaded runs";
+  EXPECT_GT(pool->at("acquires").number(), 0.0);
+  EXPECT_GE(pool->at("threads").number(), 1.0);
+  EXPECT_GE(pool->at("hit_rate").number(), pool->at("hit_rate_min").number());
+  EXPECT_LE(pool->at("hit_rate").number(), 1.0);
+
+  const Json* metrics = perf.find("metrics");
+  ASSERT_NE(metrics, nullptr) << "registry snapshot must be folded into the sidecar";
+  const Json* counters = metrics->find("counters");
+  ASSERT_NE(counters, nullptr);
+  const Json* steps = counters->find("attack.steps");
+  ASSERT_NE(steps, nullptr);
+  EXPECT_GT(steps->number(), 0.0);
+}
+
 TEST_F(RunnerTest, GridResumesFromShardCache) {
   TinyProvider provider;
   ResultStore store(root_);

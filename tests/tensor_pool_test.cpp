@@ -115,6 +115,38 @@ TEST(BufferPool, SteadyStateFlatAcrossStepLoop) {
   EXPECT_EQ(after.discards, 0u);
 }
 
+TEST(BufferPool, SlotStatsTrackPerThreadCountersMonotonically) {
+  // This thread's slot is live and its monotonic counters advance by the
+  // work done between two snapshots — the delta contract the executor's
+  // .perf.json sidecar relies on.
+  pool::release(pool::acquire(64));  // ensure this thread has a slot
+  const std::vector<pool::SlotStats> before = pool::slot_stats();
+  ASSERT_FALSE(before.empty());
+  {
+    pcss::tensor::FloatBuffer a = pool::acquire(64);
+    pool::release(std::move(a));
+    pcss::tensor::FloatBuffer b = pool::acquire(64);  // same class: a hit
+    pool::release(std::move(b));
+  }
+  const std::vector<pool::SlotStats> after = pool::slot_stats();
+  ASSERT_GE(after.size(), before.size()) << "slots never disappear, only go not-live";
+  std::uint64_t d_acquires = 0, d_hits = 0, d_releases = 0;
+  bool any_live = false;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    const pool::SlotStats base = i < before.size() ? before[i] : pool::SlotStats{};
+    EXPECT_GE(after[i].acquires, base.acquires) << "slot counters are monotonic";
+    EXPECT_GE(after[i].hits, base.hits);
+    d_acquires += after[i].acquires - base.acquires;
+    d_hits += after[i].hits - base.hits;
+    d_releases += after[i].releases - base.releases;
+    any_live = any_live || after[i].live;
+  }
+  EXPECT_TRUE(any_live) << "the calling thread's slot must be live";
+  EXPECT_GE(d_acquires, 2u);
+  EXPECT_GE(d_hits, 1u);
+  EXPECT_GE(d_releases, 2u);
+}
+
 TEST(BufferPool, NoCrossThreadAliasing) {
   // Reference result computed single-threaded.
   auto chain = [](std::uint64_t seed) {

@@ -73,6 +73,9 @@ const Rule kRules[] = {
     {"D005", "everywhere except src/tensor/simd_kernels.inc",
      "no std::reduce / std::accumulate over floats: float reductions must use "
      "the fixed 8-lane kernels so summation order is pinned"},
+    {"D006", "src/runner/{json,hash,result_store}.{h,cpp}",
+     "no pcss::obs symbols in document-serialization or cache-key TUs: "
+     "telemetry must never reach stored bytes or cache keys"},
     {"C001", "everywhere",
      "no direct std::thread construction outside the WorkerPool: ad-hoc "
      "threads bypass pool reuse, error propagation and shutdown"},
@@ -309,6 +312,15 @@ bool in_scope_d002(const std::string& path) {
          path.find("src/runner/") != std::string::npos;
 }
 
+/// D006 covers the TUs whose bytes define documents and cache keys:
+/// src/runner/{json,hash,result_store}.cpp plus their headers under
+/// include/pcss/runner/. Matching on "runner/<name>." catches both.
+bool in_scope_d006(const std::string& path) {
+  return path.find("runner/json.") != std::string::npos ||
+         path.find("runner/hash.") != std::string::npos ||
+         path.find("runner/result_store.") != std::string::npos;
+}
+
 FileReport lint_file(const fs::path& filepath) {
   FileReport report;
   const std::string path = normalized(filepath);
@@ -328,6 +340,7 @@ FileReport lint_file(const fs::path& filepath) {
   const bool kernel_inc = base == "simd_kernels.inc";
   const bool d002_scope = in_scope_d002(path);
   const bool d004_scope = path.find("src/tensor/") != std::string::npos;
+  const bool d006_scope = in_scope_d006(path);
 
   auto emit = [&](int line_no, const char* rule, std::string message) {
     Diagnostic d;
@@ -421,6 +434,31 @@ FileReport lint_file(const fs::path& filepath) {
         emit(ln, "D005",
              "std::accumulate over floats (summation must go through the "
              "fixed 8-lane reduction kernels)");
+      }
+    }
+
+    // D006 — telemetry in document-serialization / cache-key TUs. Any
+    // obs:: symbol use counts (qualified pcss::obs:: included: the ':'
+    // before "obs" is a non-identifier char, so it still matches); the
+    // include check runs on the raw line because scrub() empties quoted
+    // include paths.
+    if (d006_scope) {
+      bool obs_use = false;
+      for (std::size_t pos = line.find("obs::"); pos != std::string::npos;
+           pos = line.find("obs::", pos + 1)) {
+        if (pos == 0 || !ident_char(line[pos - 1])) {
+          obs_use = true;
+          break;
+        }
+      }
+      std::string lead = raw[n];
+      lead.erase(0, lead.find_first_not_of(" \t"));
+      const bool obs_include =
+          lead.rfind("#include", 0) == 0 && lead.find("pcss/obs/") != std::string::npos;
+      if (obs_use || obs_include) {
+        emit(ln, "D006",
+             "pcss::obs in a document-serialization/cache-key TU (telemetry "
+             "must never reach stored bytes or cache keys)");
       }
     }
 

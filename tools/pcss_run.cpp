@@ -11,10 +11,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "pcss/obs/metrics.h"
+#include "pcss/obs/trace.h"
 #include "pcss/runner/executor.h"
 #include "pcss/runner/perf.h"
 #include "pcss/runner/result_store.h"
@@ -39,7 +42,18 @@ int usage(int code) {
                "  --force             recompute, ignoring document and shard caches\n"
                "  --threads N         AttackEngine worker threads (0 = hardware)\n"
                "  --shard-size N      clouds per cached shard (default 4)\n"
-               "  --store DIR         result store root (default artifacts/results)\n");
+               "  --store DIR         result store root (default artifacts/results)\n"
+               "  --trace FILE        record spans; write Chrome trace JSON to FILE\n"
+               "                      (open in chrome://tracing or ui.perfetto.dev;\n"
+               "                      same as PCSS_TRACE=1 plus a drain at exit)\n"
+               "  --metrics           print the metrics-registry snapshot (JSON) after\n"
+               "                      the runs\n"
+               "  --metrics-out FILE  write that snapshot to FILE instead of stdout\n"
+               "\n"
+               "Telemetry never changes result documents or cache keys: --trace and\n"
+               "--metrics observe a run whose stored bytes are identical either way.\n"
+               "Progress heartbeats (one line per finished shard, with an ETA) go to\n"
+               "stderr so stdout stays grep-stable for CI.\n");
   return code;
 }
 
@@ -100,10 +114,24 @@ void print_document(const RunDocument& doc) {
   }
 }
 
-int cmd_run(const std::vector<std::string>& specs, const RunOptions& options,
+int cmd_run(const std::vector<std::string>& specs, const RunOptions& base_options,
             const std::string& store_root) {
   ZooModelProvider provider;
   ResultStore store(store_root);
+  RunOptions options = base_options;
+  // Heartbeat: one line per finished shard, to stderr — stdout carries
+  // only the stable report + "[perf]" lines that CI greps. Pure
+  // observation; the documents are byte-identical with or without it.
+  options.on_progress = [](const ShardProgress& p) {
+    if (p.eta_seconds > 0.0) {
+      std::fprintf(stderr, "  [run] shard %d/%d done  (%d cached)  %.1fs elapsed  ETA %.1fs\n",
+                   p.shards_done, p.shards_total, p.shards_from_cache, p.wall_seconds,
+                   p.eta_seconds);
+    } else {
+      std::fprintf(stderr, "  [run] shard %d/%d done  (%d cached)  %.1fs elapsed\n",
+                   p.shards_done, p.shards_total, p.shards_from_cache, p.wall_seconds);
+    }
+  };
   for (const std::string& name : specs) {
     const ExperimentSpec* spec = find_spec(name);
     if (spec == nullptr) return unknown_spec(name);
@@ -154,6 +182,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> specs;
   RunOptions options;
   std::string store_root = ResultStore::default_root();
+  std::string trace_path;
+  std::string metrics_path;
+  bool print_metrics = false;
   bool fast = fast_mode();
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -178,6 +209,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       store_root = argv[++i];
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pcss_run: --trace needs an output file\n");
+        return 2;
+      }
+      trace_path = argv[++i];
+    } else if (arg == "--metrics") {
+      print_metrics = true;
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pcss_run: --metrics-out needs an output file\n");
+        return 2;
+      }
+      metrics_path = argv[++i];
+      print_metrics = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "pcss_run: unknown option '%s'\n", arg.c_str());
       return usage(2);
@@ -187,17 +233,55 @@ int main(int argc, char** argv) {
   }
   options.fast = fast;
   options.scale = scale_for(fast);
+  if (!trace_path.empty()) pcss::obs::trace::set_enabled(true);
 
   if (specs.empty()) {
     std::fprintf(stderr, "pcss_run: %s needs at least one spec name\n", command.c_str());
     return usage(2);
   }
 
+  // Emits the telemetry artifacts after the runs (also on error paths:
+  // a partial trace of a failed run is exactly when you want one).
+  const auto emit_telemetry = [&] {
+    if (!trace_path.empty()) {
+      if (pcss::obs::trace::write_chrome_json(trace_path)) {
+        const pcss::obs::trace::Stats stats = pcss::obs::trace::stats();
+        std::fprintf(stderr, "  [obs] trace: %s (%llu events, %llu dropped, %zu threads)\n",
+                     trace_path.c_str(),
+                     static_cast<unsigned long long>(stats.buffered),
+                     static_cast<unsigned long long>(stats.dropped), stats.threads);
+      } else {
+        std::fprintf(stderr, "pcss_run: cannot write trace file '%s'\n",
+                     trace_path.c_str());
+      }
+    }
+    if (print_metrics) {
+      const std::string snapshot = pcss::obs::metrics::snapshot_json();
+      if (metrics_path.empty()) {
+        std::printf("%s\n", snapshot.c_str());
+      } else {
+        std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);
+        out << snapshot << "\n";
+        if (out) {
+          std::fprintf(stderr, "  [obs] metrics: %s\n", metrics_path.c_str());
+        } else {
+          std::fprintf(stderr, "pcss_run: cannot write metrics file '%s'\n",
+                       metrics_path.c_str());
+        }
+      }
+    }
+  };
+
   try {
-    if (command == "run") return cmd_run(specs, options, store_root);
+    if (command == "run") {
+      const int code = cmd_run(specs, options, store_root);
+      emit_telemetry();
+      return code;
+    }
     if (command == "show") return cmd_show(specs, store_root);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pcss_run: %s\n", e.what());
+    emit_telemetry();
     return 1;
   }
   std::fprintf(stderr, "pcss_run: unknown command '%s'\n", command.c_str());
