@@ -1,6 +1,9 @@
 #include "pcss/runner/executor.h"
 
+#include <time.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <map>
 #include <span>
@@ -10,6 +13,8 @@
 #include "pcss/core/defense_grid.h"
 #include "pcss/obs/metrics.h"
 #include "pcss/obs/trace.h"
+#include "pcss/runner/hash.h"
+#include "pcss/runner/lease.h"
 #include "pcss/runner/perf.h"
 #include "pcss/tensor/pool.h"
 #include "pcss/tensor/simd.h"
@@ -172,6 +177,21 @@ ShardData shard_from_json(const Json& j, VariantKind kind) {
   return shard;
 }
 
+/// Store keys of the two shard families. One definition each, shared by
+/// the single-process executor and the worker loop: the multi-process
+/// contract is "same key = same bytes", so key construction must not be
+/// able to drift between the two paths.
+std::string table_shard_key(const std::string& key, std::size_t mi, std::size_t vi,
+                            std::size_t offset, std::size_t count) {
+  return "shards/" + key + "-m" + std::to_string(mi) + "-v" + std::to_string(vi) + "-o" +
+         std::to_string(offset) + "-n" + std::to_string(count) + ".json";
+}
+
+std::string grid_shard_key(const std::string& key, std::size_t offset, std::size_t count) {
+  return "shards/" + key + "-grid-o" + std::to_string(offset) + "-n" +
+         std::to_string(count) + ".json";
+}
+
 /// Executes (or replays from the shard cache) the clouds [offset,
 /// offset+count) of one per-cloud variant.
 ShardData compute_attack_shard(SegmentationModel& model, const AttackConfig& config,
@@ -309,6 +329,85 @@ ShardData compute_shared_shard(SegmentationModel& model, const AttackConfig& con
   return shard;
 }
 
+/// Everything a defense-grid shard computation needs beyond the clouds:
+/// materialized models and the attack/defense/victim enumerations, in
+/// the spec's order (which the cache key pins, so order is identity).
+struct GridSetup {
+  std::shared_ptr<SegmentationModel> source;
+  std::vector<std::shared_ptr<SegmentationModel>> victim_models;  ///< keeps victims alive
+  std::vector<pcss::core::GridVictim> victims;
+  std::vector<pcss::core::GridAttack> attacks;
+  std::vector<pcss::core::GridDefense> defenses;
+
+  std::size_t cell_count() const {
+    return attacks.size() * defenses.size() * victims.size();
+  }
+};
+
+/// Validates a kDefenseGrid spec and materializes its grid. Shared by
+/// run_spec and run_spec_worker so both reject malformed specs with the
+/// same message and enumerate identical grids.
+GridSetup make_grid_setup(const ExperimentSpec& spec, ModelProvider& provider,
+                          const RunOptions& options) {
+  if (spec.models.size() != 1) {
+    throw std::invalid_argument("run_spec: defense-grid spec '" + spec.name +
+                                "' needs exactly one source model");
+  }
+  if (spec.victims.empty() || spec.defenses.empty()) {
+    throw std::invalid_argument("run_spec: defense-grid spec '" + spec.name +
+                                "' needs victims and defenses");
+  }
+  for (const AttackVariant& variant : spec.variants) {
+    if (variant.kind != VariantKind::kPerCloud) {
+      throw std::invalid_argument("run_spec: defense-grid spec '" + spec.name +
+                                  "' supports per_cloud attack variants only");
+    }
+  }
+  GridSetup setup;
+  setup.source = provider.model(spec.models[0]);
+  for (ModelId id : spec.victims) {
+    setup.victim_models.push_back(provider.model(id));
+    setup.victims.push_back({to_string(id), setup.victim_models.back().get()});
+  }
+  if (spec.grid_include_clean) setup.attacks.push_back({"clean", true, {}});
+  for (const AttackVariant& variant : spec.variants) {
+    setup.attacks.push_back({variant.label, false, scaled_config(variant, options.scale)});
+  }
+  for (const DefensePipelineSpec& defense : spec.defenses) {
+    setup.defenses.push_back({defense.label, build_pipeline(defense)});
+  }
+  return setup;
+}
+
+/// Computes the grid shard covering clouds [offset, offset+count): the
+/// shard's global offset keys both the attack RNG (seed + g) and the
+/// defense streams (defense_cell_seed at global g), so the result is
+/// invariant under any partitioning.
+GridShardData compute_grid_shard(const GridSetup& setup, const ExperimentSpec& spec,
+                                 const RunOptions& options,
+                                 std::span<const PointCloud> clouds, std::size_t offset,
+                                 std::size_t count) {
+  pcss::core::DefenseGridOptions grid_options;
+  grid_options.defense_seed = spec.defense_seed;
+  grid_options.cloud_index_base = offset;
+  grid_options.num_threads = options.num_threads;
+  const pcss::core::DefenseGridResult result = pcss::core::evaluate_defense_grid(
+      *setup.source, setup.victims, clouds.subspan(offset, count), setup.attacks,
+      setup.defenses, grid_options);
+  GridShardData shard;
+  shard.attacks = result.attacks;
+  shard.cells.reserve(result.cells.size());
+  for (const pcss::core::GridCell& cell : result.cells) {
+    std::vector<GridCaseRow> rows;
+    rows.reserve(cell.cases.size());
+    for (const pcss::core::GridCase& c : cell.cases) {
+      rows.push_back({c.accuracy, c.aiou, static_cast<long long>(c.points_kept)});
+    }
+    shard.cells.push_back(std::move(rows));
+  }
+  return shard;
+}
+
 /// Planned shard count for the whole run, computed up front so progress
 /// lines can show "done/total" and an ETA before the loops start.
 int planned_shard_count(const ExperimentSpec& spec, std::size_t cloud_count,
@@ -333,51 +432,18 @@ void execute_defense_grid(const ExperimentSpec& spec, ModelProvider& provider,
                           const std::string& key, std::span<const PointCloud> clouds,
                           int shard_size, RunDocument& doc, RunOutcome& out,
                           ShardTelemetry& telemetry) {
-  if (spec.models.size() != 1) {
-    throw std::invalid_argument("run_spec: defense-grid spec '" + spec.name +
-                                "' needs exactly one source model");
-  }
-  if (spec.victims.empty() || spec.defenses.empty()) {
-    throw std::invalid_argument("run_spec: defense-grid spec '" + spec.name +
-                                "' needs victims and defenses");
-  }
-  for (const AttackVariant& variant : spec.variants) {
-    if (variant.kind != VariantKind::kPerCloud) {
-      throw std::invalid_argument("run_spec: defense-grid spec '" + spec.name +
-                                  "' supports per_cloud attack variants only");
-    }
-  }
-
-  const auto source = provider.model(spec.models[0]);
+  const GridSetup setup = make_grid_setup(spec, provider, options);
   doc.source_model = to_string(spec.models[0]);
   doc.defense_seed = spec.defense_seed;
 
-  std::vector<std::shared_ptr<SegmentationModel>> victim_models;
-  std::vector<pcss::core::GridVictim> victims;
-  for (ModelId id : spec.victims) {
-    victim_models.push_back(provider.model(id));
-    victims.push_back({to_string(id), victim_models.back().get()});
-  }
-
-  std::vector<pcss::core::GridAttack> attacks;
-  if (spec.grid_include_clean) attacks.push_back({"clean", true, {}});
-  for (const AttackVariant& variant : spec.variants) {
-    attacks.push_back({variant.label, false, scaled_config(variant, options.scale)});
-  }
-
-  std::vector<pcss::core::GridDefense> defenses;
-  for (const DefensePipelineSpec& defense : spec.defenses) {
-    defenses.push_back({defense.label, build_pipeline(defense)});
-  }
-
-  for (const pcss::core::GridAttack& attack : attacks) {
+  for (const pcss::core::GridAttack& attack : setup.attacks) {
     GridAttackResult trace;
     trace.label = attack.label;
     doc.grid_attacks.push_back(std::move(trace));
   }
-  for (const pcss::core::GridAttack& attack : attacks) {
-    for (const pcss::core::GridDefense& defense : defenses) {
-      for (const pcss::core::GridVictim& victim : victims) {
+  for (const pcss::core::GridAttack& attack : setup.attacks) {
+    for (const pcss::core::GridDefense& defense : setup.defenses) {
+      for (const pcss::core::GridVictim& victim : setup.victims) {
         GridCellResult cell;
         cell.attack = attack.label;
         cell.defense = defense.label;
@@ -393,10 +459,10 @@ void execute_defense_grid(const ExperimentSpec& spec, ModelProvider& provider,
   static const obs::trace::Label kCacheArg = obs::trace::intern("cache_hit");
   for (std::size_t offset = 0; offset < clouds.size();
        offset += static_cast<std::size_t>(shard_size)) {
+    if (options.cancel && options.cancel()) throw RunCancelled(spec.name);
     const std::size_t count =
         std::min(static_cast<std::size_t>(shard_size), clouds.size() - offset);
-    const std::string shard_key = "shards/" + key + "-grid-o" + std::to_string(offset) +
-                                  "-n" + std::to_string(count) + ".json";
+    const std::string shard_key = grid_shard_key(key, offset, count);
     ++out.shards_total;
     GridShardData shard;
     bool from_cache = false;
@@ -406,7 +472,7 @@ void execute_defense_grid(const ExperimentSpec& spec, ModelProvider& provider,
       if (!options.force) {
         if (auto cached = store.get(shard_key)) {
           try {
-            shard = grid_shard_from_json(Json::parse(*cached), attacks.size(),
+            shard = grid_shard_from_json(Json::parse(*cached), setup.attacks.size(),
                                          doc.grid.size());
             from_cache = true;
             ++out.shards_from_cache;
@@ -416,23 +482,7 @@ void execute_defense_grid(const ExperimentSpec& spec, ModelProvider& provider,
         }
       }
       if (!from_cache) {
-        pcss::core::DefenseGridOptions grid_options;
-        grid_options.defense_seed = spec.defense_seed;
-        grid_options.cloud_index_base = offset;
-        grid_options.num_threads = options.num_threads;
-        const pcss::core::DefenseGridResult result = pcss::core::evaluate_defense_grid(
-            *source, victims, clouds.subspan(offset, count), attacks, defenses,
-            grid_options);
-        shard.attacks = result.attacks;
-        shard.cells.reserve(result.cells.size());
-        for (const pcss::core::GridCell& cell : result.cells) {
-          std::vector<GridCaseRow> rows;
-          rows.reserve(cell.cases.size());
-          for (const pcss::core::GridCase& c : cell.cases) {
-            rows.push_back({c.accuracy, c.aiou, static_cast<long long>(c.points_kept)});
-          }
-          shard.cells.push_back(std::move(rows));
-        }
+        shard = compute_grid_shard(setup, spec, options, clouds, offset, count);
         store.put(shard_key, grid_shard_to_json(shard).dump() + "\n");
         for (const auto& trace : shard.attacks) {
           for (long long s : trace.steps) out.attack_steps += s;
@@ -752,10 +802,9 @@ RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
       static const obs::trace::Label kShardSpan = obs::trace::intern("runner.shard");
       static const obs::trace::Label kCacheArg = obs::trace::intern("cache_hit");
       for (std::size_t offset = 0; offset < clouds.size(); offset += stride) {
+        if (options.cancel && options.cancel()) throw RunCancelled(spec.name);
         const std::size_t count = std::min(stride, clouds.size() - offset);
-        const std::string shard_key = "shards/" + key + "-m" + std::to_string(mi) + "-v" +
-                                      std::to_string(vi) + "-o" + std::to_string(offset) +
-                                      "-n" + std::to_string(count) + ".json";
+        const std::string shard_key = table_shard_key(key, mi, vi, offset, count);
         ++out.shards_total;
         ShardData shard;
         bool from_cache = false;
@@ -893,6 +942,295 @@ RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
   obs::metrics::gauge("store.misses").set(static_cast<double>(store.misses()));
   perf.set("metrics", Json::parse(obs::metrics::snapshot_json()));
   store.put(key + ".perf.json", perf.dump() + "\n");
+  return out;
+}
+
+namespace {
+
+/// One claimable unit of a multi-process run: enough indices to
+/// recompute the shard from global seeds, plus its store key.
+struct WorkerShard {
+  bool grid = false;
+  std::size_t mi = 0, vi = 0;       ///< attack-table coordinates
+  std::size_t offset = 0, count = 0;
+  std::string key;                  ///< "shards/....json"
+};
+
+std::string lease_name_for(const WorkerShard& shard) {
+  const std::size_t slash = shard.key.find_last_of('/');
+  return (slash == std::string::npos ? shard.key : shard.key.substr(slash + 1)) +
+         ".lease";
+}
+
+/// The worker loop's compute context: enumerates the spec's shard plan
+/// (same enumeration as run_spec — the shared key helpers make drift a
+/// compile-time impossibility) and computes any shard's payload bytes
+/// on demand. Models and the grid setup materialize lazily, so a worker
+/// whose every shard is already stored never builds a model.
+class WorkerPlanner {
+ public:
+  WorkerPlanner(const ExperimentSpec& spec, ModelProvider& provider,
+                const RunOptions& options, std::string key,
+                std::span<const PointCloud> clouds)
+      : spec_(spec),
+        provider_(provider),
+        options_(options),
+        key_(std::move(key)),
+        clouds_(clouds) {}
+
+  std::vector<WorkerShard> plan() const {
+    std::vector<WorkerShard> shards;
+    const auto shard_size = static_cast<std::size_t>(std::max(1, options_.shard_size));
+    if (spec_.kind == SpecKind::kDefenseGrid) {
+      for (std::size_t offset = 0; offset < clouds_.size(); offset += shard_size) {
+        const std::size_t count = std::min(shard_size, clouds_.size() - offset);
+        WorkerShard shard;
+        shard.grid = true;
+        shard.offset = offset;
+        shard.count = count;
+        shard.key = grid_shard_key(key_, offset, count);
+        shards.push_back(std::move(shard));
+      }
+      return shards;
+    }
+    for (std::size_t mi = 0; mi < spec_.models.size(); ++mi) {
+      for (std::size_t vi = 0; vi < spec_.variants.size(); ++vi) {
+        const std::size_t stride = spec_.variants[vi].kind == VariantKind::kSharedDelta
+                                       ? clouds_.size()
+                                       : shard_size;
+        for (std::size_t offset = 0; offset < clouds_.size(); offset += stride) {
+          const std::size_t count = std::min(stride, clouds_.size() - offset);
+          WorkerShard shard;
+          shard.mi = mi;
+          shard.vi = vi;
+          shard.offset = offset;
+          shard.count = count;
+          shard.key = table_shard_key(key_, mi, vi, offset, count);
+          shards.push_back(std::move(shard));
+        }
+      }
+    }
+    return shards;
+  }
+
+  /// The exact bytes run_spec would have stored under shard.key, with
+  /// live optimization steps counted into `steps`.
+  std::string compute_payload(const WorkerShard& shard, ResultStore& store,
+                              long long& steps) {
+    if (shard.grid) {
+      const GridShardData data =
+          compute_grid_shard(grid(), spec_, options_, clouds_, shard.offset, shard.count);
+      for (const auto& trace : data.attacks) {
+        for (long long s : trace.steps) steps += s;
+      }
+      return grid_shard_to_json(data).dump() + "\n";
+    }
+    const ShardData data = compute_table_shard(shard, store, steps);
+    return shard_to_json(data, spec_.variants[shard.vi].kind).dump() + "\n";
+  }
+
+ private:
+  ShardData compute_table_shard(const WorkerShard& shard, ResultStore& store,
+                                long long& steps) {
+    const AttackVariant& variant = spec_.variants[shard.vi];
+    const AttackConfig config = scaled_config(variant, options_.scale);
+    SegmentationModel& model = *this->model(shard.mi);
+    switch (variant.kind) {
+      case VariantKind::kPerCloud: {
+        const ShardData data =
+            compute_attack_shard(model, config, clouds_, shard.offset, shard.count,
+                                 spec_.use_l0_distance, options_.num_threads);
+        for (const CaseRow& row : data.rows) steps += row.steps;
+        return data;
+      }
+      case VariantKind::kSharedDelta: {
+        const ShardData data =
+            compute_shared_shard(model, config, clouds_, options_.num_threads);
+        steps += static_cast<long long>(data.steps_used) *
+                 static_cast<long long>(shard.count);
+        return data;
+      }
+      case VariantKind::kNoiseBaseline:
+        break;  // below: needs the calibration source shard first
+    }
+    // The noise baseline calibrates to the calibrate_from variant's
+    // per-cloud L2 at the same global offsets, and the partition is
+    // identical across variants — so the source lives in exactly one
+    // shard: the same (offset, count) window one variant column over.
+    // It is an ordinary store entry: fetched when present, computed and
+    // stored when not (a worker that claims a noise shard before anyone
+    // computed its source simply does both — byte-identical either way).
+    WorkerShard source = shard;
+    source.vi = calibrate_index(shard.vi);
+    source.key = table_shard_key(key_, source.mi, source.vi, source.offset, source.count);
+    const VariantKind source_kind = spec_.variants[source.vi].kind;
+    ShardData source_data;
+    bool have_source = false;
+    if (auto cached = store.get(source.key)) {
+      try {
+        source_data = shard_from_json(Json::parse(*cached), source_kind);
+        have_source = true;
+      } catch (const std::exception&) {
+        // torn or foreign bytes: recompute below
+      }
+    }
+    if (!have_source) {
+      source_data = compute_table_shard(source, store, steps);
+      store.put(source.key, shard_to_json(source_data, source_kind).dump() + "\n");
+    }
+    std::vector<double> calibration(clouds_.size(), 0.0);
+    for (std::size_t i = 0; i < source_data.rows.size(); ++i) {
+      calibration[shard.offset + i] = source_data.rows[i].l2_color;
+    }
+    return compute_noise_shard(model, variant, config, clouds_, shard.offset, shard.count,
+                               spec_.use_l0_distance, calibration);
+  }
+
+  std::size_t calibrate_index(std::size_t vi) const {
+    const AttackVariant& variant = spec_.variants[vi];
+    for (std::size_t i = 0; i < vi; ++i) {
+      if (spec_.variants[i].label == variant.calibrate_from) return i;
+    }
+    throw std::invalid_argument("run_spec: variant '" + variant.label +
+                                "' calibrates from '" + variant.calibrate_from +
+                                "', which is not an earlier variant of spec '" +
+                                spec_.name + "'");
+  }
+
+  std::shared_ptr<SegmentationModel> model(std::size_t mi) {
+    auto it = models_.find(mi);
+    if (it != models_.end()) return it->second;
+    auto built = provider_.model(spec_.models[mi]);
+    models_.emplace(mi, built);
+    return built;
+  }
+
+  const GridSetup& grid() {
+    if (!grid_built_) {
+      grid_ = make_grid_setup(spec_, provider_, options_);
+      grid_built_ = true;
+    }
+    return grid_;
+  }
+
+  const ExperimentSpec& spec_;
+  ModelProvider& provider_;
+  const RunOptions& options_;
+  std::string key_;
+  std::span<const PointCloud> clouds_;
+  std::map<std::size_t, std::shared_ptr<SegmentationModel>> models_;
+  GridSetup grid_;
+  bool grid_built_ = false;
+};
+
+}  // namespace
+
+WorkerOutcome run_spec_worker(const ExperimentSpec& spec, ModelProvider& provider,
+                              ResultStore& store, const WorkerConfig& config) {
+  WorkerOutcome out;
+  const auto cancelled = [&] { return config.run.cancel && config.run.cancel(); };
+  const std::string key = run_key(spec, config.run.scale, provider);
+  if (!config.run.force && store.contains(key + ".json")) {
+    out.doc_cached = true;  // assembled document exists: nothing to claim
+    return out;
+  }
+  const std::vector<PointCloud> clouds =
+      provider.scenes(spec.dataset, config.run.scale.scenes, spec.scene_seed);
+  WorkerPlanner planner(spec, provider, config.run, key,
+                        std::span<const PointCloud>(clouds));
+  const std::vector<WorkerShard> plan = planner.plan();
+  LeaseManager leases(store.root() + "/leases", config.worker_id, config.lease_ttl_ns);
+  // Chaos salt = (worker, spec): each worker replays its own decision
+  // stream, and a two-spec run does not reuse the first spec's stream.
+  ChaosMonkey chaos = ChaosMonkey::from_env(config.worker_id + "|" + spec.name);
+  obs::metrics::Counter& computed_counter = obs::metrics::counter("runner.shards.computed");
+  obs::metrics::Counter& stolen_counter = obs::metrics::counter("runner.shards.stolen");
+  // Worker-specific scan origin: all workers sweep the same plan, so a
+  // per-worker rotation spreads first claims across the plan instead of
+  // stacking every worker onto shard 0's lease.
+  const std::size_t origin =
+      plan.empty() ? 0 : Fnv64().update(config.worker_id).value() % plan.size();
+  bool force_pass = config.run.force;
+  std::int64_t last_progress_ns = obs::trace::now_ns();
+  for (;;) {
+    ++out.passes;
+    int missing = 0;
+    int computed = 0;
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      const WorkerShard& shard = plan[(origin + i) % plan.size()];
+      if (cancelled()) {
+        out.cancelled = true;  // no lease is held between shards
+        return out;
+      }
+      if (!force_pass && store.contains(shard.key)) continue;
+      ++missing;
+      const std::string lease = lease_name_for(shard);
+      const LeaseManager::Acquire acquired = leases.try_acquire(lease);
+      if (acquired == LeaseManager::Acquire::kBusy) continue;
+      // Chaos crash point A: die holding the lease with the shard
+      // missing — the worst crash a steal must recover from.
+      chaos.maybe_kill();
+      long long steps = 0;
+      const std::string payload = planner.compute_payload(shard, store, steps);
+      store.put(shard.key, payload);
+      leases.release(lease);
+      ++computed;
+      ++out.shards_computed;
+      out.attack_steps += steps;
+      computed_counter.add(1);
+      if (acquired == LeaseManager::Acquire::kStolen) {
+        ++out.shards_stolen;
+        stolen_counter.add(1);
+      }
+      // Chaos crash point B: die at the completed-shard boundary — the
+      // shard landed atomically, so a restarted run resumes past it.
+      chaos.maybe_kill();
+    }
+    force_pass = false;
+    if (cancelled()) {
+      out.cancelled = true;
+      return out;
+    }
+    if (missing == 0) break;  // full scan saw every shard in the store
+    if (computed > 0) {
+      last_progress_ns = obs::trace::now_ns();
+      continue;  // rescan immediately; more may have freed up meanwhile
+    }
+    // Every missing shard is busy-leased elsewhere: wait for the
+    // holders' puts to surface, or for their leases to go stale (the
+    // next scan steals those). No lease is held while waiting, so
+    // nobody ever waits on a waiter.
+    if (obs::trace::now_ns() - last_progress_ns >
+        config.lease_ttl_ns + 5LL * 1000 * 1000 * 1000) {
+      // A full TTL plus margin with zero progress: stale leases should
+      // have been stolen long ago, so leasing itself is broken (e.g.
+      // unwritable lease directory). Correctness never depended on the
+      // leases — compute the stragglers directly, at worst duplicating
+      // byte-identical work.
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        const WorkerShard& shard = plan[(origin + i) % plan.size()];
+        if (cancelled()) {
+          out.cancelled = true;
+          return out;
+        }
+        if (store.contains(shard.key)) continue;
+        long long steps = 0;
+        const std::string payload = planner.compute_payload(shard, store, steps);
+        store.put(shard.key, payload);
+        ++out.shards_computed;
+        out.attack_steps += steps;
+        computed_counter.add(1);
+      }
+      continue;  // the next scan finds nothing missing and exits
+    }
+    timespec ts{0, 100L * 1000 * 1000};  // 100 ms between scans
+    while (::nanosleep(&ts, &ts) == -1 && errno == EINTR) {
+      if (cancelled()) {
+        out.cancelled = true;
+        return out;
+      }
+    }
+  }
   return out;
 }
 

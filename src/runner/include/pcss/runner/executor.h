@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,24 @@ struct RunOptions {
   int num_threads = 0;      ///< AttackEngine workers per shard; 0 = hardware
   int shard_size = 4;       ///< clouds per cached shard (min 1)
   std::function<void(const ShardProgress&)> on_progress;  ///< may be empty
+
+  /// Graceful-cancel poll, checked at shard boundaries only (mid-shard
+  /// state never hits the store, so cancelling between shards is always
+  /// resumable). When it returns true, run_spec throws RunCancelled and
+  /// run_spec_worker stops claiming and returns with `cancelled` set.
+  /// Like on_progress, it can observe but never perturb document bytes.
+  std::function<bool()> cancel;  ///< may be empty (= never cancel)
+};
+
+/// Thrown by run_spec when RunOptions::cancel fires: every finished
+/// shard is already cached, so rerunning the same command resumes where
+/// the cancelled run stopped.
+class RunCancelled : public std::runtime_error {
+ public:
+  explicit RunCancelled(const std::string& spec)
+      : std::runtime_error("run of spec '" + spec +
+                           "' cancelled at a shard boundary; finished shards are "
+                           "cached — resumable: rerun to continue") {}
 };
 
 /// One cloud's numbers inside a variant.
@@ -172,5 +191,43 @@ void print_grid_matrix(const RunDocument& doc);
 /// point) combination.
 RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
                     ResultStore& store, const RunOptions& options = {});
+
+/// One worker process's view of a multi-process run (pcss_run
+/// --workers). Every worker of a run shares the store; worker_id must
+/// be unique among them (it names the lease owner and salts the chaos
+/// stream).
+struct WorkerConfig {
+  RunOptions run;
+  std::string worker_id = "worker";
+  /// Staleness deadline for lease stealing; must comfortably exceed one
+  /// shard's compute time, since workers heartbeat between shards, not
+  /// during them.
+  std::int64_t lease_ttl_ns = 300LL * 1000 * 1000 * 1000;
+};
+
+struct WorkerOutcome {
+  int shards_computed = 0;
+  int shards_stolen = 0;  ///< of shards_computed, claimed via a stale lease
+  int passes = 0;         ///< plan scans (>= 2 when any shard was missing)
+  long long attack_steps = 0;
+  bool cancelled = false;
+  bool doc_cached = false;  ///< the assembled document already existed
+};
+
+/// The claim/compute half of a multi-process run. Scans the spec's
+/// shard plan (same enumeration as run_spec), and for every shard still
+/// missing from the store: claims its lease, computes it from the
+/// global-index seeds, puts it, releases the lease. kBusy leases are
+/// skipped — another worker owns that shard — and stale leases (dead or
+/// straggling owner) are stolen. The loop re-scans until every shard
+/// exists, waiting briefly when all missing shards are busy elsewhere,
+/// so a worker returns only when the plan is complete (or cancelled).
+///
+/// Correctness never depends on the leases: a stolen or duplicated
+/// shard recomputes the same bytes (the seed-offset invariant run_spec
+/// documents), so the subsequent merge — run_spec over the now-warm
+/// store — is byte-identical to a single-process run by construction.
+WorkerOutcome run_spec_worker(const ExperimentSpec& spec, ModelProvider& provider,
+                              ResultStore& store, const WorkerConfig& config);
 
 }  // namespace pcss::runner

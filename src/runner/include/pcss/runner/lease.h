@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pcss::runner {
+
+/// What a lease file records about its holder. Heartbeats use the obs
+/// monotonic clock (CLOCK_MONOTONIC), which is comparable across the
+/// processes of one boot — exactly the population that can share a
+/// lease directory.
+struct LeaseInfo {
+  std::string owner;             ///< opaque holder id, e.g. "w0-r0"
+  long long pid = 0;             ///< holder's pid (advisory liveness probe)
+  std::int64_t heartbeat_ns = 0; ///< monotonic ns of the last renew
+  std::int64_t generation = 0;   ///< bumped on every steal/renew (forensics)
+};
+
+/// Coordinator-less advisory locks over a shared directory, one file per
+/// lease. Workers use them to self-assign disjoint shards:
+///
+///   - A fresh claim is `open(O_CREAT|O_EXCL)` — atomic on every POSIX
+///     filesystem, so exactly one claimant wins an absent lease.
+///   - An existing lease is *stale* when its holder's pid is gone
+///     (fast path, same-host only) or its heartbeat is older than the
+///     TTL (backstop; covers stragglers and foreign hosts). Stale
+///     leases are stolen by tmp+rename plus a read-back: whoever's
+///     bytes survive the rename race owns the lease.
+///
+/// Leases are an optimization, never a correctness mechanism: the
+/// executor's shards are pure functions of global-index seeds, so two
+/// workers computing the same shard (a lost steal race, an unlinked
+/// lease) produce byte-identical payloads and the store's atomic puts
+/// make the duplicate harmless. That is why advisory locking with
+/// benign races is enough — DESIGN.md §8 spells out the argument.
+class LeaseManager {
+ public:
+  enum class Acquire {
+    kAcquired,  ///< fresh claim (the lease file did not exist)
+    kStolen,    ///< replaced a stale holder's lease
+    kBusy,      ///< a live holder has it (or we lost the steal race)
+  };
+
+  /// `dir` is created on first use. `ttl_ns` is the staleness deadline:
+  /// a holder that neither renews nor finishes within it is presumed
+  /// dead or stuck, and its lease becomes stealable.
+  LeaseManager(std::string dir, std::string owner, std::int64_t ttl_ns);
+
+  Acquire try_acquire(const std::string& name);
+
+  /// Refreshes the heartbeat of a lease we hold. Returns false when the
+  /// lease is no longer ours (stolen or removed) — the caller should
+  /// treat its work as possibly duplicated and carry on (benign).
+  bool renew(const std::string& name);
+
+  /// Unlinks the lease if we still hold it; returns whether a file was
+  /// removed.
+  bool release(const std::string& name);
+
+  /// Reads a lease without touching it; nullopt when absent or torn.
+  std::optional<LeaseInfo> peek(const std::string& name) const;
+
+  /// Removes every stale or unreadable lease file in the directory
+  /// (crashed runs leave them behind); returns how many were removed.
+  /// Fresh leases with live holders are kept.
+  int sweep();
+
+  const std::string& dir() const { return dir_; }
+  const std::string& owner() const { return owner_; }
+  std::int64_t ttl_ns() const { return ttl_ns_; }
+
+ private:
+  bool stale(const LeaseInfo& info) const;
+  bool write_lease(const std::string& name, std::int64_t generation);
+
+  std::string dir_;
+  std::string owner_;
+  std::int64_t ttl_ns_;
+};
+
+/// Deterministic fault injection for the worker role, configured by
+/// `PCSS_CHAOS=<kill_prob>:<seed>` (e.g. "0.2:1234"). Each call site
+/// draws from a splitmix64 stream seeded by (seed, salt), so a given
+/// worker id replays the same kill/survive decisions every run — chaos
+/// tests are reproducible, not flaky.
+class ChaosMonkey {
+ public:
+  ChaosMonkey() = default;  ///< disabled: would_kill() is always false
+  ChaosMonkey(double kill_prob, std::uint64_t seed, const std::string& salt);
+
+  /// Parses PCSS_CHAOS; disabled (and a stderr warning) on a malformed
+  /// value, disabled silently when the variable is unset.
+  static ChaosMonkey from_env(const std::string& salt);
+
+  bool enabled() const { return kill_prob_ > 0.0; }
+
+  /// Advances the stream and returns this boundary's decision. Split
+  /// from maybe_kill() so tests can assert the decision sequence.
+  bool would_kill();
+
+  /// would_kill(), then raise(SIGKILL) — no cleanup, no atexit: the
+  /// point is to die the way a crashed worker dies. Never returns when
+  /// the draw fires.
+  void maybe_kill();
+
+ private:
+  double kill_prob_ = 0.0;
+  std::uint64_t state_ = 0;
+};
+
+}  // namespace pcss::runner

@@ -36,6 +36,18 @@ class ResultStore {
   void put(const std::string& key, const std::string& content);
   bool erase(const std::string& key);
 
+  /// Existence probe without reading bytes or touching the hit/miss
+  /// counters — the multi-process worker loop scans the whole shard
+  /// plan every pass, and those scans are not cache events.
+  bool contains(const std::string& key) const;
+
+  /// Garbage-collects `.tmp.<pid>` siblings left behind by interrupted
+  /// puts: removes those whose mtime is at least `min_age_seconds` old
+  /// (age-gated so a concurrent in-flight put's temporary survives) and
+  /// returns their store-relative names, sorted. Stored results are
+  /// never candidates.
+  std::vector<std::string> sweep_stale_tmps(long long min_age_seconds);
+
   /// Store-relative keys whose file name starts with `prefix`
   /// (subdirectories are searched too), sorted lexicographically.
   std::vector<std::string> list(const std::string& prefix) const;

@@ -1,16 +1,47 @@
 #include "pcss/runner/result_store.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <stdexcept>
 
 namespace pcss::runner {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Transient failures worth a bounded retry (signal-interrupted or
+/// momentarily unavailable); anything else is reported immediately with
+/// the path and errno so a failing store names its disease instead of
+/// throwing an opaque filesystem_error.
+bool transient_errno(int e) { return e == EINTR || e == EAGAIN; }
+constexpr int kIoAttempts = 5;
+
+void backoff_sleep(int attempt) {
+  // 1, 2, 4, 8 ms: long enough for a signal storm or a racing rename to
+  // pass, short enough to be invisible next to a shard's compute time.
+  timespec ts{0, (1L << attempt) * 1000000L};
+  while (::nanosleep(&ts, &ts) == -1 && errno == EINTR) {
+  }
+}
+
+std::string errno_text(int e) {
+  return std::string(std::strerror(e)) + " (errno " + std::to_string(e) + ")";
+}
+
+[[noreturn]] void fail(const std::string& op, const std::string& path, int e) {
+  throw std::runtime_error("ResultStore::" + op + ": " + path + ": " + errno_text(e));
+}
+
+}  // namespace
 
 ResultStore::ResultStore(std::string root) : root_(std::move(root)) {}
 
@@ -26,34 +57,98 @@ std::string ResultStore::path_for(const std::string& key) const {
 }
 
 std::optional<std::string> ResultStore::get(const std::string& key) {
-  std::ifstream in(path_for(key), std::ios::binary);
-  if (!in) {
+  const std::string path = path_for(key);
+  int fd = -1;
+  for (int attempt = 0; attempt < kIoAttempts; ++attempt) {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0 || !transient_errno(errno)) break;
+    backoff_sleep(attempt);
+  }
+  if (fd < 0) {
+    // Including persistent errors: an unreadable key is a miss (the
+    // caller recomputes under the same key), never a crash.
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  std::string content{std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
-  if (in.bad()) {
+  std::string content;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      content.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (transient_errno(errno)) continue;
+    ::close(fd);
     misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
+  ::close(fd);
   hits_.fetch_add(1, std::memory_order_relaxed);
   return content;
 }
 
 void ResultStore::put(const std::string& key, const std::string& content) {
   const fs::path path = path_for(key);
-  if (path.has_parent_path()) fs::create_directories(path.parent_path());
-  // Write-then-rename: rename(2) within one directory is atomic, so a
-  // crash mid-put leaves at worst a stale .tmp sibling, never a torn key.
-  const fs::path tmp = path.string() + ".tmp." + std::to_string(::getpid());
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw std::runtime_error("ResultStore::put: cannot open " + tmp.string());
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out) throw std::runtime_error("ResultStore::put: write failure for " + tmp.string());
+  if (path.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(path.parent_path(), ec);
+    if (ec) {
+      throw std::runtime_error("ResultStore::put: cannot create " +
+                               path.parent_path().string() + ": " + ec.message());
+    }
   }
-  fs::rename(tmp, path);
+  // Write-then-rename: rename(2) within one directory is atomic, so a
+  // crash mid-put leaves at worst a stale .tmp sibling (collected by
+  // sweep_stale_tmps), never a torn key.
+  const std::string tmp = path.string() + ".tmp." + std::to_string(::getpid());
+  int fd = -1;
+  for (int attempt = 0; attempt < kIoAttempts; ++attempt) {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd >= 0 || !transient_errno(errno)) break;
+    backoff_sleep(attempt);
+  }
+  if (fd < 0) fail("put", tmp, errno);
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + written, content.size() - written);
+    if (n >= 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (transient_errno(errno)) continue;
+    const int e = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail("put", tmp, e);
+  }
+  if (::close(fd) != 0) {
+    const int e = errno;
+    ::unlink(tmp.c_str());
+    fail("put", tmp, e);
+  }
+  for (int attempt = 0; attempt < kIoAttempts; ++attempt) {
+    if (::rename(tmp.c_str(), path.c_str()) == 0) return;
+    if (errno == EXDEV) {
+      // Cross-device rename: cannot happen for siblings in one
+      // directory, but some overlay/network filesystems report it anyway.
+      // Fall back to a copy — non-atomic, so only on this exotic path.
+      std::error_code ec;
+      fs::copy_file(tmp, path, fs::copy_options::overwrite_existing, ec);
+      ::unlink(tmp.c_str());
+      if (ec) {
+        throw std::runtime_error("ResultStore::put: EXDEV copy fallback for " +
+                                 path.string() + ": " + ec.message());
+      }
+      return;
+    }
+    if (!transient_errno(errno)) break;
+    backoff_sleep(attempt);
+  }
+  const int e = errno;
+  ::unlink(tmp.c_str());
+  fail("put", path.string() + " (renaming " + tmp + ")", e);
 }
 
 bool ResultStore::erase(const std::string& key) {
@@ -61,21 +156,60 @@ bool ResultStore::erase(const std::string& key) {
   return fs::remove(path_for(key), ec);
 }
 
+bool ResultStore::contains(const std::string& key) const {
+  struct ::stat st {};
+  return ::stat(path_for(key).c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
 std::vector<std::string> ResultStore::list(const std::string& prefix) const {
   std::vector<std::string> keys;
-  std::error_code ec;
   const fs::path root(root_);
+  // A concurrent rename can surface a transient error mid-scan (the
+  // entry vanished between readdir and stat); rescan a few times before
+  // settling for what we saw.
+  for (int attempt = 0; attempt < kIoAttempts; ++attempt) {
+    keys.clear();
+    std::error_code ec;
+    fs::recursive_directory_iterator it(root, ec), end;
+    if (ec) break;  // no store directory yet: an empty listing, not an error
+    for (; !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file()) continue;
+      const std::string name = it->path().filename().string();
+      if (name.compare(0, prefix.size(), prefix) != 0) continue;
+      // A .tmp.<pid> sibling is an interrupted put(), not a stored result.
+      if (name.find(".tmp.") != std::string::npos) continue;
+      keys.push_back(fs::relative(it->path(), root).generic_string());
+    }
+    if (!ec) break;
+    backoff_sleep(attempt);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<std::string> ResultStore::sweep_stale_tmps(long long min_age_seconds) {
+  std::vector<std::string> removed;
+  const fs::path root(root_);
+  std::error_code ec;
   fs::recursive_directory_iterator it(root, ec), end;
   for (; !ec && it != end; it.increment(ec)) {
     if (!it->is_regular_file()) continue;
     const std::string name = it->path().filename().string();
-    if (name.compare(0, prefix.size(), prefix) != 0) continue;
-    // A .tmp.<pid> sibling is an interrupted put(), not a stored result.
-    if (name.find(".tmp.") != std::string::npos) continue;
-    keys.push_back(fs::relative(it->path(), root).generic_string());
+    if (name.find(".tmp.") == std::string::npos) continue;
+    struct ::stat st {};
+    if (::stat(it->path().c_str(), &st) != 0) continue;  // already gone
+    // time()/st_mtime only gate deletion of garbage — wall-clock can
+    // never reach result bytes, so the D002 determinism budget is safe.
+    const long long age = static_cast<long long>(::time(nullptr)) -
+                          static_cast<long long>(st.st_mtime);
+    if (age < min_age_seconds) continue;  // possibly an in-flight put
+    std::error_code remove_ec;
+    if (fs::remove(it->path(), remove_ec)) {
+      removed.push_back(fs::relative(it->path(), root).generic_string());
+    }
   }
-  std::sort(keys.begin(), keys.end());
-  return keys;
+  std::sort(removed.begin(), removed.end());
+  return removed;
 }
 
 }  // namespace pcss::runner

@@ -1,5 +1,7 @@
 #include "pcss/train/checkpoint.h"
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -96,24 +98,43 @@ void read_blob(Reader& reader, const std::string& expected_name,
 
 void save_checkpoint(pcss::models::SegmentationModel& model, const std::string& path) {
   std::filesystem::create_directories(std::filesystem::path(path).parent_path());
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("save_checkpoint: cannot open " + path);
-  out.write(kMagic, sizeof(kMagic));
-  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  // Write-then-rename: readers (and the run_key weight fingerprint) see
+  // either no checkpoint or a complete one — a crash mid-save leaves a
+  // .tmp.<pid> sibling, never a torn file that loads as garbage.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("save_checkpoint: cannot open " + tmp);
+    out.write(kMagic, sizeof(kMagic));
+    out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
 
-  auto params = model.named_params();
-  auto buffers = model.named_buffers();
-  const auto np = static_cast<std::uint64_t>(params.size());
-  const auto nb = static_cast<std::uint64_t>(buffers.size());
-  out.write(reinterpret_cast<const char*>(&np), sizeof(np));
-  for (auto& p : params) {
-    write_blob(out, p.name, p.tensor.data(), static_cast<std::uint64_t>(p.tensor.numel()));
+    auto params = model.named_params();
+    auto buffers = model.named_buffers();
+    const auto np = static_cast<std::uint64_t>(params.size());
+    const auto nb = static_cast<std::uint64_t>(buffers.size());
+    out.write(reinterpret_cast<const char*>(&np), sizeof(np));
+    for (auto& p : params) {
+      write_blob(out, p.name, p.tensor.data(), static_cast<std::uint64_t>(p.tensor.numel()));
+    }
+    out.write(reinterpret_cast<const char*>(&nb), sizeof(nb));
+    for (auto& b : buffers) {
+      write_blob(out, b.name, b.values->data(), static_cast<std::uint64_t>(b.values->size()));
+    }
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("save_checkpoint: write failure for " + tmp);
+    }
   }
-  out.write(reinterpret_cast<const char*>(&nb), sizeof(nb));
-  for (auto& b : buffers) {
-    write_blob(out, b.name, b.values->data(), static_cast<std::uint64_t>(b.values->size()));
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code remove_ec;
+    std::filesystem::remove(tmp, remove_ec);
+    throw std::runtime_error("save_checkpoint: cannot rename " + tmp + " to " + path +
+                             ": " + ec.message());
   }
-  if (!out) throw std::runtime_error("save_checkpoint: write failure for " + path);
 }
 
 void load_checkpoint(pcss::models::SegmentationModel& model, const std::string& path) {

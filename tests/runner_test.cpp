@@ -15,124 +15,22 @@
 #include <string>
 #include <vector>
 
-#include "pcss/data/indoor.h"
-#include "pcss/models/resgcn.h"
 #include "pcss/runner/executor.h"
 #include "pcss/runner/hash.h"
 #include "pcss/runner/json.h"
 #include "pcss/runner/result_store.h"
+#include "tiny_provider.h"
 
 namespace {
 
 namespace fs = std::filesystem;
 using namespace pcss::runner;
-using pcss::data::IndoorSceneGenerator;
-using pcss::tensor::Rng;
-
-/// Tiny untrained stand-in for the zoo: gradients flow regardless of
-/// training, which is all the executor's caching/determinism contracts
-/// need, and it keeps this whole file in the seconds range.
-class TinyProvider : public ModelProvider {
- public:
-  explicit TinyProvider(std::string fingerprint = "tiny-weights-v1")
-      : fingerprint_(std::move(fingerprint)) {
-    pcss::models::ResGCNConfig config;
-    config.num_classes = pcss::data::kIndoorNumClasses;
-    config.channels = 8;
-    config.blocks = 1;
-    Rng init(31);
-    model_ = std::make_shared<pcss::models::ResGCNSeg>(config, init);
-  }
-
-  std::shared_ptr<SegmentationModel> model(ModelId) override { return model_; }
-  std::string model_fingerprint(ModelId) override { return fingerprint_; }
-
-  std::vector<PointCloud> scenes(Dataset, int count, std::uint64_t seed) override {
-    IndoorSceneGenerator gen({.num_points = 96});
-    Rng rng(seed);
-    std::vector<PointCloud> out;
-    for (int i = 0; i < count; ++i) out.push_back(gen.generate(rng));
-    return out;
-  }
-
- private:
-  std::string fingerprint_;
-  std::shared_ptr<SegmentationModel> model_;
-};
-
-Scale tiny_scale() {
-  Scale s;
-  s.scenes = 3;
-  s.pgd_steps = 3;
-  s.cw_steps = 4;
-  return s;
-}
-
-ExperimentSpec mini_spec() {
-  ExperimentSpec spec;
-  spec.name = "mini";
-  spec.title = "executor contract fixture";
-  spec.models = {ModelId::kResGCNIndoor};
-  spec.scene_seed = 4242;
-  AttackVariant bounded;
-  bounded.label = "bounded";
-  bounded.config.norm = pcss::core::AttackNorm::kBounded;
-  bounded.config.field = pcss::core::AttackField::kColor;
-  spec.variants.push_back(bounded);
-  AttackVariant noise;
-  noise.label = "noise";
-  noise.kind = VariantKind::kNoiseBaseline;
-  noise.calibrate_from = "bounded";
-  spec.variants.push_back(noise);
-  return spec;
-}
-
-ExperimentSpec mini_shared_spec() {
-  ExperimentSpec spec;
-  spec.name = "mini_shared";
-  spec.title = "shared-delta fixture";
-  spec.models = {ModelId::kResGCNIndoor};
-  spec.scene_seed = 4242;
-  AttackVariant universal;
-  universal.label = "universal";
-  universal.kind = VariantKind::kSharedDelta;
-  universal.config.norm = pcss::core::AttackNorm::kBounded;
-  universal.config.field = pcss::core::AttackField::kColor;
-  spec.variants.push_back(universal);
-  return spec;
-}
-
-ExperimentSpec mini_grid_spec() {
-  ExperimentSpec spec;
-  spec.name = "mini_grid";
-  spec.title = "defense-grid executor fixture";
-  spec.kind = SpecKind::kDefenseGrid;
-  spec.models = {ModelId::kResGCNIndoor};
-  spec.victims = {ModelId::kResGCNIndoor, ModelId::kPointNet2Indoor};
-  spec.scene_seed = 4242;
-  spec.defense_seed = 2024;
-  AttackVariant bounded;
-  bounded.label = "bounded";
-  bounded.config.norm = pcss::core::AttackNorm::kBounded;
-  bounded.config.field = pcss::core::AttackField::kColor;
-  spec.variants.push_back(bounded);
-  spec.defenses.push_back({"none", {}});
-  spec.defenses.push_back(
-      {"srs", {{.kind = DefenseStageKind::kSrs, .srs_fraction = 0.1f}}});
-  spec.defenses.push_back(
-      {"srs+sor", {{.kind = DefenseStageKind::kSrs, .srs_fraction = 0.1f},
-                   {.kind = DefenseStageKind::kSor, .k = 2}}});
-  return spec;
-}
-
-RunOptions tiny_options() {
-  RunOptions options;
-  options.scale = tiny_scale();
-  options.fast = true;
-  options.num_threads = 1;
-  options.shard_size = 2;
-  return options;
-}
+using pcss_tests::TinyProvider;
+using pcss_tests::mini_grid_spec;
+using pcss_tests::mini_shared_spec;
+using pcss_tests::mini_spec;
+using pcss_tests::tiny_options;
+using pcss_tests::tiny_scale;
 
 /// Fresh store root per test, removed on teardown.
 class RunnerTest : public ::testing::Test {
