@@ -58,12 +58,18 @@ class Json {
   /// Serializes with 2-space indentation and a deterministic layout.
   std::string dump() const;
 
+  /// Serializes without any whitespace or newlines (still deterministic
+  /// and round-trippable). The pcss_serve line-delimited protocol needs
+  /// one-value-per-line framing, which the pretty dump() cannot give.
+  std::string dump_compact() const;
+
   /// Parses a complete JSON document; throws std::runtime_error with the
   /// byte offset on malformed input or trailing garbage.
   static Json parse(const std::string& text);
 
  private:
   void dump_to(std::string& out, int depth) const;
+  void dump_compact_to(std::string& out) const;
 
   Type type_ = Type::kNull;
   bool bool_ = false;

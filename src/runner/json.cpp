@@ -337,6 +337,41 @@ std::string Json::dump() const {
   return out;
 }
 
+void Json::dump_compact_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: out += format_number(number_); break;
+    case Type::kString: escape_string(string_, out); break;
+    case Type::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        array_[i].dump_compact_to(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        escape_string(object_[i].first, out);
+        out.push_back(':');
+        object_[i].second.dump_compact_to(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump_compact() const {
+  std::string out;
+  dump_compact_to(out);
+  return out;
+}
+
 Json Json::parse(const std::string& text) { return Parser(text).parse_document(); }
 
 }  // namespace pcss::runner

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+
+namespace pcss::serve {
+
+/// Everything that shapes the daemon's transport behaviour, none of
+/// which may shape result bytes: the server is a new way to *reach* the
+/// runner, so every knob here is about sockets, queues and deadlines.
+/// Fields map 1:1 onto `key = value` lines of a serve.conf file (see
+/// parse_config_file) and onto pcss_serve's command-line overrides.
+struct ServeConfig {
+  /// TCP listener on 127.0.0.1; 0 disables TCP (Unix socket only).
+  int port = 0;
+  /// Unix-domain listener path; empty disables it. Tests and the CI
+  /// smoke run over this (no port allocation races).
+  std::string socket_path;
+
+  /// Worker threads executing run requests. Each worker runs one
+  /// run_spec at a time; attack-level parallelism inside a request is
+  /// RunOptions::num_threads, not this.
+  int workers = 2;
+  /// Admission control: queued-but-not-started run requests past this
+  /// bound are rejected with a 429-style error rather than buffered
+  /// without limit.
+  int queue_depth = 16;
+  /// Per-client fairness: one connection may have at most this many
+  /// requests queued or executing (coalesced subscriptions count too).
+  int max_inflight_per_client = 4;
+
+  /// Close a connection with no traffic and no in-flight work.
+  long long idle_timeout_ms = 60000;
+  /// A started-but-unterminated request line older than this is an
+  /// error (client died mid-send or is trickling bytes).
+  long long read_timeout_ms = 10000;
+  /// Buffered response bytes the peer has not drained for this long
+  /// kill the connection (a stalled reader must not pin memory).
+  long long write_timeout_ms = 30000;
+  /// Oversized-request guard: a request line may not exceed this many
+  /// bytes (rejected with a 413-style error, connection closed).
+  long long max_line_bytes = 1 << 16;
+
+  /// Graceful drain: in-flight requests get this long to finish after
+  /// SIGTERM/shutdown before being cancelled at the next shard boundary
+  /// (0 = checkpoint-cancel immediately; either way the store stays
+  /// resumable because finished shards are already cached).
+  long long drain_grace_ms = 0;
+
+  /// Result store root; empty = ResultStore::default_root().
+  std::string store_root;
+};
+
+/// Parses a serve.conf: `key = value` per line, '#' comments, blank
+/// lines ignored. Unknown keys, unparsable numbers and out-of-range
+/// values throw std::runtime_error naming "<path>:<line>". Keys are the
+/// field names above (port, socket, workers, queue_depth,
+/// max_inflight_per_client, idle_timeout_ms, read_timeout_ms,
+/// write_timeout_ms, max_line_bytes, drain_grace_ms, store).
+ServeConfig parse_config_file(const std::string& path);
+
+/// Range/consistency check shared by the file parser and CLI override
+/// paths; throws std::runtime_error listing every problem.
+void validate(const ServeConfig& config);
+
+}  // namespace pcss::serve

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "pcss/runner/executor.h"
+
+namespace pcss::serve {
+
+/// Wire protocol of pcss_serve (version 1), shared by the server, the
+/// pcss_client CLI and the tests so framing cannot drift.
+///
+/// Requests: one JSON object per line ('\n'-terminated), fields:
+///   kind       "run" | "status" | "stats" | "shutdown"   (required)
+///   id         string echoed back in every event for this request
+///              (optional; the server assigns "r<N>" when absent)
+///   spec       experiment spec name                      (run only)
+///   force      bool, recompute ignoring caches           (run only)
+///   fast       bool, CPU-smoke sizing                    (run only)
+///   threads    int, attack threads inside the request    (run only)
+///   shard_size int, clouds per cached shard              (run only)
+///
+/// Responses: one JSON object per line, discriminated by "event":
+///   hello     sent once on connect (readiness signal)
+///   accepted  run admitted; carries the canonical cache key and
+///             whether it coalesced onto an in-flight computation
+///   progress  streamed per finished shard of a live run
+///   result    terminal event of a run; "bytes": N is followed by
+///             exactly N raw bytes of the result document (the same
+///             bytes pcss_run stores — byte-identity is the contract)
+///   stats     "bytes": N followed by N raw bytes of the metrics
+///             snapshot JSON
+///   status    one-line server state (no payload)
+///   shutdown  drain acknowledged
+///   error     "code" uses HTTP-flavoured numbers (below)
+///
+/// Every line is a complete JSON value; the only non-line bytes on the
+/// wire are the length-prefixed payloads announced by "bytes".
+inline constexpr int kProtocolVersion = 1;
+
+/// HTTP-flavoured error codes ("429-style rejection" — the issue's
+/// admission-control language maps straight onto these).
+inline constexpr int kErrBadRequest = 400;   ///< malformed JSON / unknown kind / bad field
+inline constexpr int kErrUnknownSpec = 404;  ///< run names an unregistered spec
+inline constexpr int kErrOversized = 413;    ///< request line exceeds max_line_bytes
+inline constexpr int kErrOverloaded = 429;   ///< queue full or per-client limit hit
+inline constexpr int kErrInternal = 500;     ///< run_spec threw (bug or I/O failure)
+inline constexpr int kErrDraining = 503;     ///< server is draining; request cancelled/refused
+
+enum class RequestKind { kRun, kStatus, kStats, kShutdown };
+
+/// One parsed request line. Unset run overrides inherit the server's
+/// base RunOptions (so a daemon started with --fast serves fast-scaled
+/// documents unless a request says otherwise).
+struct Request {
+  RequestKind kind = RequestKind::kStatus;
+  std::string id;  ///< empty until the server assigns one
+  std::string spec;
+  bool force = false;
+  bool has_fast = false;
+  bool fast = false;
+  int threads = -1;     ///< <0 = inherit
+  int shard_size = -1;  ///< <0 = inherit
+};
+
+/// Parse failure with the wire error code the server should answer
+/// with; the message is safe to echo to the client.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(int code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  int code() const { return code_; }
+
+ private:
+  int code_;
+};
+
+/// Parses one request line; throws ProtocolError (kErrBadRequest) on
+/// malformed JSON, an unknown kind, or wrongly typed fields.
+Request parse_request(const std::string& line);
+
+// -- response builders (each returns one '\n'-terminated line) --------------
+
+std::string hello_line();
+std::string error_line(const std::string& id, int code, const std::string& message);
+std::string accepted_line(const std::string& id, const std::string& spec,
+                          const std::string& key, bool coalesced);
+std::string progress_line(const std::string& id, const std::string& spec,
+                          const pcss::runner::ShardProgress& progress);
+/// The terminal event of a run; exactly `bytes` raw document bytes
+/// follow this line on the wire.
+std::string result_header_line(const std::string& id, const std::string& spec,
+                               const std::string& key, bool cache_hit, bool coalesced,
+                               int shards_total, int shards_from_cache,
+                               long long attack_steps, std::size_t bytes);
+std::string stats_header_line(const std::string& id, std::size_t bytes);
+std::string shutdown_line(const std::string& id);
+
+}  // namespace pcss::serve

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "pcss/runner/executor.h"
+#include "pcss/runner/experiment_spec.h"
+#include "pcss/runner/result_store.h"
+#include "pcss/serve/config.h"
+
+namespace pcss::serve {
+
+/// Maps a request's spec name to a registered ExperimentSpec (null =
+/// unknown). pcss_serve wires pcss::runner::find_spec; the test fixture
+/// wires the mini specs, so the daemon is system-testable in seconds.
+using SpecResolver =
+    std::function<const pcss::runner::ExperimentSpec*(const std::string&)>;
+
+/// Host hooks into the event loop. All observation/control only — like
+/// RunOptions::on_progress, nothing reachable from here can perturb
+/// result bytes.
+struct ServerHooks {
+  /// Polled once per loop iteration; first true begins a graceful
+  /// drain (the SIGTERM flag of the embedding binary).
+  std::function<bool()> should_drain;
+  /// Test-only: runs on the worker thread after a job is dequeued and
+  /// before run_spec. The system tests use a short sleep here to hold
+  /// jobs in flight, making coalescing/drain windows deterministic.
+  std::function<void()> on_job_start;
+};
+
+/// The pcss_serve daemon core: a poll-based event loop (single accept +
+/// I/O thread) over a TCP and/or Unix-domain listener, with a worker
+/// pool executing `run` requests through the ordinary runner path
+/// (run_spec over the shared ResultStore).
+///
+/// The serving story in one sentence: a request resolves to the same
+/// canonical cache key the CLI computes, so identical in-flight
+/// requests coalesce into ONE computation, repeat requests are pure
+/// byte-level cache hits, and every document sent over the wire is
+/// byte-identical to what `pcss_run` writes — the server is a new
+/// transport, never a new numerics path.
+///
+/// Production hardening lives here, not in callers: bounded admission
+/// (queue_depth, 429-style rejection), per-client fairness (round-robin
+/// dispatch across connections + max_inflight_per_client), idle/read/
+/// write timeouts, oversized-line rejection, and graceful drain (stop
+/// accepting, finish or checkpoint-cancel in-flight runs at a shard
+/// boundary — the store stays resumable by construction).
+class Server {
+ public:
+  /// `provider` is serialized internally (ZooModelProvider is not
+  /// thread-safe); model *execution* is shared-read like run_batch's
+  /// worker threads, which the engine already guarantees safe.
+  /// `base_options` seeds every request's RunOptions; requests may
+  /// override force/fast/threads/shard_size only — never scale fields
+  /// individually, so a request cannot mint documents the CLI could
+  /// not. Throws std::runtime_error when listeners cannot bind.
+  Server(ServeConfig config, SpecResolver resolver,
+         pcss::runner::ModelProvider& provider, pcss::runner::ResultStore& store,
+         pcss::runner::RunOptions base_options, ServerHooks hooks = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Runs the event loop until a drain completes (hooks.should_drain or
+  /// a shutdown request). Returns the number of requests that were
+  /// cancelled or refused by the drain (0 = fully clean exit).
+  int run();
+
+  /// The TCP port actually bound (resolves port 0 after bind); -1 when
+  /// TCP is disabled.
+  int tcp_port() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pcss::serve

@@ -1,0 +1,837 @@
+// The pcss_serve daemon core. One event-loop thread owns every socket
+// (poll(): listeners + connections + a self-pipe); a small worker pool
+// executes `run` requests through the ordinary runner path. The two
+// halves meet only under one mutex: workers never touch a socket, the
+// loop never computes — workers enqueue framed bytes into an outbox and
+// wake the loop through the pipe.
+//
+// Serving invariant (DESIGN.md §9): a request's RunOptions come from
+// the daemon's base options plus a closed set of overrides, its cache
+// key is the same run_key the CLI computes, and its payload is
+// RunOutcome::json — the exact stored bytes. So served bytes == CLI
+// bytes by construction, identical in-flight requests coalesce on the
+// key, and repeat requests are byte-level cache hits.
+#include "pcss/serve/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>  // pcss-lint: allow(C001)
+#include <utility>
+#include <vector>
+
+#include "pcss/obs/metrics.h"
+#include "pcss/obs/trace.h"
+#include "pcss/serve/protocol.h"
+
+namespace pcss::serve {
+
+namespace {
+
+using pcss::runner::ExperimentSpec;
+using pcss::runner::ModelProvider;
+using pcss::runner::ResultStore;
+using pcss::runner::RunCancelled;
+using pcss::runner::RunOptions;
+using pcss::runner::RunOutcome;
+using pcss::runner::ShardProgress;
+
+/// ZooModelProvider memoizes through plain maps, so concurrent jobs
+/// must not call it concurrently. This wrapper serializes the provider
+/// *calls*; the returned models are shared read-only across jobs, the
+/// same sharing contract AttackEngine::run_batch's worker threads
+/// already rely on (params are grad-frozen during attacks).
+class SerializedProvider : public ModelProvider {
+ public:
+  explicit SerializedProvider(ModelProvider& inner) : inner_(inner) {}
+
+  std::shared_ptr<pcss::runner::SegmentationModel> model(
+      pcss::runner::ModelId id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_.model(id);
+  }
+  std::string model_fingerprint(pcss::runner::ModelId id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_.model_fingerprint(id);
+  }
+  std::vector<pcss::runner::PointCloud> scenes(pcss::runner::Dataset dataset, int count,
+                                               std::uint64_t seed) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_.scenes(dataset, count, seed);
+  }
+
+ private:
+  // GUARDS: inner_ (the wrapped provider's lazy model/fingerprint maps)
+  std::mutex mutex_;
+  ModelProvider& inner_;
+};
+
+int make_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return -1;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error("pcss_serve: " + what + ": " + std::strerror(errno));
+}
+
+/// One request waiting on a job's outcome. A job has one subscription
+/// per admitted request: the one that created it plus every request
+/// that coalesced onto it while it was in flight.
+struct Subscription {
+  std::uint64_t conn_id = 0;
+  std::string request_id;
+  bool coalesced = false;
+};
+
+/// One admitted run request (or several, coalesced). Fields other than
+/// the immutable ones are guarded by Impl::mutex_.
+struct Job {
+  std::string key;
+  std::string spec_name;
+  const ExperimentSpec* spec = nullptr;
+  RunOptions options;
+  std::vector<Subscription> subs;
+  std::uint64_t owner_conn = 0;  ///< whose pending queue currently holds it
+  bool started = false;
+  bool cancel = false;  ///< checked by RunOptions::cancel at shard boundaries
+};
+
+}  // namespace
+
+struct Server::Impl {
+  ServeConfig config;
+  SpecResolver resolver;
+  SerializedProvider provider;
+  ResultStore& store;
+  RunOptions base_options;
+  ServerHooks hooks;
+
+  int tcp_fd = -1;
+  int unix_fd = -1;
+  int bound_tcp_port = -1;
+  int wake_read_fd = -1;
+  int wake_write_fd = -1;
+  std::int64_t start_ns = 0;
+
+  // -- event-loop-thread-only state (never touched by workers) --------------
+  struct Conn {
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::string inbuf;
+    std::string outbuf;
+    std::int64_t last_read_ns = 0;
+    std::int64_t last_out_progress_ns = 0;
+    std::int64_t last_activity_ns = 0;
+    bool read_closed = false;       ///< peer EOF seen; stop polling for input
+    bool close_after_flush = false; ///< close once outbuf drains
+    int next_request = 1;           ///< server-assigned ids r1, r2, ...
+  };
+  std::map<int, Conn> conns;                  ///< by fd
+  std::map<std::uint64_t, int> fd_of_conn;    ///< conn id -> fd
+  std::uint64_t next_conn_id = 1;
+
+  // -- scheduler state shared with workers -----------------------------------
+  // GUARDS: jobs_by_key, pending, rr_cursor, queued_jobs, running_jobs,
+  // inflight_by_conn, outbox, draining, stopping, drain_begin_ns,
+  // drain_casualties, requests_completed (everything below this mutex)
+  std::mutex mutex_;
+  std::condition_variable cv;
+  std::map<std::string, std::shared_ptr<Job>> jobs_by_key;  ///< queued or running
+  std::map<std::uint64_t, std::deque<std::shared_ptr<Job>>> pending;  ///< per conn
+  std::uint64_t rr_cursor = 0;  ///< round-robin: last conn id served
+  int queued_jobs = 0;
+  int running_jobs = 0;
+  std::map<std::uint64_t, int> inflight_by_conn;
+  std::deque<std::pair<std::uint64_t, std::string>> outbox;  ///< conn id, framed bytes
+  bool draining = false;
+  bool stopping = false;
+  std::int64_t drain_begin_ns = 0;
+  int drain_casualties = 0;
+  int requests_completed = 0;
+
+  // Long-lived dispatch threads, joined by run() after the drain; the
+  // WorkerPool is a fork-join construct and cannot host a blocking
+  // request loop, hence the sanctioned C001 suppressions.
+  std::vector<std::thread> workers;  // pcss-lint: allow(C001)
+
+  Impl(ServeConfig cfg, SpecResolver res, ModelProvider& prov, ResultStore& st,
+       RunOptions base, ServerHooks hk)
+      : config(std::move(cfg)),
+        resolver(std::move(res)),
+        provider(prov),
+        store(st),
+        base_options(std::move(base)),
+        hooks(std::move(hk)) {
+    validate(config);
+    if (!resolver) throw std::runtime_error("pcss_serve: a SpecResolver is required");
+    start_ns = obs::trace::now_ns();
+    open_wake_pipe();
+    if (config.port > 0) bind_tcp();
+    if (!config.socket_path.empty()) bind_unix();
+  }
+
+  ~Impl() {
+    for (int fd : {tcp_fd, unix_fd, wake_read_fd, wake_write_fd}) {
+      if (fd >= 0) ::close(fd);
+    }
+    for (auto& [fd, conn] : conns) {
+      (void)conn;
+      ::close(fd);
+    }
+    if (!config.socket_path.empty()) ::unlink(config.socket_path.c_str());
+  }
+
+  // -- setup -----------------------------------------------------------------
+
+  void open_wake_pipe() {
+    int fds[2];
+    if (::pipe(fds) != 0) throw_errno("pipe");
+    wake_read_fd = fds[0];
+    wake_write_fd = fds[1];
+    make_nonblocking(wake_read_fd);
+    make_nonblocking(wake_write_fd);
+  }
+
+  void bind_tcp() {
+    tcp_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd < 0) throw_errno("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(tcp_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config.port));
+    if (::bind(tcp_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw_errno("bind 127.0.0.1:" + std::to_string(config.port));
+    }
+    if (::listen(tcp_fd, 64) != 0) throw_errno("listen (tcp)");
+    socklen_t len = sizeof(addr);
+    if (::getsockname(tcp_fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+      bound_tcp_port = static_cast<int>(ntohs(addr.sin_port));
+    }
+    make_nonblocking(tcp_fd);
+  }
+
+  void bind_unix() {
+    unix_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd < 0) throw_errno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("pcss_serve: socket path too long: " + config.socket_path);
+    }
+    std::strncpy(addr.sun_path, config.socket_path.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(config.socket_path.c_str());  // stale socket from a previous daemon
+    if (::bind(unix_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      throw_errno("bind " + config.socket_path);
+    }
+    if (::listen(unix_fd, 64) != 0) throw_errno("listen (unix)");
+    make_nonblocking(unix_fd);
+  }
+
+  // -- worker side -----------------------------------------------------------
+
+  void wake() {
+    const char byte = 1;
+    // Best-effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd, &byte, 1);
+  }
+
+  void post(std::unique_lock<std::mutex>& lock, std::uint64_t conn_id,
+            std::string bytes) {
+    (void)lock;  // caller must hold mutex_
+    outbox.emplace_back(conn_id, std::move(bytes));
+  }
+
+  /// Round-robin across connections: the next job comes from the first
+  /// pending queue whose conn id follows the last-served one (wrapping),
+  /// so one chatty client cannot starve the others.
+  std::shared_ptr<Job> take_next_job() {
+    if (queued_jobs == 0) return nullptr;
+    auto it = pending.upper_bound(rr_cursor);
+    for (std::size_t scanned = 0; scanned <= pending.size(); ++scanned) {
+      if (it == pending.end()) it = pending.begin();
+      if (it == pending.end()) return nullptr;
+      if (!it->second.empty()) {
+        std::shared_ptr<Job> job = it->second.front();
+        it->second.pop_front();
+        rr_cursor = it->first;
+        if (it->second.empty()) pending.erase(it);
+        --queued_jobs;
+        ++running_jobs;
+        job->started = true;
+        return job;
+      }
+      ++it;
+    }
+    return nullptr;
+  }
+
+  void worker_main() {
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv.wait(lock, [&] { return stopping || queued_jobs > 0; });
+        if (stopping && queued_jobs == 0) return;
+        job = take_next_job();
+        if (!job) continue;
+      }
+      execute(*job);
+    }
+  }
+
+  void execute(Job& job) {
+    static const obs::trace::Label kRequestSpan = obs::trace::intern("serve.request");
+    static const obs::trace::Label kCacheArg = obs::trace::intern("cache_hit");
+    if (hooks.on_job_start) hooks.on_job_start();
+
+    RunOptions options = job.options;
+    options.on_progress = [this, &job](const ShardProgress& progress) {
+      std::unique_lock<std::mutex> lock(mutex_);
+      for (const Subscription& sub : job.subs) {
+        post(lock, sub.conn_id, progress_line(sub.request_id, job.spec_name, progress));
+      }
+      lock.unlock();
+      wake();
+    };
+    options.cancel = [this, &job] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return job.cancel;
+    };
+
+    std::string failure;
+    int failure_code = kErrInternal;
+    RunOutcome outcome;
+    bool ok = false;
+    {
+      obs::trace::ScopedSpan span(kRequestSpan);
+      obs::metrics::ScopedTimerMs timer(obs::metrics::histogram("serve.request_ms"));
+      try {
+        outcome = pcss::runner::run_spec(*job.spec, provider, store, options);
+        ok = true;
+        span.arg(kCacheArg, outcome.cache_hit ? 1 : 0);
+      } catch (const RunCancelled&) {
+        failure = "cancelled at a shard boundary; finished shards are cached — "
+                  "resumable: rerun the request to continue";
+        failure_code = kErrDraining;
+      } catch (const std::exception& e) {
+        failure = e.what();
+        failure_code = kErrInternal;
+      }
+    }
+    if (ok) {
+      obs::metrics::counter(outcome.cache_hit ? "serve.cache.hits" : "serve.cache.misses")
+          .add(1);
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    const std::vector<Subscription> subs = job.subs;
+    jobs_by_key.erase(job.key);
+    --running_jobs;
+    for (const Subscription& sub : subs) {
+      auto inflight = inflight_by_conn.find(sub.conn_id);
+      if (inflight != inflight_by_conn.end() && inflight->second > 0) --inflight->second;
+      if (ok) {
+        ++requests_completed;
+        post(lock, sub.conn_id,
+             result_header_line(sub.request_id, job.spec_name, job.key,
+                                outcome.cache_hit, sub.coalesced, outcome.shards_total,
+                                outcome.shards_from_cache, outcome.attack_steps,
+                                outcome.json.size()) +
+                 outcome.json);
+      } else {
+        if (failure_code == kErrDraining) ++drain_casualties;
+        post(lock, sub.conn_id, error_line(sub.request_id, failure_code, failure));
+      }
+    }
+    lock.unlock();
+    cv.notify_all();
+    wake();
+  }
+
+  // -- event-loop side -------------------------------------------------------
+
+  void send_now(Conn& conn, const std::string& bytes) {
+    const bool was_empty = conn.outbuf.empty();
+    conn.outbuf += bytes;
+    if (was_empty) conn.last_out_progress_ns = obs::trace::now_ns();
+    flush(conn);
+  }
+
+  void flush(Conn& conn) {
+    while (!conn.outbuf.empty()) {
+      const ssize_t sent =
+          ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(), MSG_NOSIGNAL);
+      if (sent > 0) {
+        conn.outbuf.erase(0, static_cast<std::size_t>(sent));
+        conn.last_out_progress_ns = obs::trace::now_ns();
+        conn.last_activity_ns = conn.last_out_progress_ns;
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      conn.close_after_flush = true;  // EPIPE/ECONNRESET: sweep will close
+      conn.outbuf.clear();
+      return;
+    }
+  }
+
+  /// Detaches a connection from every job it subscribed to. Queued jobs
+  /// left with no subscribers are dropped (admission capacity back);
+  /// queued jobs owned by the dead connection but still wanted by a
+  /// coalesced peer migrate to that peer's pending queue. Running jobs
+  /// always finish — the computation warms the store either way.
+  void detach_conn_jobs(std::uint64_t conn_id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_by_conn.erase(conn_id);
+    for (auto& [key, job] : jobs_by_key) {
+      (void)key;
+      auto& subs = job->subs;
+      for (std::size_t i = subs.size(); i-- > 0;) {
+        if (subs[i].conn_id == conn_id) subs.erase(subs.begin() + static_cast<long>(i));
+      }
+    }
+    // Rehome or drop the jobs queued on this connection. A started job
+    // is not in any pending queue and always finishes — even with no
+    // subscribers left, the computation warms the shared store.
+    auto queue = pending.find(conn_id);
+    if (queue == pending.end()) return;
+    std::deque<std::shared_ptr<Job>> orphans = std::move(queue->second);
+    pending.erase(queue);
+    for (const std::shared_ptr<Job>& job : orphans) {
+      if (job->subs.empty()) {
+        jobs_by_key.erase(job->key);
+        --queued_jobs;
+      } else {
+        job->owner_conn = job->subs.front().conn_id;
+        pending[job->owner_conn].push_back(job);
+      }
+    }
+  }
+
+  void close_conn(int fd) {
+    auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    const std::uint64_t conn_id = it->second.id;
+    detach_conn_jobs(conn_id);
+    fd_of_conn.erase(conn_id);
+    conns.erase(it);
+    ::close(fd);
+  }
+
+  void accept_ready(int listen_fd) {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN or transient error: poll again
+      make_nonblocking(fd);
+      Conn conn;
+      conn.id = next_conn_id++;
+      conn.fd = fd;
+      const std::int64_t now = obs::trace::now_ns();
+      conn.last_read_ns = conn.last_out_progress_ns = conn.last_activity_ns = now;
+      auto [it, inserted] = conns.emplace(fd, std::move(conn));
+      (void)inserted;
+      fd_of_conn[it->second.id] = fd;
+      send_now(it->second, hello_line());
+    }
+  }
+
+  int conn_inflight(std::uint64_t conn_id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_by_conn.find(conn_id);
+    return it == inflight_by_conn.end() ? 0 : it->second;
+  }
+
+  void handle_run(Conn& conn, const Request& request) {
+    const ExperimentSpec* spec = resolver(request.spec);
+    if (spec == nullptr) {
+      send_now(conn, error_line(request.id, kErrUnknownSpec,
+                                "unknown spec '" + request.spec + "'"));
+      return;
+    }
+    RunOptions options = base_options;
+    options.on_progress = nullptr;
+    options.cancel = nullptr;
+    options.force = request.force;
+    if (request.has_fast) {
+      options.fast = request.fast;
+      options.scale = pcss::runner::scale_for(request.fast);
+    }
+    if (request.threads >= 0) options.num_threads = request.threads;
+    if (request.shard_size >= 1) options.shard_size = request.shard_size;
+
+    std::string key;
+    try {
+      key = pcss::runner::run_key(*spec, options.scale, provider);
+    } catch (const std::exception& e) {
+      send_now(conn, error_line(request.id, kErrInternal,
+                                std::string("cannot key request: ") + e.what()));
+      return;
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (draining) {
+      ++drain_casualties;
+      obs::metrics::counter("serve.requests.rejected").add(1);
+      lock.unlock();
+      send_now(conn, error_line(request.id, kErrDraining,
+                                "server is draining; rerun against a fresh daemon"));
+      return;
+    }
+    auto& inflight = inflight_by_conn[conn.id];
+    if (inflight >= config.max_inflight_per_client) {
+      obs::metrics::counter("serve.requests.rejected").add(1);
+      lock.unlock();
+      send_now(conn, error_line(request.id, kErrOverloaded,
+                                "client in-flight limit reached (" +
+                                    std::to_string(config.max_inflight_per_client) +
+                                    "); wait for a result before submitting more"));
+      return;
+    }
+    auto existing = jobs_by_key.find(key);
+    if (existing != jobs_by_key.end()) {
+      existing->second->subs.push_back({conn.id, request.id, true});
+      ++inflight;
+      obs::metrics::counter("serve.requests.accepted").add(1);
+      obs::metrics::counter("serve.requests.coalesced").add(1);
+      lock.unlock();
+      send_now(conn, accepted_line(request.id, request.spec, key, true));
+      return;
+    }
+    if (queued_jobs >= config.queue_depth) {
+      obs::metrics::counter("serve.requests.rejected").add(1);
+      lock.unlock();
+      send_now(conn, error_line(request.id, kErrOverloaded,
+                                "server queue is full (" +
+                                    std::to_string(config.queue_depth) +
+                                    " queued requests); retry later"));
+      return;
+    }
+    auto job = std::make_shared<Job>();
+    job->key = key;
+    job->spec_name = request.spec;
+    job->spec = spec;
+    job->options = options;
+    job->subs.push_back({conn.id, request.id, false});
+    job->owner_conn = conn.id;
+    jobs_by_key.emplace(key, job);
+    pending[conn.id].push_back(job);
+    ++queued_jobs;
+    ++inflight;
+    obs::metrics::counter("serve.requests.accepted").add(1);
+    lock.unlock();
+    cv.notify_one();
+    send_now(conn, accepted_line(request.id, request.spec, key, false));
+  }
+
+  void handle_status(Conn& conn, const Request& request) {
+    pcss::runner::Json line = pcss::runner::Json::object();
+    line.set("event", "status");
+    line.set("id", request.id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      line.set("draining", draining);
+      line.set("connections", static_cast<long long>(conns.size()));
+      line.set("queued", queued_jobs);
+      line.set("running", running_jobs);
+      line.set("completed", requests_completed);
+    }
+    line.set("uptime_ms", (obs::trace::now_ns() - start_ns) / 1000000LL);
+    send_now(conn, line.dump_compact() + "\n");
+  }
+
+  void handle_line(Conn& conn, const std::string& line) {
+    Request request;
+    try {
+      request = parse_request(line);
+    } catch (const ProtocolError& e) {
+      send_now(conn, error_line("", e.code(), e.what()));
+      return;
+    }
+    if (request.id.empty()) {
+      request.id = "r" + std::to_string(conn.next_request++);
+    }
+    switch (request.kind) {
+      case RequestKind::kRun:
+        handle_run(conn, request);
+        break;
+      case RequestKind::kStatus:
+        handle_status(conn, request);
+        break;
+      case RequestKind::kStats: {
+        const std::string snapshot = obs::metrics::snapshot_json() + "\n";
+        send_now(conn, stats_header_line(request.id, snapshot.size()) + snapshot);
+        break;
+      }
+      case RequestKind::kShutdown:
+        send_now(conn, shutdown_line(request.id));
+        begin_drain();
+        break;
+    }
+  }
+
+  void read_ready(Conn& conn) {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t got = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+      if (got > 0) {
+        conn.inbuf.append(chunk, static_cast<std::size_t>(got));
+        conn.last_read_ns = conn.last_activity_ns = obs::trace::now_ns();
+        continue;
+      }
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // EOF or hard error. A half-closed peer that left a partial line
+      // behind gets a clean diagnosis (its read side may still be open).
+      conn.read_closed = true;
+      if (!conn.inbuf.empty()) {
+        conn.inbuf.clear();
+        send_now(conn, error_line("", kErrBadRequest,
+                                  "connection half-closed mid-request "
+                                  "(unterminated request line)"));
+        conn.close_after_flush = true;
+      }
+      break;
+    }
+
+    // The oversized guard runs before parsing so a huge line is
+    // rejected whether or not its terminator has arrived yet.
+    const std::size_t first_nl = conn.inbuf.find('\n');
+    const std::size_t line_bytes =
+        first_nl == std::string::npos ? conn.inbuf.size() : first_nl;
+    if (!conn.close_after_flush &&
+        static_cast<long long>(line_bytes) > config.max_line_bytes) {
+      conn.inbuf.clear();
+      obs::metrics::counter("serve.requests.rejected").add(1);
+      send_now(conn, error_line("", kErrOversized,
+                                "request line exceeds " +
+                                    std::to_string(config.max_line_bytes) + " bytes"));
+      conn.close_after_flush = true;
+      return;
+    }
+    for (std::size_t nl = conn.inbuf.find('\n'); nl != std::string::npos;
+         nl = conn.inbuf.find('\n')) {
+      std::string line = conn.inbuf.substr(0, nl);
+      conn.inbuf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      handle_line(conn, line);
+      if (conn.close_after_flush) break;  // e.g. shutdown mid-pipeline
+    }
+  }
+
+  void begin_drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (draining) return;
+    draining = true;
+    drain_begin_ns = obs::trace::now_ns();
+    // Stop accepting: the listeners leave the poll set for good.
+    if (tcp_fd >= 0) {
+      ::close(tcp_fd);
+      tcp_fd = -1;
+    }
+    if (unix_fd >= 0) {
+      ::close(unix_fd);
+      unix_fd = -1;
+      ::unlink(config.socket_path.c_str());
+    }
+    // Queued-but-unstarted requests are refused now (their subscribers
+    // learn immediately); running requests get drain_grace_ms to finish
+    // before the checkpoint-cancel below.
+    for (auto& [conn_id, queue] : pending) {
+      (void)conn_id;
+      for (const std::shared_ptr<Job>& job : queue) {
+        for (const Subscription& sub : job->subs) {
+          ++drain_casualties;
+          auto inflight = inflight_by_conn.find(sub.conn_id);
+          if (inflight != inflight_by_conn.end() && inflight->second > 0) {
+            --inflight->second;
+          }
+          post(lock, sub.conn_id,
+               error_line(sub.request_id, kErrDraining,
+                          "server draining; request cancelled before it started — "
+                          "rerun against the store to resume"));
+        }
+        jobs_by_key.erase(job->key);
+        --queued_jobs;
+      }
+    }
+    pending.clear();
+    if (config.drain_grace_ms == 0) {
+      for (auto& [key, job] : jobs_by_key) {
+        (void)key;
+        job->cancel = true;
+      }
+    }
+    lock.unlock();
+    cv.notify_all();
+    wake();
+  }
+
+  /// Drain bookkeeping each loop tick: enforce the grace deadline, and
+  /// report whether everything is finished and flushed.
+  bool drain_complete() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!draining) return false;
+    if (config.drain_grace_ms > 0 &&
+        obs::trace::now_ns() - drain_begin_ns > config.drain_grace_ms * 1000000LL) {
+      for (auto& [key, job] : jobs_by_key) {
+        (void)key;
+        job->cancel = true;
+      }
+    }
+    if (!jobs_by_key.empty() || running_jobs > 0 || !outbox.empty()) return false;
+    lock.unlock();
+    for (const auto& [fd, conn] : conns) {
+      (void)fd;
+      if (!conn.outbuf.empty()) return false;
+    }
+    return true;
+  }
+
+  void flush_outbox() {
+    std::deque<std::pair<std::uint64_t, std::string>> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch.swap(outbox);
+    }
+    for (auto& [conn_id, bytes] : batch) {
+      auto fd_it = fd_of_conn.find(conn_id);
+      if (fd_it == fd_of_conn.end()) continue;  // connection died; drop
+      auto conn_it = conns.find(fd_it->second);
+      if (conn_it == conns.end()) continue;
+      send_now(conn_it->second, bytes);
+    }
+  }
+
+  void sweep_timeouts() {
+    const std::int64_t now = obs::trace::now_ns();
+    std::vector<int> to_close;
+    for (auto& [fd, conn] : conns) {
+      if (conn.close_after_flush && conn.outbuf.empty()) {
+        to_close.push_back(fd);
+        continue;
+      }
+      if (!conn.outbuf.empty() &&
+          now - conn.last_out_progress_ns > config.write_timeout_ms * 1000000LL) {
+        to_close.push_back(fd);  // stalled reader
+        continue;
+      }
+      if (!conn.inbuf.empty() &&
+          now - conn.last_read_ns > config.read_timeout_ms * 1000000LL) {
+        conn.inbuf.clear();
+        send_now(conn, error_line("", kErrBadRequest,
+                                  "read timeout waiting for the rest of a request line"));
+        conn.close_after_flush = true;
+        continue;
+      }
+      if (conn.inbuf.empty() && conn.outbuf.empty() && conn_inflight(conn.id) == 0 &&
+          (conn.read_closed ||
+           now - conn.last_activity_ns > config.idle_timeout_ms * 1000000LL)) {
+        to_close.push_back(fd);  // idle, or half-closed with nothing left to say
+      }
+    }
+    for (int fd : to_close) close_conn(fd);
+  }
+
+  int run() {
+    for (int i = 0; i < config.workers; ++i) {
+      workers.emplace_back([this] { worker_main(); });  // pcss-lint: allow(C001)
+    }
+
+    std::vector<pollfd> fds;
+    for (;;) {
+      if (hooks.should_drain && hooks.should_drain()) begin_drain();
+      if (drain_complete()) break;
+
+      fds.clear();
+      if (tcp_fd >= 0) fds.push_back({tcp_fd, POLLIN, 0});
+      if (unix_fd >= 0) fds.push_back({unix_fd, POLLIN, 0});
+      fds.push_back({wake_read_fd, POLLIN, 0});
+      for (auto& [fd, conn] : conns) {
+        short events = 0;
+        if (!conn.read_closed && !conn.close_after_flush) events |= POLLIN;
+        if (!conn.outbuf.empty()) events |= POLLOUT;
+        if (events != 0) fds.push_back({fd, events, 0});
+      }
+      const int ready = ::poll(fds.data(), fds.size(), 50);
+      if (ready < 0 && errno != EINTR) break;
+
+      // Drain the wake pipe, then ship worker output to the sockets.
+      for (const pollfd& p : fds) {
+        if (p.fd == wake_read_fd && (p.revents & POLLIN) != 0) {
+          char sink[256];
+          while (::read(wake_read_fd, sink, sizeof(sink)) > 0) {
+          }
+        }
+      }
+      flush_outbox();
+
+      for (const pollfd& p : fds) {
+        if (p.revents == 0) continue;
+        if (p.fd == tcp_fd || p.fd == unix_fd) {
+          accept_ready(p.fd);
+          continue;
+        }
+        if (p.fd == wake_read_fd) continue;
+        auto it = conns.find(p.fd);
+        if (it == conns.end()) continue;
+        if ((p.revents & (POLLERR | POLLNVAL)) != 0) {
+          close_conn(p.fd);
+          continue;
+        }
+        if ((p.revents & POLLOUT) != 0) flush(it->second);
+        if ((p.revents & (POLLIN | POLLHUP)) != 0 && conns.count(p.fd) != 0) {
+          read_ready(it->second);
+        }
+      }
+
+      sweep_timeouts();
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread& worker : workers) worker.join();  // pcss-lint: allow(C001)
+    workers.clear();
+
+    std::vector<int> open_fds;
+    open_fds.reserve(conns.size());
+    for (const auto& [fd, conn] : conns) {
+      (void)conn;
+      open_fds.push_back(fd);
+    }
+    for (int fd : open_fds) close_conn(fd);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    return drain_casualties;
+  }
+};
+
+Server::Server(ServeConfig config, SpecResolver resolver, ModelProvider& provider,
+               ResultStore& store, RunOptions base_options, ServerHooks hooks)
+    : impl_(std::make_unique<Impl>(std::move(config), std::move(resolver), provider,
+                                   store, std::move(base_options), std::move(hooks))) {}
+
+Server::~Server() = default;
+
+int Server::run() { return impl_->run(); }
+
+int Server::tcp_port() const { return impl_->bound_tcp_port; }
+
+}  // namespace pcss::serve

@@ -1,0 +1,12 @@
+// D007 corpus: serving symbols inside an engine layer (this path
+// mirrors src/runner/, so both the include and every serve:: use must
+// flag — the dependency arrow is engine -> serve, never back).
+#include <string>
+
+#include "pcss/serve/server.h"
+
+int bad_notify(const std::string& key) {
+  pcss::serve::Server* server = nullptr;
+  namespace serve = pcss::serve;
+  return serve::notify_result(server, key);
+}

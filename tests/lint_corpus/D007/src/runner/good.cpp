@@ -1,0 +1,9 @@
+// D007 corpus good twin: the engine stays serving-agnostic by exposing
+// callbacks (the RunOptions::on_progress idiom); the server subscribes
+// from the outside and the runner never names it.
+#include <functional>
+#include <string>
+
+void good_run(const std::function<void(const std::string&)>& on_progress) {
+  on_progress("shard 1/4 done");
+}

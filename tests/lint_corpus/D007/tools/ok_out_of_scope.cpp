@@ -1,0 +1,6 @@
+// D007 corpus scope witness: tools, tests and the serve module itself
+// may use pcss::serve freely — the rule fences only
+// src/{core,tensor,runner}, the layers beneath the transport.
+#include "pcss/serve/server.h"
+
+int ok_client_side(pcss::serve::Server& server) { return server.tcp_port(); }

@@ -93,7 +93,7 @@ TEST(PcssLint, ListRulesNamesEveryRule) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
   for (const char* rule :
-       {"D001", "D002", "D003", "D004", "D005", "D006", "C001", "C002"}) {
+       {"D001", "D002", "D003", "D004", "D005", "D006", "D007", "C001", "C002"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << "missing " << rule;
   }
 }
@@ -144,6 +144,16 @@ TEST(PcssLint, D006TelemetryInSerializationTUs) {
   expect_clean("D006/src/runner/json.cpp");
   // Scope: the executor is the intended home of telemetry.
   expect_clean("D006/src/runner/executor.cpp");
+}
+
+TEST(PcssLint, D007ServeSymbolsInEngineLayers) {
+  // The include (6) and both serve:: uses (9, 11) flag; the namespace
+  // alias on 10 spells "pcss::serve" without a trailing "::" and stays
+  // quiet — its uses are what reverse the arrow, and those are caught.
+  expect_errors("D007/src/runner/bad.cpp", {{6, "D007"}, {9, "D007"}, {11, "D007"}});
+  expect_clean("D007/src/runner/good.cpp");
+  // Scope: client-side code above the engine may name the server.
+  expect_clean("D007/tools/ok_out_of_scope.cpp");
 }
 
 TEST(PcssLint, C001AdHocThreads) {

@@ -1,0 +1,135 @@
+// Child daemon for the serve system tests. The gtest process runs
+// attack threads, so serve_test.cpp fork+execve's this dedicated binary
+// (the worker_fixture pattern) instead of forking itself. It is
+// pcss_serve in miniature: the same Server core, but resolving the mini
+// test specs against a TinyProvider so a full request round-trip takes
+// seconds — and the cache keys match what an in-process run_spec over
+// the same fixtures computes, which is what the byte-identity
+// assertions compare against.
+//
+//   serve_fixture --socket PATH --store DIR [options]
+//     --port N          also bind loopback TCP (0 = disabled, default)
+//     --workers N       worker threads (default 2)
+//     --queue-depth N   admission bound (default 16)
+//     --max-inflight N  per-connection in-flight cap (default 4)
+//     --max-line N      request line byte cap (default 65536)
+//     --drain-grace MS  drain grace before checkpoint-cancel (default 0)
+//     --job-delay-ms N  test hook: sleep N ms on the worker thread
+//                       before each run_spec, holding jobs in flight so
+//                       coalescing/drain windows are deterministic
+//
+// Exits 0 after a drain (SIGTERM/SIGINT or a shutdown request),
+// printing "casualties=N" so the drain tests can assert how many
+// requests were cut short.
+#include <csignal>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "pcss/runner/executor.h"
+#include "pcss/runner/result_store.h"
+#include "pcss/serve/config.h"
+#include "pcss/serve/server.h"
+#include "tiny_provider.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void handle_signal(int sig) { g_signal = sig; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pcss::serve::ServeConfig config;
+  config.socket_path.clear();
+  std::string store_root;
+  long long job_delay_ms = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "serve_fixture: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      config.socket_path = value();
+    } else if (arg == "--port") {
+      config.port = std::atoi(value().c_str());
+    } else if (arg == "--store") {
+      store_root = value();
+    } else if (arg == "--workers") {
+      config.workers = std::atoi(value().c_str());
+    } else if (arg == "--queue-depth") {
+      config.queue_depth = std::atoi(value().c_str());
+    } else if (arg == "--max-inflight") {
+      config.max_inflight_per_client = std::atoi(value().c_str());
+    } else if (arg == "--max-line") {
+      config.max_line_bytes = std::atoi(value().c_str());
+    } else if (arg == "--drain-grace") {
+      config.drain_grace_ms = std::atoll(value().c_str());
+    } else if (arg == "--job-delay-ms") {
+      job_delay_ms = std::atoll(value().c_str());
+    } else {
+      std::fprintf(stderr, "serve_fixture: bad argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (store_root.empty() || (config.socket_path.empty() && config.port == 0)) {
+    std::fprintf(stderr,
+                 "usage: serve_fixture --socket PATH --store DIR [--port N] "
+                 "[--workers N] [--queue-depth N] [--max-inflight N] "
+                 "[--max-line N] [--drain-grace MS] [--job-delay-ms N]\n");
+    return 2;
+  }
+
+  struct sigaction sa {};
+  sa.sa_handler = handle_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  using namespace pcss::runner;
+  try {
+    pcss_tests::TinyProvider provider;
+    ResultStore store(store_root);
+
+    // Static spec instances so the resolver can hand out stable
+    // pointers for the daemon's whole lifetime.
+    static const ExperimentSpec kMini = pcss_tests::mini_spec();
+    static const ExperimentSpec kMiniShared = pcss_tests::mini_shared_spec();
+    static const ExperimentSpec kMiniGrid = pcss_tests::mini_grid_spec();
+    const auto resolver = [](const std::string& name) -> const ExperimentSpec* {
+      if (name == "mini") return &kMini;
+      if (name == "mini_shared") return &kMiniShared;
+      if (name == "mini_grid") return &kMiniGrid;
+      return nullptr;
+    };
+
+    pcss::serve::ServerHooks hooks;
+    hooks.should_drain = [] { return g_signal != 0; };
+    if (job_delay_ms > 0) {
+      hooks.on_job_start = [job_delay_ms] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(job_delay_ms));
+      };
+    }
+
+    pcss::serve::Server server(config, resolver, provider, store,
+                               pcss_tests::tiny_options(), hooks);
+    if (server.tcp_port() > 0) {
+      std::fprintf(stderr, "serve_fixture: tcp port %d\n", server.tcp_port());
+    }
+    const int casualties = server.run();
+    std::printf("casualties=%d\n", casualties);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_fixture: %s\n", e.what());
+    return 1;
+  }
+}

@@ -76,6 +76,9 @@ const Rule kRules[] = {
     {"D006", "src/runner/{json,hash,result_store}.{h,cpp}",
      "no pcss::obs symbols in document-serialization or cache-key TUs: "
      "telemetry must never reach stored bytes or cache keys"},
+    {"D007", "src/core src/tensor src/runner",
+     "no pcss::serve symbols or includes in engine layers: the server is a "
+     "transport over the runner and the dependency arrow is one-way"},
     {"C001", "everywhere",
      "no direct std::thread construction outside the WorkerPool: ad-hoc "
      "threads bypass pool reuse, error propagation and shutdown"},
@@ -459,6 +462,33 @@ FileReport lint_file(const fs::path& filepath) {
         emit(ln, "D006",
              "pcss::obs in a document-serialization/cache-key TU (telemetry "
              "must never reach stored bytes or cache keys)");
+      }
+    }
+
+    // D007 — serving symbols in engine layers. The module order in
+    // src/CMakeLists.txt makes serve the top layer over the runner; any
+    // serve:: use (qualified pcss::serve:: included — the ':' before
+    // "serve" is a non-identifier char, so it still matches) or
+    // pcss/serve/ include inside src/{core,tensor,runner} would reverse
+    // the arrow. Include check on the raw line: scrub() empties quoted
+    // include paths. Shares the D002 scope — both fence the engine.
+    if (d002_scope) {
+      bool serve_use = false;
+      for (std::size_t pos = line.find("serve::"); pos != std::string::npos;
+           pos = line.find("serve::", pos + 1)) {
+        if (pos == 0 || !ident_char(line[pos - 1])) {
+          serve_use = true;
+          break;
+        }
+      }
+      std::string lead = raw[n];
+      lead.erase(0, lead.find_first_not_of(" \t"));
+      const bool serve_include =
+          lead.rfind("#include", 0) == 0 && lead.find("pcss/serve/") != std::string::npos;
+      if (serve_use || serve_include) {
+        emit(ln, "D007",
+             "pcss::serve in an engine layer (the server is a transport over "
+             "the runner; the engine must never depend back on it)");
       }
     }
 
