@@ -8,6 +8,12 @@
 // BENCH_step_cost.json (override the path with PCSS_BENCH_OUT) with
 // steps/s per model next to the recorded pre-overhaul baseline, so CI can
 // upload it and the perf trajectory accrues per PR.
+//
+// PCSS_PLAN selects the execution mode under the SAME benchmark names
+// (default on; =0 for pure eager): plan mode captures one step into a
+// compiled plan before timing and the loop measures replays, which is
+// what the engine's attack loop executes from step 1 on. CI runs both
+// modes and gates plan-on vs plan-off through bench_check --min-speedup.
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -18,6 +24,7 @@
 #include "bench_common.h"
 #include "pcss/runner/json.h"
 #include "pcss/tensor/ops.h"
+#include "pcss/tensor/plan.h"
 #include "pcss/tensor/simd.h"
 
 using namespace pcss::core;
@@ -37,11 +44,40 @@ const pcss::data::PointCloud& indoor_cloud() {
   return clouds.front();
 }
 
+/// PCSS_PLAN unset or non-"0" = measure compiled-plan replays.
+bool plan_mode() {
+  const char* v = std::getenv("PCSS_PLAN");
+  return v == nullptr || std::string(v) != "0";
+}
+
 /// One gradient step of the attack inner loop (the unit the paper times).
 template <typename ModelGetter>
 void attack_step(benchmark::State& state, ModelGetter get_model) {
   auto model = get_model();
   const auto& cloud = indoor_cloud();
+  if (plan_mode()) {
+    // Capture once outside the timing loop, then time what the engine's
+    // attack loop runs on every step after the first: a replay of the
+    // flat forward/backward schedules over the pinned buffers.
+    Tensor delta = Tensor::zeros({cloud.size(), 3});
+    delta.set_requires_grad(true);
+    pcss::tensor::plan::PlanBuilder builder;
+    ModelInput input{&cloud, delta, {}};
+    Tensor logits = model->forward(input, false);
+    Tensor loss = ops::hinge_margin_loss(logits, cloud.labels, {}, /*targeted=*/false);
+    loss.backward();
+    pcss::tensor::plan::CompiledPlan plan;
+    if (builder.finish(plan)) {
+      for (auto _ : state) {
+        plan.replay_forward();
+        plan.replay_backward();
+        benchmark::DoNotOptimize(delta.grad().data());
+      }
+      return;
+    }
+    state.SkipWithError("step not capturable; rerun with PCSS_PLAN=0");
+    return;
+  }
   for (auto _ : state) {
     Tensor delta = Tensor::zeros({cloud.size(), 3});
     delta.set_requires_grad(true);
@@ -112,6 +148,7 @@ class StepCostJsonReporter : public benchmark::ConsoleReporter {
     Json doc = Json::object();
     doc.set("benchmark", std::string("attack_step_cost"));
     doc.set("fast", fast);
+    doc.set("plan", plan_mode());
     doc.set("simd_isa", std::string(pcss::tensor::simd::active_name()));
     Json results = Json::array();
     for (const auto& r : captured_) {
@@ -150,6 +187,7 @@ int main(int argc, char** argv) {
   // Surface the dispatch path next to the timings: the same binary can
   // produce scalar or AVX2 numbers depending on PCSS_SIMD / the CPU.
   benchmark::AddCustomContext("pcss_simd_isa", pcss::tensor::simd::active_name());
+  benchmark::AddCustomContext("pcss_plan", plan_mode() ? "on" : "off");
   StepCostJsonReporter json;
   benchmark::RunSpecifiedBenchmarks(&json);
   const char* out_path = std::getenv("PCSS_BENCH_OUT");

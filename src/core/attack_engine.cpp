@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -13,12 +14,14 @@
 #include "pcss/pointcloud/knn.h"
 #include "pcss/tensor/ops.h"
 #include "pcss/tensor/optim.h"
+#include "pcss/tensor/plan.h"
 #include "pcss/tensor/simd.h"
 
 namespace pcss::core {
 
 namespace ops = pcss::tensor::ops;
 namespace obs = pcss::obs;
+namespace tplan = pcss::tensor::plan;
 using pcss::pointcloud::Vec3;
 
 namespace {
@@ -231,16 +234,32 @@ class ClipProjection final : public Projection {
 
   void post_step() override {
     if (use_color_ && sparsify_color_ && !cd_.grad().empty()) {
-      for (std::int64_t removed : color_schedule_.restore_step(cd_.grad(), cdelta_)) {
+      const auto removed_pts = color_schedule_.restore_step(cd_.grad(), cdelta_);
+      if (!removed_pts.empty()) ++epoch_;  // explicit capture invalidation
+      for (std::int64_t removed : removed_pts) {
         for (int a = 0; a < 3; ++a) cdelta_[static_cast<size_t>(removed * 3 + a)] = 0.0f;
       }
     }
     if (use_coord_ && !pd_.grad().empty()) {
-      for (std::int64_t removed : coord_schedule_.restore_step(pd_.grad(), pdelta_)) {
+      const auto removed_pts = coord_schedule_.restore_step(pd_.grad(), pdelta_);
+      if (!removed_pts.empty()) ++epoch_;
+      for (std::int64_t removed : removed_pts) {
         for (int a = 0; a < 3; ++a) pdelta_[static_cast<size_t>(removed * 3 + a)] = 0.0f;
       }
     }
   }
+
+  /// The step graph hangs off the persistent cd_/pd_ leaves whose values
+  /// SignStep mutates in *raw* storage — a replay must re-run make_deltas
+  /// so refresh_leaf copies the raw deltas back into the leaf tensors.
+  PlanCompat plan_compat() const override { return PlanCompat::kRefreshLeaves; }
+
+  /// Bumped on every Eq. 12 restoration. The refresh_leaf path used to
+  /// silently re-zero gradients on such steps as if nothing changed; the
+  /// explicit epoch makes the invalidation observable so the engine's plan
+  /// fallback can key off it instead of replaying through a stale
+  /// perturbable set.
+  std::uint64_t plan_epoch() const override { return epoch_; }
 
   const std::vector<float>* final_color_delta() override {
     return use_color_ ? &cdelta_ : nullptr;
@@ -279,6 +298,7 @@ class ClipProjection final : public Projection {
   std::vector<float> cdelta_, pdelta_;
   Tensor cd_, pd_;  ///< this step's leaf tensors (gradients land here)
   MinImpactSchedule coord_schedule_, color_schedule_;
+  std::uint64_t epoch_ = 0;  ///< capture-invalidation counter (restorations)
 };
 
 // ---------------------------------------------------------------------------
@@ -458,7 +478,13 @@ class TanhProjection final : public Projection {
     if (use_coord_ && !w_coord_.grad().empty()) {
       std::vector<float> pdata(pdelta_t_.data(), pdelta_t_.data() + n_ * 3);
       const auto removed_pts = coord_schedule_.restore_step(w_coord_.grad(), pdata);
-      if (!removed_pts.empty()) coord_mask_t_ = Tensor();  // schedule shrank
+      if (!removed_pts.empty()) {
+        // Schedule shrank: the next make_deltas builds a fresh mask node,
+        // so any captured graph (which multiplies by the *old* node) is
+        // structurally stale — bump the epoch to force re-capture.
+        coord_mask_t_ = Tensor();
+        ++epoch_;
+      }
       for (std::int64_t removed : removed_pts) {
         for (int a = 0; a < 3; ++a) {
           w_coord_.data()[removed * 3 + a] = w_coord0_[static_cast<size_t>(removed * 3 + a)];
@@ -468,7 +494,10 @@ class TanhProjection final : public Projection {
     if (sparsify_color_ && !w_color_.grad().empty()) {
       std::vector<float> cdata(cdelta_t_.data(), cdelta_t_.data() + n_ * 3);
       const auto removed_pts = color_schedule_.restore_step(w_color_.grad(), cdata);
-      if (!removed_pts.empty()) color_mask_t_ = Tensor();
+      if (!removed_pts.empty()) {
+        color_mask_t_ = Tensor();
+        ++epoch_;
+      }
       for (std::int64_t removed : removed_pts) {
         for (int a = 0; a < 3; ++a) {
           w_color_.data()[removed * 3 + a] = w_color0_[static_cast<size_t>(removed * 3 + a)];
@@ -476,6 +505,13 @@ class TanhProjection final : public Projection {
       }
     }
   }
+
+  /// The whole tanh mapping + penalty graph replays: the optimization
+  /// variables (w_color_/w_coord_) are persistent leaves Adam updates in
+  /// place, and cdelta_t_/pdelta_t_ keep pointing at the captured mapped
+  /// nodes so observe_gain reads replay-fresh values.
+  PlanCompat plan_compat() const override { return PlanCompat::kCapturedGraph; }
+  std::uint64_t plan_epoch() const override { return epoch_; }
 
   const std::vector<float>* final_color_delta() override {
     materialize();
@@ -520,6 +556,7 @@ class TanhProjection final : public Projection {
   /// shrinks the corresponding schedule.
   Tensor color_mask_t_, coord_mask_t_;
   MinImpactSchedule coord_schedule_, color_schedule_;
+  std::uint64_t epoch_ = 0;  ///< capture-invalidation counter (mask resets)
   double best_gain_ = -1.0;
   std::vector<float> best_cdelta_, best_pdelta_;
 };
@@ -838,8 +875,8 @@ AttackEngine::AttackEngine(SegmentationModel& model, AttackConfig config,
   if (!recipe_.make_stop) recipe_.make_stop = std::move(defaults.make_stop);
 }
 
-int AttackEngine::worker_count(std::size_t jobs) const {
-  int workers = num_threads_;
+int AttackEngine::worker_count(std::size_t jobs, int threads) const {
+  int workers = threads;
   if (workers <= 0) {
     workers = static_cast<int>(std::thread::hardware_concurrency());
     if (workers <= 0) workers = 1;
@@ -848,33 +885,49 @@ int AttackEngine::worker_count(std::size_t jobs) const {
       std::min<std::size_t>(static_cast<std::size_t>(workers), std::max<std::size_t>(jobs, 1)));
 }
 
-void AttackEngine::emit(const AttackProgress& event) const {
-  if (!observer_) return;
+void AttackEngine::emit(const ExecPolicy& policy, const AttackProgress& event) const {
+  if (!policy.observer) return;
   const std::lock_guard<std::mutex> lock(observer_mutex_);
-  observer_(event);
+  policy.observer(event);
 }
 
 AttackResult AttackEngine::run(const PointCloud& cloud) const {
-  return run(cloud, config_.seed);
+  return run(cloud, config_.seed, setter_policy());
 }
 
 AttackResult AttackEngine::run(const PointCloud& cloud, std::uint64_t seed) const {
+  return run(cloud, seed, setter_policy());
+}
+
+AttackResult AttackEngine::run(const PointCloud& cloud, const ExecPolicy& policy) const {
+  return run(cloud, config_.seed, policy);
+}
+
+AttackResult AttackEngine::run(const PointCloud& cloud, std::uint64_t seed,
+                               const ExecPolicy& policy) const {
   ScopedParamFreeze freeze(model_);
-  return attack_cloud(cloud, seed, 0);
+  return attack_cloud(cloud, seed, 0, policy);
 }
 
 std::vector<AttackResult> AttackEngine::run_batch(
     std::span<const PointCloud> clouds) const {
+  return run_batch(clouds, setter_policy());
+}
+
+std::vector<AttackResult> AttackEngine::run_batch(std::span<const PointCloud> clouds,
+                                                  const ExecPolicy& policy) const {
   ScopedParamFreeze freeze(model_);
   std::vector<AttackResult> results(clouds.size());
-  parallel_for(clouds.size(), worker_count(clouds.size()), [&](std::size_t i) {
-    results[i] = attack_cloud(clouds[i], config_.seed + i, i);
-  });
+  parallel_for(clouds.size(), worker_count(clouds.size(), policy.threads),
+               [&](std::size_t i) {
+                 results[i] = attack_cloud(clouds[i], config_.seed + i, i, policy);
+               });
   return results;
 }
 
 AttackResult AttackEngine::attack_cloud(const PointCloud& cloud, std::uint64_t seed,
-                                        std::size_t cloud_index) const {
+                                        std::size_t cloud_index,
+                                        const ExecPolicy& policy) const {
   if (cloud.empty()) throw std::invalid_argument("AttackEngine: empty cloud");
   if (!config_.target_mask.empty() &&
       config_.target_mask.size() != static_cast<size_t>(cloud.size())) {
@@ -897,6 +950,9 @@ AttackResult AttackEngine::attack_cloud(const PointCloud& cloud, std::uint64_t s
       std::string("attack.step_ms.") + model_.name() + "." +
       tensor::simd::active_name());
   obs::metrics::Counter& steps_total = obs::metrics::counter("attack.steps");
+  obs::metrics::Counter& plan_captures = obs::metrics::counter("plan.captures");
+  obs::metrics::Counter& plan_replays = obs::metrics::counter("plan.replays");
+  obs::metrics::Counter& plan_fallbacks = obs::metrics::counter("plan.fallbacks");
   obs::trace::ScopedSpan cloud_span(kCloudSpan);
 
   Rng rng(seed);
@@ -906,6 +962,21 @@ AttackResult AttackEngine::attack_cloud(const PointCloud& cloud, std::uint64_t s
   auto stop = recipe_.make_stop();
   projection->init(cloud, mask, rng);
 
+  // Capture-once / replay-many: the first eager step is recorded into a
+  // compiled plan and subsequent steps replay its flat op schedule
+  // (byte-identical by construction — same kernels, same buffers, same
+  // order). Restricted to color-field attacks: coordinate deltas change
+  // the host-side neighbor graphs every step, so there is no fixed graph
+  // to capture, and skipping that rebuild is exactly what replay buys.
+  const PlanCompat plan_compat = projection->plan_compat();
+  bool plan_enabled = policy.plan && config_.use_plan &&
+                      config_.field == AttackField::kColor &&
+                      model_.plan_safe_forward() &&
+                      plan_compat != PlanCompat::kIncompatible;
+  tplan::CompiledPlan plan;
+  Tensor plan_logits;  // keeps the captured graph's output node alive
+  std::uint64_t plan_epoch = 0;
+
   int step = 0;
   const int budget = stop->max_steps();
   for (; step < budget; ++step) {
@@ -913,6 +984,52 @@ AttackResult AttackEngine::attack_cloud(const PointCloud& cloud, std::uint64_t s
     step_span.arg(kStepArg, step);
     obs::metrics::ScopedTimerMs step_timer(step_ms);
     steps_total.add(1);
+
+    if (plan.valid() && projection->plan_epoch() != plan_epoch) {
+      // The projection invalidated the captured graph (an L0 restoration
+      // changed its shape): drop the plan and fall back to an eager step,
+      // which re-captures below.
+      plan.reset();
+      plan_logits = Tensor();
+      plan_fallbacks.add(1);
+    }
+
+    if (plan.valid()) {
+      plan_replays.add(1);
+      if (plan_compat == PlanCompat::kRefreshLeaves) {
+        // Values live in raw projection storage; copy them back into the
+        // captured leaf tensors (and zero their grads) before replaying.
+        (void)projection->make_deltas();
+      }
+      {
+        obs::trace::ScopedSpan span(kForwardSpan);
+        plan.replay_forward();
+      }
+      const std::vector<int> pred = ops::argmax_rows(plan_logits);
+      const double gain = objective->gain(pred, cloud, mask, model_.num_classes());
+      projection->observe_gain(gain);
+      emit(policy, {cloud_index, step, gain});
+
+      const StepAction action = stop->on_gain(step, gain, objective->converged(gain));
+      if (action == StepAction::kStop) break;
+
+      step_rule->zero_grad(*projection);
+      {
+        obs::trace::ScopedSpan span(kBackwardSpan);
+        plan.replay_backward();
+      }
+      {
+        obs::trace::ScopedSpan span(kProjectionSpan);
+        step_rule->apply(*projection);
+        projection->project();
+        if (action == StepAction::kRestart) projection->random_restart(rng);
+        projection->post_step();
+      }
+      continue;
+    }
+
+    std::optional<tplan::PlanBuilder> builder;
+    if (plan_enabled) builder.emplace();
     FieldDeltas deltas = projection->make_deltas();
     ModelInput input{&cloud, deltas.color, deltas.coord};
     Tensor logits = [&] {
@@ -922,10 +1039,10 @@ AttackResult AttackEngine::attack_cloud(const PointCloud& cloud, std::uint64_t s
     const std::vector<int> pred = ops::argmax_rows(logits);
     const double gain = objective->gain(pred, cloud, mask, model_.num_classes());
     projection->observe_gain(gain);
-    emit({cloud_index, step, gain});
+    emit(policy, {cloud_index, step, gain});
 
     const StepAction action = stop->on_gain(step, gain, objective->converged(gain));
-    if (action == StepAction::kStop) break;
+    if (action == StepAction::kStop) break;  // builder dtor aborts the capture
 
     Tensor loss = [&] {
       obs::trace::ScopedSpan span(kObjectiveSpan);
@@ -935,6 +1052,18 @@ AttackResult AttackEngine::attack_cloud(const PointCloud& cloud, std::uint64_t s
     {
       obs::trace::ScopedSpan span(kBackwardSpan);
       loss.backward();
+    }
+    if (builder) {
+      if (builder->finish(plan)) {
+        plan_logits = logits;
+        plan_epoch = projection->plan_epoch();
+        plan_captures.add(1);
+      } else {
+        // Uncapturable op in the graph (training-mode statistics, fresh
+        // RNG state): stay eager for the rest of this run.
+        plan_enabled = false;
+        plan_fallbacks.add(1);
+      }
     }
     {
       obs::trace::ScopedSpan span(kProjectionSpan);
@@ -955,6 +1084,11 @@ AttackResult AttackEngine::attack_cloud(const PointCloud& cloud, std::uint64_t s
 }
 
 SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds) const {
+  return run_shared(clouds, setter_policy());
+}
+
+SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds,
+                                           const ExecPolicy& policy) const {
   if (clouds.empty()) throw std::invalid_argument("run_shared: no clouds");
   // The shared-delta loop always runs sign-PGD on the color field, so it
   // needs the bounded-attack fields even when config.norm is kUnbounded
@@ -974,7 +1108,7 @@ SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds) c
   // One persistent pool for every per-step round: worker threads (and
   // their thread-local tensor buffer pools) live for the whole run
   // instead of being respawned each optimization step.
-  WorkerPool pool(worker_count(clouds.size()));
+  WorkerPool pool(worker_count(clouds.size(), policy.threads));
 
   Rng rng(config_.seed);
   SharedDeltaResult result;
@@ -999,12 +1133,26 @@ SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds) c
   // of re-tensorizing (backward() released the previous step's graph).
   std::vector<Tensor> deltas(clouds.size());
   std::vector<float> losses(clouds.size(), 0.0f);
+  // Per-cloud compiled plans: round 0 captures each cloud's gradient pass,
+  // later rounds refresh the leaf values and replay the flat schedule.
+  // A plan may replay on a different worker thread than the one that
+  // captured it — safe, because replay touches only the pinned buffers and
+  // pool.run barriers order the rounds. plan_dead marks clouds whose
+  // capture failed (they stay eager for the whole run).
+  const bool plans_enabled =
+      policy.plan && config_.use_plan && model_.plan_safe_forward();
+  std::vector<tplan::CompiledPlan> plans(clouds.size());
+  std::vector<Tensor> plan_losses(clouds.size());
+  std::vector<std::uint8_t> plan_dead(clouds.size(), 0);
   // Telemetry only: one span per shared-PGD round plus a per-cloud
   // gradient-pass span emitted from the worker threads.
   static const obs::trace::Label kRoundSpan = obs::trace::intern("attack.shared.step");
   static const obs::trace::Label kGradSpan = obs::trace::intern("attack.shared.grad");
   static const obs::trace::Label kStepArg = obs::trace::intern("step");
   obs::metrics::Counter& shared_steps = obs::metrics::counter("attack.shared.steps");
+  obs::metrics::Counter& plan_captures = obs::metrics::counter("plan.captures");
+  obs::metrics::Counter& plan_replays = obs::metrics::counter("plan.replays");
+  obs::metrics::Counter& plan_fallbacks = obs::metrics::counter("plan.fallbacks");
   int step = 0;
   for (; step < config_.steps; ++step) {
     obs::trace::ScopedSpan round_span(kRoundSpan);
@@ -1013,6 +1161,16 @@ SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds) c
     pool.run(clouds.size(), [&](std::size_t ci) {
       obs::trace::ScopedSpan grad_span(kGradSpan);
       Tensor& delta = deltas[ci];
+      if (plans[ci].valid()) {
+        plan_replays.add(1);
+        std::copy(result.color_delta.begin(), result.color_delta.end(), delta.data());
+        plans[ci].replay_forward();
+        plans[ci].replay_backward();
+        losses[ci] = plan_losses[ci].item();
+        return;
+      }
+      std::optional<tplan::PlanBuilder> builder;
+      if (plans_enabled && !plan_dead[ci]) builder.emplace();
       if (!delta.defined()) {
         delta = Tensor::from_data({n, 3}, result.color_delta);
         delta.set_requires_grad(true);
@@ -1026,6 +1184,15 @@ SharedDeltaResult AttackEngine::run_shared(std::span<const PointCloud> clouds) c
                                            /*targeted=*/false);
       loss.backward();
       losses[ci] = loss.item();
+      if (builder) {
+        if (builder->finish(plans[ci])) {
+          plan_losses[ci] = loss;
+          plan_captures.add(1);
+        } else {
+          plan_dead[ci] = 1;
+          plan_fallbacks.add(1);
+        }
+      }
     });
 
     std::vector<double> grad_sum(static_cast<size_t>(n * 3), 0.0);

@@ -61,6 +61,22 @@ class Objective {
   virtual bool converged(double gain) const = 0;
 };
 
+/// How a Projection interacts with compiled step plans (plan.h).
+enum class PlanCompat {
+  /// Never replay through this projection (safe default for custom
+  /// projections the engine knows nothing about).
+  kIncompatible,
+  /// The step graph hangs off persistent leaf tensors whose *values* the
+  /// step rule mutates out-of-graph; the engine calls make_deltas() before
+  /// every replay so the projection can refresh the leaves in place
+  /// (bounded clip).
+  kRefreshLeaves,
+  /// The whole delta-mapping graph was captured; make_deltas/total_loss
+  /// are skipped during replay and the optimization variables are updated
+  /// in place by the step rule (CW tanh).
+  kCapturedGraph,
+};
+
 /// Perturbation parameterization. Stateful per run: init() is called once
 /// per cloud, then the engine alternates make_deltas / updates / post_step.
 class Projection {
@@ -108,6 +124,16 @@ class Projection {
 
   /// Eq. 12 L0 restoration using this step's gradients.
   virtual void post_step() {}
+
+  /// Whether — and how — the engine may replay this projection's step
+  /// through a compiled plan. See PlanCompat.
+  virtual PlanCompat plan_compat() const { return PlanCompat::kIncompatible; }
+
+  /// Explicit capture-invalidation epoch: bumped whenever the step graph's
+  /// *shape* changed (an L0 restoration shrank a mask that is baked into
+  /// the graph, for example). The engine drops its plan and re-captures
+  /// when the epoch moves.
+  virtual std::uint64_t plan_epoch() const { return 0; }
 
   /// Final raw-unit deltas to apply to the cloud; null = field untouched.
   /// Called once after the loop ends; may materialize internal state.
@@ -171,6 +197,17 @@ struct AttackProgress {
 };
 using ProgressObserver = std::function<void(const AttackProgress&)>;
 
+/// Execution policy shared by every engine entry point (run / run_batch /
+/// run_shared): how to run, never *what* to compute. Any policy produces
+/// byte-identical results — threads only schedule independent work, plans
+/// replay bit-identically, and observers are pure taps — so ExecPolicy
+/// values must never enter cache keys or documents.
+struct ExecPolicy {
+  int threads = 0;    ///< worker threads for batched modes (0 = hardware)
+  bool plan = true;   ///< allow compiled-plan capture/replay (plan.h)
+  ProgressObserver observer;  ///< per-step progress tap (may be empty)
+};
+
 /// Result of the shared-delta ("universal") mode: one color perturbation
 /// optimized jointly against every cloud in the batch.
 struct SharedDeltaResult {
@@ -205,6 +242,7 @@ class AttackEngine {
   SegmentationModel& model() const { return model_; }
 
   /// Worker threads for run_batch / run_shared. 0 = hardware concurrency.
+  /// Legacy setter: equivalent to passing ExecPolicy{num_threads, ...}.
   void set_num_threads(int num_threads) { num_threads_ = num_threads; }
   void set_observer(ProgressObserver observer) { observer_ = std::move(observer); }
 
@@ -212,6 +250,11 @@ class AttackEngine {
   AttackResult run(const PointCloud& cloud) const;
   /// Attacks one cloud with an explicit RNG seed (overrides config.seed).
   AttackResult run(const PointCloud& cloud, std::uint64_t seed) const;
+  /// Policy-carrying variants. The setter-based signatures above are thin
+  /// bit-exact wrappers over these (policy built from the setters).
+  AttackResult run(const PointCloud& cloud, const ExecPolicy& policy) const;
+  AttackResult run(const PointCloud& cloud, std::uint64_t seed,
+                   const ExecPolicy& policy) const;
 
   /// Attacks every cloud independently across the worker pool.
   ///
@@ -221,6 +264,8 @@ class AttackEngine {
   /// on unrelated scenes), build one engine per mask as bench_hiding.h
   /// does; a cloud whose size does not match the mask throws.
   std::vector<AttackResult> run_batch(std::span<const PointCloud> clouds) const;
+  std::vector<AttackResult> run_batch(std::span<const PointCloud> clouds,
+                                      const ExecPolicy& policy) const;
 
   /// Optimizes one shared color delta against all clouds jointly (the
   /// min-max "universal" formulation, §VI limitation 4). Clouds must be
@@ -231,12 +276,17 @@ class AttackEngine {
   /// they are not positive. Progress observers are not invoked (the
   /// shared loop has no per-cloud Objective::gain to report).
   SharedDeltaResult run_shared(std::span<const PointCloud> clouds) const;
+  SharedDeltaResult run_shared(std::span<const PointCloud> clouds,
+                               const ExecPolicy& policy) const;
 
  private:
+  /// The policy the legacy setter-based entry points are equivalent to.
+  ExecPolicy setter_policy() const { return {num_threads_, true, observer_}; }
+
   AttackResult attack_cloud(const PointCloud& cloud, std::uint64_t seed,
-                            std::size_t cloud_index) const;
-  void emit(const AttackProgress& event) const;
-  int worker_count(std::size_t jobs) const;
+                            std::size_t cloud_index, const ExecPolicy& policy) const;
+  void emit(const ExecPolicy& policy, const AttackProgress& event) const;
+  int worker_count(std::size_t jobs, int threads) const;
 
   SegmentationModel& model_;
   AttackConfig config_;

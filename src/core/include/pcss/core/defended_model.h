@@ -66,6 +66,11 @@ class DefendedModel final : public SegmentationModel {
 
   Tensor forward(const ModelInput& input, bool training) override;
 
+  /// Defense streams are a function of the *perturbed input bytes*, so the
+  /// survivor set — and with it the graph shape — changes step to step:
+  /// never capture a plan through a defense pipeline.
+  bool plan_safe_forward() const override { return false; }
+
   std::vector<pcss::tensor::nn::NamedParam> named_params() override {
     return inner_.named_params();
   }

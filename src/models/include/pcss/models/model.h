@@ -42,6 +42,13 @@ class SegmentationModel {
   /// Per-point logits [N, num_classes].
   virtual Tensor forward(const ModelInput& input, bool training) = 0;
 
+  /// True when an eval-mode forward over a *fixed* cloud builds the same
+  /// graph shape every call (sampling from a per-call fixed seed, neighbor
+  /// graphs a pure function of positions), making the step replayable by a
+  /// compiled plan (pcss/tensor/plan.h). Wrappers that inject step-varying
+  /// structure (stochastic defenses) must override this to false.
+  virtual bool plan_safe_forward() const { return true; }
+
   /// All trainable parameters with hierarchical names (for checkpoints).
   virtual std::vector<pcss::tensor::nn::NamedParam> named_params() = 0;
   /// Non-trainable state (batch-norm running statistics).

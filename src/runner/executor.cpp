@@ -26,6 +26,7 @@ using pcss::core::AttackEngine;
 using pcss::core::AttackResult;
 using pcss::core::BestAvgWorst;
 using pcss::core::CaseRecord;
+using pcss::core::ExecPolicy;
 using pcss::core::SegMetrics;
 using pcss::core::SharedDeltaResult;
 
@@ -194,17 +195,23 @@ std::string grid_shard_key(const std::string& key, std::size_t offset, std::size
 
 /// Executes (or replays from the shard cache) the clouds [offset,
 /// offset+count) of one per-cloud variant.
+/// The per-shard engine execution policy a RunOptions selects. Pure
+/// execution knobs only (threads, plans, no observer) — nothing here can
+/// change document bytes.
+ExecPolicy shard_policy(const RunOptions& options) {
+  return {options.num_threads, options.plan, {}};
+}
+
 ShardData compute_attack_shard(SegmentationModel& model, const AttackConfig& config,
                                std::span<const PointCloud> clouds, std::size_t offset,
-                               std::size_t count, bool use_l0, int num_threads) {
+                               std::size_t count, bool use_l0, const ExecPolicy& policy) {
   AttackConfig shard_config = config;
   // Seed offset keeps cloud g on RNG stream seed+g under any sharding:
   // run_batch seeds cloud i of the shard with shard_config.seed + i.
   shard_config.seed += offset;
   AttackEngine engine(model, shard_config);
-  engine.set_num_threads(num_threads);
   const std::vector<AttackResult> results =
-      engine.run_batch(clouds.subspan(offset, count));
+      engine.run_batch(clouds.subspan(offset, count), policy);
   ShardData shard;
   shard.rows.reserve(count);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -315,10 +322,10 @@ GridShardData grid_shard_from_json(const Json& j, std::size_t attack_count,
 }
 
 ShardData compute_shared_shard(SegmentationModel& model, const AttackConfig& config,
-                               std::span<const PointCloud> clouds, int num_threads) {
+                               std::span<const PointCloud> clouds,
+                               const ExecPolicy& policy) {
   AttackEngine engine(model, config);
-  engine.set_num_threads(num_threads);
-  const SharedDeltaResult result = engine.run_shared(clouds);
+  const SharedDeltaResult result = engine.run_shared(clouds, policy);
   ShardData shard;
   shard.accuracy_before = result.accuracy_before;
   shard.accuracy_after = result.accuracy_after;
@@ -826,7 +833,7 @@ RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
             switch (variant.kind) {
               case VariantKind::kPerCloud:
                 shard = compute_attack_shard(*model, config, cloud_span, offset, count,
-                                             spec.use_l0_distance, options.num_threads);
+                                             spec.use_l0_distance, shard_policy(options));
                 break;
               case VariantKind::kNoiseBaseline:
                 shard = compute_noise_shard(*model, variant, config, cloud_span, offset,
@@ -834,7 +841,7 @@ RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
                 break;
               case VariantKind::kSharedDelta:
                 shard =
-                    compute_shared_shard(*model, config, cloud_span, options.num_threads);
+                    compute_shared_shard(*model, config, cloud_span, shard_policy(options));
                 break;
             }
             store.put(shard_key, shard_to_json(shard, variant.kind).dump() + "\n");
@@ -898,6 +905,7 @@ RunOutcome run_spec(const ExperimentSpec& spec, ModelProvider& provider,
   perf.set("num_threads", options.num_threads);
   perf.set("shard_size", shard_size);
   perf.set("fast", options.fast);
+  perf.set("plan", options.plan);
   // Tensor buffer-pool telemetry, aggregated over every pool slot (one
   // per thread that ever touched the pool; exited workers' slots persist
   // with monotonic counters, so per-run numbers are before/after deltas
@@ -1039,13 +1047,13 @@ class WorkerPlanner {
       case VariantKind::kPerCloud: {
         const ShardData data =
             compute_attack_shard(model, config, clouds_, shard.offset, shard.count,
-                                 spec_.use_l0_distance, options_.num_threads);
+                                 spec_.use_l0_distance, shard_policy(options_));
         for (const CaseRow& row : data.rows) steps += row.steps;
         return data;
       }
       case VariantKind::kSharedDelta: {
         const ShardData data =
-            compute_shared_shard(model, config, clouds_, options_.num_threads);
+            compute_shared_shard(model, config, clouds_, shard_policy(options_));
         steps += static_cast<long long>(data.steps_used) *
                  static_cast<long long>(shard.count);
         return data;

@@ -42,6 +42,13 @@ struct RunOptions {
   bool force = false;       ///< recompute, ignoring document and shard caches
   int num_threads = 0;      ///< AttackEngine workers per shard; 0 = hardware
   int shard_size = 4;       ///< clouds per cached shard (min 1)
+
+  /// Compiled-plan capture/replay inside the attack loop (plan.h).
+  /// Replays are byte-identical to eager steps, so this is pure execution
+  /// policy like num_threads: it never enters cache keys and toggling it
+  /// yields the same document bytes (tested in tests/plan_test.cpp).
+  bool plan = true;
+
   std::function<void(const ShardProgress&)> on_progress;  ///< may be empty
 
   /// Graceful-cancel poll, checked at shard boundaries only (mid-shard
@@ -50,6 +57,55 @@ struct RunOptions {
   /// run_spec_worker stops claiming and returns with `cancelled` set.
   /// Like on_progress, it can observe but never perturb document bytes.
   std::function<bool()> cancel;  ///< may be empty (= never cancel)
+};
+
+/// Fluent one-stop construction of RunOptions, shared by every entry
+/// point (pcss_run, pcss_serve, the worker fixture, tests) so the
+/// fast-flag/scale pairing cannot drift between them: fast(bool) sets
+/// BOTH the informational flag and the matching Scale in one call, which
+/// is the invariant the hand-rolled call sites kept re-implementing.
+class RunOptionsBuilder {
+ public:
+  /// fast(f) in one call: the flag and its scale_for(f) sizing.
+  RunOptionsBuilder& fast(bool f) {
+    options_.fast = f;
+    options_.scale = scale_for(f);
+    return *this;
+  }
+  /// Explicit sizing override (tiny test scales); keeps `fast` as-is.
+  RunOptionsBuilder& scale(const Scale& s) {
+    options_.scale = s;
+    return *this;
+  }
+  RunOptionsBuilder& force(bool f = true) {
+    options_.force = f;
+    return *this;
+  }
+  RunOptionsBuilder& threads(int n) {
+    options_.num_threads = n;
+    return *this;
+  }
+  RunOptionsBuilder& shard_size(int n) {
+    options_.shard_size = n;
+    return *this;
+  }
+  RunOptionsBuilder& plan(bool enabled) {
+    options_.plan = enabled;
+    return *this;
+  }
+  RunOptionsBuilder& on_progress(std::function<void(const ShardProgress&)> fn) {
+    options_.on_progress = std::move(fn);
+    return *this;
+  }
+  RunOptionsBuilder& cancel(std::function<bool()> fn) {
+    options_.cancel = std::move(fn);
+    return *this;
+  }
+
+  RunOptions build() const { return options_; }
+
+ private:
+  RunOptions options_;
 };
 
 /// Thrown by run_spec when RunOptions::cancel fires: every finished

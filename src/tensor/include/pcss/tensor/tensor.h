@@ -32,6 +32,15 @@ using TensorImplPtr = std::shared_ptr<TensorImpl>;
 /// ops.
 using BackwardFn = void (*)(TensorImpl& node);
 
+/// Forward recomputation rule for one node, used by compiled step plans
+/// (plan.h): rewrites node.data — and any value-dependent saved state such
+/// as argmax indices — in place from the parents' current data. Symmetric
+/// to BackwardFn: a plain function pointer resolved once at op-build time,
+/// so a plan replay is a flat loop of indirect calls with no dispatch and
+/// no allocation. Null for ops whose forward is not replayable (training
+/// batch norm mutates running stats; training dropout draws a fresh mask).
+using ForwardFn = void (*)(TensorImpl& node);
+
 /// Saved-state record for backward rules that need more than scalars.
 /// Field meaning is op-specific; `fbuf` returns to the buffer pool on
 /// destruction.
@@ -53,6 +62,9 @@ struct TensorImpl {
   bool requires_grad = false;
   std::vector<TensorImplPtr> parents;
   BackwardFn backward_fn = nullptr;
+  /// Set alongside backward_fn on gradient-carrying nodes; only compiled
+  /// step plans call it (eager execution never re-runs a forward).
+  ForwardFn forward_fn = nullptr;
   /// Inline op state (meaning is op-specific: a stride, a segment width,
   /// a scale factor...). Avoids a BackwardCtx allocation for most ops.
   std::int64_t op_i0 = 0;

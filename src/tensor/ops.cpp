@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "pcss/obs/metrics.h"
+#include "pcss/tensor/plan.h"
 #include "pcss/tensor/pool.h"
 #include "pcss/tensor/simd.h"
 
@@ -29,6 +30,7 @@ struct NodeArgs {
   bool flag = false;
   bool needs_output = false;  ///< backward reads the node's own data
   std::unique_ptr<BackwardCtx> ctx;
+  ForwardFn fwd = nullptr;  ///< replay rule; null marks the op uncapturable
 };
 
 /// Builds the result node, wiring parents and the backward dispatch only
@@ -53,6 +55,10 @@ Tensor make_node(Shape shape, FloatBuffer data, std::vector<TensorImplPtr> paren
     impl->op_flag = args.flag;
     impl->backward_reads_output = args.needs_output;
     impl->ctx = std::move(args.ctx);
+    impl->forward_fn = args.fwd;
+    // Creation order is a valid topological order (parents exist before
+    // children by construction), so the recording is the replay schedule.
+    if (plan::detail::recording()) plan::detail::record_node(impl);
   }
   return Tensor(std::move(impl));
 }
@@ -707,6 +713,368 @@ void mul_rows_bw(TensorImpl& node) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Forward replay rules (compiled step plans, see plan.h). Each rewrites the
+// node's value buffer — and any value-dependent saved state such as argmax
+// indices — in place from the parents' current data, using exactly the
+// kernel and accumulation order of the eager builder above it, so a replayed
+// forward is bit-identical to an eager one. Structural state (shapes,
+// indices, masks, scalar parameters) is fixed at capture time and only read
+// here; bounds were validated during capture, so replays skip the checks.
+// ---------------------------------------------------------------------------
+
+void add_fwd(TensorImpl& node) {
+  simd::active().ew_add(parent(node, 0)->data.data(), parent(node, 1)->data.data(),
+                        node.data.data(), node.data.size());
+}
+
+void sub_fwd(TensorImpl& node) {
+  simd::active().ew_sub(parent(node, 0)->data.data(), parent(node, 1)->data.data(),
+                        node.data.data(), node.data.size());
+}
+
+void mul_fwd(TensorImpl& node) {
+  simd::active().ew_mul(parent(node, 0)->data.data(), parent(node, 1)->data.data(),
+                        node.data.data(), node.data.size());
+}
+
+void scale_fwd(TensorImpl& node) {
+  simd::active().ew_scale(parent(node, 0)->data.data(), node.op_f0, node.data.data(),
+                          node.data.size());
+}
+
+void add_scalar_fwd(TensorImpl& node) {
+  simd::active().ew_add_scalar(parent(node, 0)->data.data(), node.op_f0,
+                               node.data.data(), node.data.size());
+}
+
+void add_rowvec_fwd(TensorImpl& node) {
+  simd::active().add_rowvec(parent(node, 0)->data.data(), parent(node, 1)->data.data(),
+                            node.data.data(), node.shape[0], node.shape[1]);
+}
+
+void matmul_fwd(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  TensorImpl* pb = parent(node, 1);
+  const std::int64_t n = pa->shape[0], k = pa->shape[1], m = pb->shape[1];
+  note_gemm(n, k, m);
+  simd::active().gemm_nn_init(pa->data.data(), pb->data.data(), node.data.data(), n, k, m);
+}
+
+void linear_fwd(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
+  TensorImpl* px = parent(node, 0);
+  TensorImpl* pw = parent(node, 1);
+  const std::int64_t n = px->shape[0], k = px->shape[1], m = pw->shape[1];
+  note_gemm(n, k, m);
+  K.gemm_nn_init(px->data.data(), pw->data.data(), node.data.data(), n, k, m);
+  if (node.parents.size() > 2) {
+    K.add_rowvec(node.data.data(), parent(node, 2)->data.data(), node.data.data(), n, m);
+  }
+}
+
+void relu_fwd(TensorImpl& node) {
+  simd::active().ew_relu(parent(node, 0)->data.data(), node.data.data(),
+                         node.data.size());
+}
+
+void leaky_relu_fwd(TensorImpl& node) {
+  simd::active().ew_leaky_relu(parent(node, 0)->data.data(), node.op_f0,
+                               node.data.data(), node.data.size());
+}
+
+void tanh_fwd(TensorImpl& node) {
+  const float* pa = parent(node, 0)->data.data();
+  for (size_t i = 0; i < node.data.size(); ++i) node.data[i] = std::tanh(pa[i]);
+}
+
+void sigmoid_fwd(TensorImpl& node) {
+  const float* pa = parent(node, 0)->data.data();
+  for (size_t i = 0; i < node.data.size(); ++i) {
+    node.data[i] = 1.0f / (1.0f + std::exp(-pa[i]));
+  }
+}
+
+void square_fwd(TensorImpl& node) {
+  simd::active().ew_square(parent(node, 0)->data.data(), node.data.data(),
+                           node.data.size());
+}
+
+void sum_fwd(TensorImpl& node) {
+  const FloatBuffer& a = parent(node, 0)->data;
+  node.data[0] = static_cast<float>(simd::active().reduce_sum_f64(a.data(), a.size()));
+}
+
+void row_sum_fwd(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  simd::active().row_sum(pa->data.data(), node.data.data(), pa->shape[0], pa->shape[1]);
+}
+
+void sqrt_fwd(TensorImpl& node) {
+  const float* pa = parent(node, 0)->data.data();
+  const float eps = node.op_f0;
+  for (size_t i = 0; i < node.data.size(); ++i) {
+    node.data[i] = std::sqrt(std::max(pa[i] + eps, 0.0f));
+  }
+}
+
+void gather_rows_fwd(TensorImpl& node) {
+  const float* px = parent(node, 0)->data.data();
+  const std::int64_t c = node.shape[1];
+  const auto& idx = node.ctx->ibuf;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    std::copy_n(px + idx[i] * c, c, node.data.data() + static_cast<std::int64_t>(i) * c);
+  }
+}
+
+void scatter_rows_fwd(TensorImpl& node) {
+  // ctx.fbuf holds the fill template saved at capture time.
+  std::copy(node.ctx->fbuf.begin(), node.ctx->fbuf.end(), node.data.begin());
+  const float* pr = parent(node, 0)->data.data();
+  const std::int64_t c = node.shape[1];
+  const auto& idx = node.ctx->ibuf;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    std::copy_n(pr + static_cast<std::int64_t>(i) * c, c, node.data.data() + idx[i] * c);
+  }
+}
+
+void weighted_gather_rows_fwd(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
+  const float* px = parent(node, 0)->data.data();
+  const std::int64_t c = node.shape[1];
+  const std::int64_t k_per_row = node.op_i0;
+  const auto& idx = node.ctx->ibuf;
+  const auto& w = node.ctx->fbuf;
+  const std::int64_t nout = static_cast<std::int64_t>(idx.size()) / k_per_row;
+  std::fill(node.data.begin(), node.data.end(), 0.0f);
+  for (std::int64_t i = 0; i < nout; ++i) {
+    float* dst = node.data.data() + i * c;
+    for (std::int64_t k = 0; k < k_per_row; ++k) {
+      K.acc_axpy(dst, px + idx[static_cast<size_t>(i * k_per_row + k)] * c,
+                 w[static_cast<size_t>(i * k_per_row + k)], static_cast<size_t>(c));
+    }
+  }
+}
+
+void repeat_rows_fwd(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  const std::int64_t k = node.op_i0;
+  const std::int64_t n = px->shape[0], c = px->shape[1];
+  const float* src = px->data.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t r = 0; r < k; ++r) {
+      std::copy_n(src + i * c, c, node.data.data() + (i * k + r) * c);
+    }
+  }
+}
+
+void concat_cols_fwd(TensorImpl& node) {
+  TensorImpl* pa = parent(node, 0);
+  TensorImpl* pb = parent(node, 1);
+  const std::int64_t n = node.shape[0];
+  const std::int64_t ca = pa->shape[1], cb = pb->shape[1];
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::copy_n(pa->data.data() + i * ca, ca, node.data.data() + i * (ca + cb));
+    std::copy_n(pb->data.data() + i * cb, cb, node.data.data() + i * (ca + cb) + ca);
+  }
+}
+
+void concat_cols4_fwd(TensorImpl& node) {
+  const std::int64_t n = node.shape[0];
+  const std::int64_t total = node.shape[1];
+  std::int64_t offset = 0;
+  for (size_t s = 0; s < 4; ++s) {
+    TensorImpl* p = parent(node, s);
+    const std::int64_t w = p->shape[1];
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::copy_n(p->data.data() + i * w, w, node.data.data() + i * total + offset);
+    }
+    offset += w;
+  }
+}
+
+void slice_cols_fwd(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  const std::int64_t c0 = node.op_i0;
+  const std::int64_t n = node.shape[0], w = node.shape[1], c = px->shape[1];
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::copy_n(px->data.data() + i * c + c0, w, node.data.data() + i * w);
+  }
+}
+
+void scatter_add_cols_fwd(TensorImpl& node) {
+  TensorImpl* pbase = parent(node, 0);
+  TensorImpl* pdelta = parent(node, 1);
+  const std::int64_t col0 = node.op_i0;
+  const std::int64_t n = node.shape[0], c = node.shape[1], d = pdelta->shape[1];
+  std::copy_n(pbase->data.data(), n * c, node.data.data());
+  const float* pd = pdelta->data.data();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) node.data[i * c + col0 + j] += pd[i * d + j];
+  }
+}
+
+void edge_features_fwd(TensorImpl& node) {
+  TensorImpl* ph = parent(node, 0);
+  simd::active().edge_features(ph->data.data(), node.ctx->ibuf.data(),
+                               node.data.data(), ph->shape[0], node.op_i0,
+                               ph->shape[1]);
+}
+
+void gather_sub_rows_fwd(TensorImpl& node) {
+  TensorImpl* px_node = parent(node, 0);
+  const std::int64_t k = node.op_i0;
+  const std::int64_t c = node.shape[1];
+  const std::int64_t nout = node.shape[0] / k;
+  const auto& idx = node.ctx->ibuf;  // [idx_a (nout*k) | idx_b (nout)]
+  const std::int64_t* idx_a = idx.data();
+  const std::int64_t* idx_b = idx.data() + nout * k;
+  const float* px = px_node->data.data();
+  for (std::int64_t i = 0; i < nout; ++i) {
+    const float* xb = px + idx_b[i] * c;
+    for (std::int64_t r = 0; r < k; ++r) {
+      const float* xa = px + idx_a[i * k + r] * c;
+      float* row = node.data.data() + (i * k + r) * c;
+      for (std::int64_t t = 0; t < c; ++t) row[t] = xa[t] - xb[t];
+    }
+  }
+}
+
+void mul_rows_fwd(TensorImpl& node) {
+  simd::active().mul_rows(parent(node, 0)->data.data(), parent(node, 1)->data.data(),
+                          node.data.data(), node.shape[0], node.shape[1]);
+}
+
+void segment_max_fwd(TensorImpl& node) {
+  // Value-dependent saved state: the argmax indices backward reads are
+  // rewritten alongside the values.
+  const float* px = parent(node, 0)->data.data();
+  const std::int64_t k = node.op_i0;
+  const std::int64_t n = node.shape[0], c = node.shape[1];
+  auto& arg = node.ctx->ibuf;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < c; ++j) {
+      float best = px[(i * k) * c + j];
+      std::int64_t best_r = 0;
+      for (std::int64_t r = 1; r < k; ++r) {
+        const float v = px[(i * k + r) * c + j];
+        if (v > best) {
+          best = v;
+          best_r = r;
+        }
+      }
+      node.data[i * c + j] = best;
+      arg[static_cast<size_t>(i * c + j)] = best_r;
+    }
+  }
+}
+
+void segment_sum_fwd(TensorImpl& node) {
+  const simd::Kernels& K = simd::active();
+  const float* px = parent(node, 0)->data.data();
+  const std::int64_t k = node.op_i0;
+  const std::int64_t n = node.shape[0], c = node.shape[1];
+  std::fill(node.data.begin(), node.data.end(), 0.0f);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t r = 0; r < k; ++r) {
+      K.acc_add(node.data.data() + i * c, px + (i * k + r) * c, static_cast<size_t>(c));
+    }
+  }
+}
+
+void segment_softmax_fwd(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  const std::int64_t k = node.op_i0;
+  const std::int64_t n = px->shape[0] / k, c = px->shape[1];
+  FloatBuffer scratch = pool::acquire(static_cast<size_t>(2 * c));
+  simd::active().segment_softmax(px->data.data(), node.data.data(), scratch.data(), n,
+                                 k, c);
+  pool::release(std::move(scratch));
+}
+
+void log_softmax_rows_fwd(TensorImpl& node) {
+  simd::active().log_softmax_rows(parent(node, 0)->data.data(), node.data.data(),
+                                  node.shape[0], node.shape[1]);
+}
+
+void nll_loss_masked_fwd(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  const std::int64_t n = px->shape[0], c = px->shape[1];
+  const auto& labels = node.ctx->labels;
+  const auto& mask = node.ctx->mask;
+  const float* p = px->data.data();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!mask.empty() && !mask[static_cast<size_t>(i)]) continue;
+    acc -= p[i * c + labels[static_cast<size_t>(i)]];
+  }
+  node.data[0] = static_cast<float>(acc * node.op_f0);
+}
+
+void hinge_margin_loss_fwd(TensorImpl& node) {
+  TensorImpl* px = parent(node, 0);
+  const std::int64_t n = px->shape[0], c = px->shape[1];
+  const auto& labels = node.ctx->labels;
+  const auto& mask = node.ctx->mask;
+  auto& best_j = node.ctx->ibuf;  // value-dependent: rewritten per replay
+  const bool targeted = node.op_flag;
+  const float* z = px->data.data();
+  double total = 0.0;
+  std::fill(best_j.begin(), best_j.end(), static_cast<std::int64_t>(-1));
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (!mask.empty() && !mask[static_cast<size_t>(i)]) continue;
+    const int y = labels[static_cast<size_t>(i)];
+    float best = -std::numeric_limits<float>::infinity();
+    std::int64_t bj = -1;
+    for (std::int64_t j = 0; j < c; ++j) {
+      if (j == y) continue;
+      if (z[i * c + j] > best) {
+        best = z[i * c + j];
+        bj = j;
+      }
+    }
+    const float margin = targeted ? best - z[i * c + y] : z[i * c + y] - best;
+    if (margin > 0.0f) {
+      total += margin;
+      best_j[static_cast<size_t>(i)] = bj;
+    }
+  }
+  node.data[0] = static_cast<float>(total);
+}
+
+void smoothness_penalty_fwd(TensorImpl& node) {
+  TensorImpl* px_node = parent(node, 0);
+  const std::int64_t alpha = node.op_i0;
+  const std::int64_t n = px_node->shape[0], c = px_node->shape[1];
+  const auto& idx = node.ctx->ibuf;
+  const float* px = px_node->data.data();
+  double total = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t k = 0; k < alpha; ++k) {
+      const std::int64_t j = idx[static_cast<size_t>(i * alpha + k)];
+      double d2 = 0.0;
+      for (std::int64_t t = 0; t < c; ++t) {
+        const double d = px[i * c + t] - px[j * c + t];
+        d2 += d * d;
+      }
+      total += std::sqrt(d2);
+    }
+  }
+  node.data[0] = static_cast<float>(total);
+}
+
+void bn_relu_eval_fwd(TensorImpl& node) {
+  // Eval-mode running stats are frozen; the [mean | inv_std] pair cached in
+  // ctx.fbuf at capture time stays valid across replays.
+  const std::int64_t c = node.shape[1];
+  const float* mean = node.ctx->fbuf.data();
+  const float* inv_std = mean + c;
+  simd::active().bn_relu_eval(parent(node, 0)->data.data(),
+                              parent(node, 1)->data.data(),
+                              parent(node, 2)->data.data(), mean, inv_std,
+                              node.data.data(), node.shape[0], c);
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -727,17 +1095,21 @@ Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
   FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   simd::active().ew_add(a.data(), b.data(), out.data(), out.size());
-  return make_node(a.shape(), std::move(out), {a.impl(), b.impl()}, add_bw);
+  return make_node(a.shape(), std::move(out), {a.impl(), b.impl()}, add_bw,
+                   {.fwd = add_fwd});
 }
 
 Tensor add_inplace(Tensor a, const Tensor& b) {
   check_same_shape(a, b, "add_inplace");
   TensorImplPtr ia = a.impl();
   a = Tensor();  // drop the caller-moved handle so uniqueness is observable
-  if (ia.use_count() != 1 || !ia->grad.empty() || ia->backward_reads_output) {
+  if (plan::detail::recording() || ia.use_count() != 1 || !ia->grad.empty() ||
+      ia->backward_reads_output) {
     // Shared storage (another handle or graph edge), a live gradient, or
     // a node whose own backward needs its output values: fall back to the
-    // allocating op.
+    // allocating op. A plan capture also forces the fallback — a stolen
+    // operand buffer could not be recomputed at replay — and acc_add(a += b)
+    // is bit-identical to ew_add per element, so capture changes no bytes.
     return add(Tensor(std::move(ia)), b);
   }
   FloatBuffer out = std::move(ia->data);
@@ -750,28 +1122,32 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub");
   FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   simd::active().ew_sub(a.data(), b.data(), out.data(), out.size());
-  return make_node(a.shape(), std::move(out), {a.impl(), b.impl()}, sub_bw);
+  return make_node(a.shape(), std::move(out), {a.impl(), b.impl()}, sub_bw,
+                   {.fwd = sub_fwd});
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
   FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   simd::active().ew_mul(a.data(), b.data(), out.data(), out.size());
-  return make_node(a.shape(), std::move(out), {a.impl(), b.impl()}, mul_bw);
+  return make_node(a.shape(), std::move(out), {a.impl(), b.impl()}, mul_bw,
+                   {.fwd = mul_fwd});
 }
 
 Tensor scale(const Tensor& a, float s) {
   check(a.defined(), "scale: undefined input");
   FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   simd::active().ew_scale(a.data(), s, out.data(), out.size());
-  return make_node(a.shape(), std::move(out), {a.impl()}, scale_bw, {.f0 = s});
+  return make_node(a.shape(), std::move(out), {a.impl()}, scale_bw,
+                   {.f0 = s, .fwd = scale_fwd});
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
   check(a.defined(), "add_scalar: undefined input");
   FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   simd::active().ew_add_scalar(a.data(), s, out.data(), out.size());
-  return make_node(a.shape(), std::move(out), {a.impl()}, add_scalar_bw);
+  return make_node(a.shape(), std::move(out), {a.impl()}, add_scalar_bw,
+                   {.f0 = s, .fwd = add_scalar_fwd});
 }
 
 Tensor neg(const Tensor& a) { return scale(a, -1.0f); }
@@ -783,7 +1159,8 @@ Tensor add_rowvec(const Tensor& x, const Tensor& bias) {
   const std::int64_t n = x.dim(0), c = x.dim(1);
   FloatBuffer out = pool::acquire(static_cast<size_t>(n * c));
   simd::active().add_rowvec(x.data(), bias.data(), out.data(), n, c);
-  return make_node(x.shape(), std::move(out), {x.impl(), bias.impl()}, add_rowvec_bw);
+  return make_node(x.shape(), std::move(out), {x.impl(), bias.impl()}, add_rowvec_bw,
+                   {.fwd = add_rowvec_fwd});
 }
 
 // ---------------------------------------------------------------------------
@@ -801,7 +1178,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   FloatBuffer out = pool::acquire(static_cast<size_t>(n * m));
   note_gemm(n, k, m);
   simd::active().gemm_nn_init(a.data(), b.data(), out.data(), n, k, m);
-  return make_node({n, m}, std::move(out), {a.impl(), b.impl()}, matmul_bw);
+  return make_node({n, m}, std::move(out), {a.impl(), b.impl()}, matmul_bw,
+                   {.fwd = matmul_fwd});
 }
 
 Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
@@ -820,7 +1198,8 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
     K.add_rowvec(out.data(), bias.data(), out.data(), n, m);  // in-place epilogue
     parents.push_back(bias.impl());
   }
-  return make_node({n, m}, std::move(out), std::move(parents), linear_bw);
+  return make_node({n, m}, std::move(out), std::move(parents), linear_bw,
+                   {.fwd = linear_fwd});
 }
 
 // ---------------------------------------------------------------------------
@@ -831,14 +1210,19 @@ Tensor relu(const Tensor& a) {
   check(a.defined(), "relu: undefined input");
   FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   simd::active().ew_relu(a.data(), out.data(), out.size());
-  return make_node(a.shape(), std::move(out), {a.impl()}, relu_bw);
+  return make_node(a.shape(), std::move(out), {a.impl()}, relu_bw, {.fwd = relu_fwd});
 }
 
 Tensor relu_inplace(Tensor a) {
   check(a.defined(), "relu_inplace: undefined input");
   TensorImplPtr ia = a.impl();
   a = Tensor();
-  if (ia.use_count() != 1 || !ia->grad.empty() || ia->backward_reads_output) {
+  if (plan::detail::recording() || ia.use_count() != 1 || !ia->grad.empty() ||
+      ia->backward_reads_output) {
+    // See add_inplace: capture forces the allocating fallback. The output
+    // values are identical, and so are the gradients — relu_bw masks by the
+    // input sign, relu_inplace_bw by the output sign, and relu(x) > 0 iff
+    // x > 0.
     return relu(Tensor(std::move(ia)));
   }
   FloatBuffer out = std::move(ia->data);
@@ -853,7 +1237,7 @@ Tensor leaky_relu(const Tensor& a, float negative_slope) {
   FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   simd::active().ew_leaky_relu(a.data(), negative_slope, out.data(), out.size());
   return make_node(a.shape(), std::move(out), {a.impl()}, leaky_relu_bw,
-                   {.f0 = negative_slope});
+                   {.f0 = negative_slope, .fwd = leaky_relu_fwd});
 }
 
 Tensor tanh_op(const Tensor& a) {
@@ -861,7 +1245,8 @@ Tensor tanh_op(const Tensor& a) {
   FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   const float* pa = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(pa[i]);
-  return make_node(a.shape(), std::move(out), {a.impl()}, tanh_bw, {.needs_output = true});
+  return make_node(a.shape(), std::move(out), {a.impl()}, tanh_bw,
+                   {.needs_output = true, .fwd = tanh_fwd});
 }
 
 Tensor sigmoid(const Tensor& a) {
@@ -870,14 +1255,15 @@ Tensor sigmoid(const Tensor& a) {
   const float* pa = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = 1.0f / (1.0f + std::exp(-pa[i]));
   return make_node(a.shape(), std::move(out), {a.impl()}, sigmoid_bw,
-                   {.needs_output = true});
+                   {.needs_output = true, .fwd = sigmoid_fwd});
 }
 
 Tensor square(const Tensor& a) {
   check(a.defined(), "square: undefined input");
   FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   simd::active().ew_square(a.data(), out.data(), out.size());
-  return make_node(a.shape(), std::move(out), {a.impl()}, square_bw);
+  return make_node(a.shape(), std::move(out), {a.impl()}, square_bw,
+                   {.fwd = square_fwd});
 }
 
 // ---------------------------------------------------------------------------
@@ -892,7 +1278,7 @@ Tensor sum(const Tensor& a) {
       simd::active().reduce_sum_f64(a.data(), static_cast<size_t>(a.numel()));
   FloatBuffer out = pool::acquire(1);
   out[0] = static_cast<float>(acc);
-  return make_node({1}, std::move(out), {a.impl()}, sum_bw);
+  return make_node({1}, std::move(out), {a.impl()}, sum_bw, {.fwd = sum_fwd});
 }
 
 Tensor mean(const Tensor& a) {
@@ -905,7 +1291,8 @@ Tensor row_sum(const Tensor& a) {
   const std::int64_t n = a.dim(0), c = a.dim(1);
   FloatBuffer out = pool::acquire(static_cast<size_t>(n));
   simd::active().row_sum(a.data(), out.data(), n, c);
-  return make_node({n, 1}, std::move(out), {a.impl()}, row_sum_bw);
+  return make_node({n, 1}, std::move(out), {a.impl()}, row_sum_bw,
+                   {.fwd = row_sum_fwd});
 }
 
 Tensor sqrt_op(const Tensor& a, float eps) {
@@ -913,7 +1300,8 @@ Tensor sqrt_op(const Tensor& a, float eps) {
   FloatBuffer out = pool::acquire(static_cast<size_t>(a.numel()));
   const float* pa = a.data();
   for (size_t i = 0; i < out.size(); ++i) out[i] = std::sqrt(std::max(pa[i] + eps, 0.0f));
-  return make_node(a.shape(), std::move(out), {a.impl()}, sqrt_bw, {.needs_output = true});
+  return make_node(a.shape(), std::move(out), {a.impl()}, sqrt_bw,
+                   {.f0 = eps, .needs_output = true, .fwd = sqrt_fwd});
 }
 
 // ---------------------------------------------------------------------------
@@ -933,7 +1321,7 @@ Tensor gather_rows(const Tensor& x, const std::vector<std::int64_t>& idx) {
   auto ctx = std::make_unique<BackwardCtx>();
   ctx->ibuf = idx;
   return make_node({m, c}, std::move(out), {x.impl()}, gather_rows_bw,
-                   {.ctx = std::move(ctx)});
+                   {.ctx = std::move(ctx), .fwd = gather_rows_fwd});
 }
 
 Tensor scatter_rows(const Tensor& rows, const std::vector<std::int64_t>& idx,
@@ -959,8 +1347,12 @@ Tensor scatter_rows(const Tensor& rows, const std::vector<std::int64_t>& idx,
   }
   auto ctx = std::make_unique<BackwardCtx>();
   ctx->ibuf = idx;
+  // The fill template is part of the op's fixed state: replays restore it
+  // before scattering, so it is saved alongside the indices.
+  ctx->fbuf = pool::acquire(fill.size());
+  std::copy(fill.begin(), fill.end(), ctx->fbuf.begin());
   return make_node({out_rows, c}, std::move(out), {rows.impl()}, scatter_rows_bw,
-                   {.ctx = std::move(ctx)});
+                   {.ctx = std::move(ctx), .fwd = scatter_rows_fwd});
 }
 
 Tensor weighted_gather_rows(const Tensor& x, const std::vector<std::int64_t>& idx,
@@ -990,7 +1382,8 @@ Tensor weighted_gather_rows(const Tensor& x, const std::vector<std::int64_t>& id
   ctx->fbuf = pool::acquire(weights.size());
   std::copy(weights.begin(), weights.end(), ctx->fbuf.begin());
   return make_node({nout, c}, std::move(out), {x.impl()}, weighted_gather_rows_bw,
-                   {.i0 = k_per_row, .ctx = std::move(ctx)});
+                   {.i0 = k_per_row, .ctx = std::move(ctx),
+                    .fwd = weighted_gather_rows_fwd});
 }
 
 Tensor repeat_rows(const Tensor& x, std::int64_t k) {
@@ -1004,7 +1397,8 @@ Tensor repeat_rows(const Tensor& x, std::int64_t k) {
       std::copy_n(px + i * c, c, out.data() + (i * k + r) * c);
     }
   }
-  return make_node({n * k, c}, std::move(out), {x.impl()}, repeat_rows_bw, {.i0 = k});
+  return make_node({n * k, c}, std::move(out), {x.impl()}, repeat_rows_bw,
+                   {.i0 = k, .fwd = repeat_rows_fwd});
 }
 
 Tensor concat_cols(const Tensor& a, const Tensor& b) {
@@ -1019,7 +1413,8 @@ Tensor concat_cols(const Tensor& a, const Tensor& b) {
     std::copy_n(pa + i * ca, ca, out.data() + i * (ca + cb));
     std::copy_n(pb + i * cb, cb, out.data() + i * (ca + cb) + ca);
   }
-  return make_node({n, ca + cb}, std::move(out), {a.impl(), b.impl()}, concat_cols_bw);
+  return make_node({n, ca + cb}, std::move(out), {a.impl(), b.impl()}, concat_cols_bw,
+                   {.fwd = concat_cols_fwd});
 }
 
 Tensor concat_cols4(const Tensor& a, const Tensor& b, const Tensor& c, const Tensor& d) {
@@ -1042,7 +1437,8 @@ Tensor concat_cols4(const Tensor& a, const Tensor& b, const Tensor& c, const Ten
     offset += w;
   }
   return make_node({n, total}, std::move(out),
-                   {a.impl(), b.impl(), c.impl(), d.impl()}, concat_cols4_bw);
+                   {a.impl(), b.impl(), c.impl(), d.impl()}, concat_cols4_bw,
+                   {.fwd = concat_cols4_fwd});
 }
 
 Tensor slice_cols(const Tensor& x, std::int64_t c0, std::int64_t c1) {
@@ -1052,7 +1448,8 @@ Tensor slice_cols(const Tensor& x, std::int64_t c0, std::int64_t c1) {
   FloatBuffer out = pool::acquire(static_cast<size_t>(n * w));
   const float* px = x.data();
   for (std::int64_t i = 0; i < n; ++i) std::copy_n(px + i * c + c0, w, out.data() + i * w);
-  return make_node({n, w}, std::move(out), {x.impl()}, slice_cols_bw, {.i0 = c0});
+  return make_node({n, w}, std::move(out), {x.impl()}, slice_cols_bw,
+                   {.i0 = c0, .fwd = slice_cols_fwd});
 }
 
 Tensor scatter_add_cols(const Tensor& base, const Tensor& delta, std::int64_t col0) {
@@ -1069,7 +1466,7 @@ Tensor scatter_add_cols(const Tensor& base, const Tensor& delta, std::int64_t co
     for (std::int64_t j = 0; j < d; ++j) out[i * c + col0 + j] += pd[i * d + j];
   }
   return make_node(base.shape(), std::move(out), {base.impl(), delta.impl()},
-                   scatter_add_cols_bw, {.i0 = col0});
+                   scatter_add_cols_bw, {.i0 = col0, .fwd = scatter_add_cols_fwd});
 }
 
 // ---------------------------------------------------------------------------
@@ -1090,7 +1487,7 @@ Tensor edge_features(const Tensor& h, const std::vector<std::int64_t>& idx,
   auto ctx = std::make_unique<BackwardCtx>();
   ctx->ibuf = idx;
   return make_node({n * k, 2 * c}, std::move(out), {h.impl()}, edge_features_bw,
-                   {.i0 = k, .ctx = std::move(ctx)});
+                   {.i0 = k, .ctx = std::move(ctx), .fwd = edge_features_fwd});
 }
 
 Tensor gather_sub_rows(const Tensor& x, const std::vector<std::int64_t>& idx_a,
@@ -1120,7 +1517,7 @@ Tensor gather_sub_rows(const Tensor& x, const std::vector<std::int64_t>& idx_a,
   ctx->ibuf.insert(ctx->ibuf.end(), idx_a.begin(), idx_a.end());
   ctx->ibuf.insert(ctx->ibuf.end(), idx_b.begin(), idx_b.end());
   return make_node({nout * k, c}, std::move(out), {x.impl()}, gather_sub_rows_bw,
-                   {.i0 = k, .ctx = std::move(ctx)});
+                   {.i0 = k, .ctx = std::move(ctx), .fwd = gather_sub_rows_fwd});
 }
 
 Tensor mul_rows(const Tensor& x, const Tensor& col) {
@@ -1130,7 +1527,8 @@ Tensor mul_rows(const Tensor& x, const Tensor& col) {
   const std::int64_t n = x.dim(0), c = x.dim(1);
   FloatBuffer out = pool::acquire(static_cast<size_t>(n * c));
   simd::active().mul_rows(x.data(), col.data(), out.data(), n, c);
-  return make_node(x.shape(), std::move(out), {x.impl(), col.impl()}, mul_rows_bw);
+  return make_node(x.shape(), std::move(out), {x.impl(), col.impl()}, mul_rows_bw,
+                   {.fwd = mul_rows_fwd});
 }
 
 // ---------------------------------------------------------------------------
@@ -1170,7 +1568,7 @@ Tensor segment_max(const Tensor& x, std::int64_t k) {
     }
   }
   return make_node({n, c}, std::move(out), {x.impl()}, segment_max_bw,
-                   {.i0 = k, .ctx = std::move(ctx)});
+                   {.i0 = k, .ctx = std::move(ctx), .fwd = segment_max_fwd});
 }
 
 Tensor segment_sum(const Tensor& x, std::int64_t k) {
@@ -1184,7 +1582,8 @@ Tensor segment_sum(const Tensor& x, std::int64_t k) {
       K.acc_add(out.data() + i * c, px + (i * k + r) * c, static_cast<size_t>(c));
     }
   }
-  return make_node({n, c}, std::move(out), {x.impl()}, segment_sum_bw, {.i0 = k});
+  return make_node({n, c}, std::move(out), {x.impl()}, segment_sum_bw,
+                   {.i0 = k, .fwd = segment_sum_fwd});
 }
 
 Tensor segment_mean(const Tensor& x, std::int64_t k) {
@@ -1199,7 +1598,7 @@ Tensor segment_softmax(const Tensor& x, std::int64_t k) {
   simd::active().segment_softmax(x.data(), out.data(), scratch.data(), n, k, c);
   pool::release(std::move(scratch));
   return make_node(x.shape(), std::move(out), {x.impl()}, segment_softmax_bw,
-                   {.i0 = k, .needs_output = true});
+                   {.i0 = k, .needs_output = true, .fwd = segment_softmax_fwd});
 }
 
 // ---------------------------------------------------------------------------
@@ -1212,7 +1611,7 @@ Tensor log_softmax_rows(const Tensor& x) {
   FloatBuffer out = pool::acquire(static_cast<size_t>(n * c));
   simd::active().log_softmax_rows(x.data(), out.data(), n, c);
   return make_node(x.shape(), std::move(out), {x.impl()}, log_softmax_rows_bw,
-                   {.needs_output = true});
+                   {.needs_output = true, .fwd = log_softmax_rows_fwd});
 }
 
 Tensor nll_loss_masked(const Tensor& log_probs, const std::vector<int>& labels,
@@ -1239,7 +1638,7 @@ Tensor nll_loss_masked(const Tensor& log_probs, const std::vector<int>& labels,
   FloatBuffer out = pool::acquire(1);
   out[0] = static_cast<float>(acc * inv);
   return make_node({1}, std::move(out), {log_probs.impl()}, nll_loss_masked_bw,
-                   {.f0 = inv, .ctx = std::move(ctx)});
+                   {.f0 = inv, .ctx = std::move(ctx), .fwd = nll_loss_masked_fwd});
 }
 
 Tensor hinge_margin_loss(const Tensor& logits, const std::vector<int>& labels,
@@ -1257,6 +1656,7 @@ Tensor hinge_margin_loss(const Tensor& logits, const std::vector<int>& labels,
   auto ctx = std::make_unique<BackwardCtx>();
   ctx->ibuf.assign(static_cast<size_t>(n), -1);
   ctx->labels = labels;
+  ctx->mask = mask;  // replays recompute the active set from the fixed mask
   for (std::int64_t i = 0; i < n; ++i) {
     if (!mask.empty() && !mask[i]) continue;
     const int y = labels[i];
@@ -1279,7 +1679,8 @@ Tensor hinge_margin_loss(const Tensor& logits, const std::vector<int>& labels,
   FloatBuffer out = pool::acquire(1);
   out[0] = static_cast<float>(total);
   return make_node({1}, std::move(out), {logits.impl()}, hinge_margin_loss_bw,
-                   {.flag = targeted, .ctx = std::move(ctx)});
+                   {.flag = targeted, .ctx = std::move(ctx),
+                    .fwd = hinge_margin_loss_fwd});
 }
 
 Tensor smoothness_penalty(const Tensor& x, const std::vector<std::int64_t>& neighbor_idx,
@@ -1307,7 +1708,7 @@ Tensor smoothness_penalty(const Tensor& x, const std::vector<std::int64_t>& neig
   FloatBuffer out = pool::acquire(1);
   out[0] = static_cast<float>(total);
   return make_node({1}, std::move(out), {x.impl()}, smoothness_penalty_bw,
-                   {.i0 = alpha, .ctx = std::move(ctx)});
+                   {.i0 = alpha, .ctx = std::move(ctx), .fwd = smoothness_penalty_fwd});
 }
 
 // ---------------------------------------------------------------------------
@@ -1383,7 +1784,8 @@ Tensor bn_relu_eval(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   simd::active().bn_relu_eval(x.data(), gamma.data(), beta.data(), mean, inv_std,
                               out.data(), n, c);
   return make_node(x.shape(), std::move(out), {x.impl(), gamma.impl(), beta.impl()},
-                   bn_relu_eval_bw, {.needs_output = true, .ctx = std::move(ctx)});
+                   bn_relu_eval_bw,
+                   {.needs_output = true, .ctx = std::move(ctx), .fwd = bn_relu_eval_fwd});
 }
 
 Tensor dropout(const Tensor& x, float p, Rng& rng, bool training) {

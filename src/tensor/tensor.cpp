@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "pcss/tensor/plan.h"
 #include "pcss/tensor/pool.h"
 
 namespace pcss::tensor {
@@ -222,6 +223,10 @@ void Tensor::backward() {
     TensorImpl& node = **it;
     if (node.backward_fn && !node.grad.empty()) node.backward_fn(node);
   }
+  // A compiled-plan capture pins the finished graph instead of releasing
+  // it: the reverse schedule just executed is exactly what the plan will
+  // replay (see plan.h).
+  if (plan::detail::capture_backward(impl_, order)) return;
   // Release the graph: parent edges and backward state are dropped for
   // every visited node. Nodes kept alive only by the graph die when
   // `order` unwinds, returning their buffers to the pool; externally-held

@@ -1,0 +1,17 @@
+// D008 corpus good twin: the legal idiom walks buffers that capture
+// already pinned — mentioning pool::acquire in a comment is fine, and
+// reusing pinned storage never names the pool at all.
+#pragma once
+
+#include <vector>
+
+struct PinnedStep {
+  float* data = nullptr;  // pinned at capture, never re-acquired
+  int size = 0;
+};
+
+inline void good_replay(std::vector<PinnedStep>& steps) {
+  for (PinnedStep& step : steps) {
+    for (int i = 0; i < step.size; ++i) step.data[i] = 0.0f;
+  }
+}

@@ -1,0 +1,11 @@
+// D008 corpus scope witness: the rest of the tensor layer acquires
+// from the pool by design (that is the D003 contract) — acquire here
+// must NOT flag; the rule fences only the plan TUs.
+#include "pcss/tensor/pool.h"
+
+namespace pool = pcss::tensor::pool;
+
+void ok_pooled_op_scratch() {
+  auto buffer = pool::acquire_zeroed(512);
+  pool::release(std::move(buffer));
+}

@@ -92,8 +92,8 @@ TEST(PcssLint, HelpExitsZero) {
 TEST(PcssLint, ListRulesNamesEveryRule) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
-  for (const char* rule :
-       {"D001", "D002", "D003", "D004", "D005", "D006", "D007", "C001", "C002"}) {
+  for (const char* rule : {"D001", "D002", "D003", "D004", "D005", "D006", "D007",
+                           "D008", "C001", "C002"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << "missing " << rule;
   }
 }
@@ -154,6 +154,15 @@ TEST(PcssLint, D007ServeSymbolsInEngineLayers) {
   expect_clean("D007/src/runner/good.cpp");
   // Scope: client-side code above the engine may name the server.
   expect_clean("D007/tools/ok_out_of_scope.cpp");
+}
+
+TEST(PcssLint, D008PoolTrafficInPlanTUs) {
+  // Both acquire spellings flag (9, 10); pool::release on 11-12 is not
+  // an allocation and stays quiet.
+  expect_errors("D008/src/tensor/plan.cpp", {{9, "D008"}, {10, "D008"}});
+  expect_clean("D008/include/pcss/tensor/plan.h");
+  // Scope: the rest of the tensor layer acquires from the pool by design.
+  expect_clean("D008/src/tensor/ops.cpp");
 }
 
 TEST(PcssLint, C001AdHocThreads) {

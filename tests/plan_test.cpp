@@ -1,0 +1,317 @@
+// Compiled step-plan contracts (pcss/tensor/plan.h + engine integration):
+// replayed steps must be BYTE-identical to eager execution for every model
+// family and both projections, capture invalidation must fall back to
+// eager re-capture without changing bytes, thread count must stay
+// irrelevant with plans on, and the engine's gating must keep
+// plan-incompatible configurations eager. Counter deltas (plan.captures /
+// plan.replays / plan.fallbacks) prove plans actually engaged — a test
+// that silently fell back to eager would otherwise pass vacuously.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pcss/core/attack_engine.h"
+#include "pcss/data/indoor.h"
+#include "pcss/models/pointnet2.h"
+#include "pcss/models/randlanet.h"
+#include "pcss/models/resgcn.h"
+#include "pcss/obs/metrics.h"
+#include "pcss/tensor/ops.h"
+#include "pcss/tensor/plan.h"
+
+using namespace pcss::core;
+using pcss::data::IndoorSceneGenerator;
+using pcss::models::SegmentationModel;
+using pcss::tensor::Rng;
+using pcss::tensor::Tensor;
+namespace ops = pcss::tensor::ops;
+namespace plan = pcss::tensor::plan;
+
+namespace {
+
+/// Process-global counter deltas around one scope.
+struct PlanCounters {
+  std::uint64_t captures0, replays0, fallbacks0;
+  PlanCounters()
+      : captures0(pcss::obs::metrics::counter("plan.captures").value()),
+        replays0(pcss::obs::metrics::counter("plan.replays").value()),
+        fallbacks0(pcss::obs::metrics::counter("plan.fallbacks").value()) {}
+  std::uint64_t captures() const {
+    return pcss::obs::metrics::counter("plan.captures").value() - captures0;
+  }
+  std::uint64_t replays() const {
+    return pcss::obs::metrics::counter("plan.replays").value() - replays0;
+  }
+  std::uint64_t fallbacks() const {
+    return pcss::obs::metrics::counter("plan.fallbacks").value() - fallbacks0;
+  }
+};
+
+PointCloud tiny_scene(int points = 96, std::uint64_t seed = 42) {
+  IndoorSceneGenerator gen({.num_points = points});
+  Rng rng(seed);
+  return gen.generate(rng);
+}
+
+enum class Family { kPointNet2, kResGCN, kRandLA };
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kPointNet2: return "PointNet2";
+    case Family::kResGCN: return "ResGCN";
+    case Family::kRandLA: return "RandLA";
+  }
+  return "?";
+}
+
+std::unique_ptr<SegmentationModel> make_model(Family f, Rng& rng) {
+  switch (f) {
+    case Family::kPointNet2: {
+      pcss::models::PointNet2Config c;
+      c.num_classes = 13;
+      c.c1 = 12;
+      c.c2 = 16;
+      c.head = 16;
+      return std::make_unique<pcss::models::PointNet2Seg>(c, rng);
+    }
+    case Family::kResGCN: {
+      pcss::models::ResGCNConfig c;
+      c.num_classes = 13;
+      c.channels = 12;
+      c.blocks = 2;
+      return std::make_unique<pcss::models::ResGCNSeg>(c, rng);
+    }
+    case Family::kRandLA: {
+      pcss::models::RandLANetConfig c;
+      c.num_classes = 13;
+      c.c1 = 8;
+      c.c2 = 12;
+      c.c3 = 16;
+      return std::make_unique<pcss::models::RandLANetSeg>(c, rng);
+    }
+  }
+  return nullptr;
+}
+
+/// Exact float equality everywhere a result can differ: the replay must
+/// execute the same arithmetic on the same bytes in the same order.
+void expect_byte_identical(const AttackResult& a, const AttackResult& b) {
+  ASSERT_EQ(a.perturbed.size(), b.perturbed.size());
+  EXPECT_EQ(a.steps_used, b.steps_used);
+  EXPECT_EQ(a.predictions, b.predictions);
+  EXPECT_EQ(a.l2_color, b.l2_color);
+  EXPECT_EQ(a.l2_coord, b.l2_coord);
+  EXPECT_EQ(a.l0_color, b.l0_color);
+  EXPECT_EQ(a.l0_coord, b.l0_coord);
+  for (std::int64_t i = 0; i < a.perturbed.size(); ++i) {
+    for (int axis = 0; axis < 3; ++axis) {
+      EXPECT_EQ(a.perturbed.colors[static_cast<size_t>(i)][axis],
+                b.perturbed.colors[static_cast<size_t>(i)][axis])
+          << "color mismatch at point " << i;
+      EXPECT_EQ(a.perturbed.positions[static_cast<size_t>(i)][axis],
+                b.perturbed.positions[static_cast<size_t>(i)][axis])
+          << "position mismatch at point " << i;
+    }
+  }
+}
+
+ExecPolicy plan_on() { return {1, true, {}}; }
+ExecPolicy plan_off() { return {1, false, {}}; }
+
+// --- Plan layer unit contracts -------------------------------------------
+
+TEST(PlanBuilder, CapturedGraphReplaysByteIdentical) {
+  // A leaf -> square -> sum graph: capture one forward+backward, mutate
+  // the leaf values in place, replay, and compare against a from-scratch
+  // eager pass over the same values.
+  Tensor x = Tensor::from_data({4, 3}, std::vector<float>(12, 0.5f));
+  x.set_requires_grad(true);
+
+  plan::PlanBuilder builder;
+  Tensor y = ops::sum(ops::square(ops::scale(x, 2.0f)));
+  y.backward();
+  plan::CompiledPlan compiled;
+  ASSERT_TRUE(builder.finish(compiled));
+  ASSERT_TRUE(compiled.valid());
+  const plan::PlanStats stats = compiled.stats();
+  EXPECT_EQ(stats.forward_ops, 3u);
+  EXPECT_GT(stats.backward_ops, 0u);
+  EXPECT_GT(stats.nodes, 0u);
+  EXPECT_GT(stats.arena_floats, 0u);
+
+  for (int trial = 0; trial < 3; ++trial) {
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      x.data()[i] = 0.1f * static_cast<float>(trial + 1) + 0.01f * static_cast<float>(i);
+    }
+    compiled.replay_forward();
+    compiled.replay_backward();
+
+    Tensor x2 = Tensor::from_data({4, 3},
+                                  std::vector<float>(x.data(), x.data() + x.numel()));
+    x2.set_requires_grad(true);
+    Tensor y2 = ops::sum(ops::square(ops::scale(x2, 2.0f)));
+    y2.backward();
+    EXPECT_EQ(y.item(), y2.item()) << "trial " << trial;
+    ASSERT_EQ(x.grad().size(), x2.grad().size());
+    for (size_t i = 0; i < x.grad().size(); ++i) {
+      EXPECT_EQ(x.grad()[i], x2.grad()[i]) << "grad " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST(PlanBuilder, TrainingModeGraphIsNotCapturable) {
+  // Dropout in training mode consumes fresh RNG state per step, so the
+  // recorded node has no ForwardFn and finish() must refuse.
+  Rng rng(11);
+  auto model = make_model(Family::kPointNet2, rng);
+  const PointCloud cloud = tiny_scene();
+
+  plan::PlanBuilder builder;
+  Tensor logits = model->forward(pcss::models::ModelInput::plain(cloud),
+                                 /*training=*/true);
+  Tensor loss = ops::sum(logits);
+  loss.backward();
+  plan::CompiledPlan compiled;
+  EXPECT_FALSE(builder.finish(compiled));
+  EXPECT_FALSE(compiled.valid());
+}
+
+// --- Engine byte-identity per model family --------------------------------
+
+class PlanModels : public ::testing::TestWithParam<Family> {};
+
+TEST_P(PlanModels, BoundedReplayMatchesEager) {
+  Rng rng(21);
+  auto model = make_model(GetParam(), rng);
+  const PointCloud cloud = tiny_scene();
+  AttackConfig config;
+  config.field = AttackField::kColor;
+  config.norm = AttackNorm::kBounded;
+  config.steps = 5;
+  AttackEngine engine(*model, config);
+
+  PlanCounters counters;
+  const AttackResult planned = engine.run(cloud, plan_on());
+  EXPECT_EQ(counters.captures(), 1u) << family_name(GetParam());
+  EXPECT_GE(counters.replays(), 3u) << family_name(GetParam());
+  const AttackResult eager = engine.run(cloud, plan_off());
+  expect_byte_identical(planned, eager);
+}
+
+TEST_P(PlanModels, UnboundedReplayMatchesEager) {
+  Rng rng(22);
+  auto model = make_model(GetParam(), rng);
+  const PointCloud cloud = tiny_scene();
+  AttackConfig config;
+  config.field = AttackField::kColor;
+  config.norm = AttackNorm::kUnbounded;
+  config.cw_steps = 5;
+  AttackEngine engine(*model, config);
+
+  PlanCounters counters;
+  const AttackResult planned = engine.run(cloud, plan_on());
+  EXPECT_EQ(counters.captures(), 1u) << family_name(GetParam());
+  EXPECT_GE(counters.replays(), 3u) << family_name(GetParam());
+  const AttackResult eager = engine.run(cloud, plan_off());
+  expect_byte_identical(planned, eager);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, PlanModels,
+                         ::testing::Values(Family::kPointNet2, Family::kResGCN,
+                                           Family::kRandLA),
+                         [](const auto& info) { return family_name(info.param); });
+
+// --- Invalidation, gating, threading --------------------------------------
+
+TEST(PlanEngine, InvalidationFallsBackAndRecaptures) {
+  // l0_on_color restorations bump the projection's plan epoch, so the
+  // engine must drop the plan, replay the step eagerly (bit-identically),
+  // and capture a fresh plan — visible as fallbacks > 0 with > 1 capture.
+  Rng rng(23);
+  auto model = make_model(Family::kResGCN, rng);
+  const PointCloud cloud = tiny_scene();
+  AttackConfig config;
+  config.field = AttackField::kColor;
+  config.norm = AttackNorm::kBounded;
+  config.steps = 8;
+  config.l0_on_color = true;
+  config.min_impact_fraction = 0.25f;  // restore aggressively: invalidate often
+  AttackEngine engine(*model, config);
+
+  PlanCounters counters;
+  const AttackResult planned = engine.run(cloud, plan_on());
+  EXPECT_GE(counters.fallbacks(), 1u);
+  EXPECT_GE(counters.captures(), 2u);
+  const AttackResult eager = engine.run(cloud, plan_off());
+  expect_byte_identical(planned, eager);
+}
+
+TEST(PlanEngine, CoordinateFieldStaysEager) {
+  // Coordinate deltas rebuild host-side neighbor graphs every step; the
+  // gate must keep such runs eager rather than replaying a stale graph.
+  Rng rng(24);
+  auto model = make_model(Family::kResGCN, rng);
+  const PointCloud cloud = tiny_scene();
+  AttackConfig config;
+  config.field = AttackField::kCoordinate;
+  config.norm = AttackNorm::kBounded;
+  config.steps = 3;
+  AttackEngine engine(*model, config);
+
+  PlanCounters counters;
+  (void)engine.run(cloud, plan_on());
+  EXPECT_EQ(counters.captures(), 0u);
+  EXPECT_EQ(counters.replays(), 0u);
+}
+
+TEST(PlanEngine, ThreadCountIrrelevantWithPlans) {
+  Rng rng(25);
+  auto model = make_model(Family::kResGCN, rng);
+  std::vector<PointCloud> clouds;
+  Rng scenes(26);
+  IndoorSceneGenerator gen({.num_points = 96});
+  for (int i = 0; i < 3; ++i) clouds.push_back(gen.generate(scenes));
+  AttackConfig config;
+  config.field = AttackField::kColor;
+  config.steps = 4;
+  AttackEngine engine(*model, config);
+
+  const auto one = engine.run_batch(clouds, {1, true, {}});
+  const auto two = engine.run_batch(clouds, {2, true, {}});
+  const auto eager = engine.run_batch(clouds, {2, false, {}});
+  ASSERT_EQ(one.size(), clouds.size());
+  for (size_t i = 0; i < clouds.size(); ++i) {
+    expect_byte_identical(one[i], two[i]);
+    expect_byte_identical(one[i], eager[i]);
+  }
+}
+
+TEST(PlanEngine, SharedDeltaReplayMatchesEager) {
+  Rng rng(27);
+  auto model = make_model(Family::kResGCN, rng);
+  std::vector<PointCloud> clouds;
+  Rng scenes(28);
+  IndoorSceneGenerator gen({.num_points = 96});
+  for (int i = 0; i < 2; ++i) clouds.push_back(gen.generate(scenes));
+  AttackConfig config;
+  config.field = AttackField::kColor;
+  config.steps = 4;
+  AttackEngine engine(*model, config);
+
+  PlanCounters counters;
+  const SharedDeltaResult planned = engine.run_shared(clouds, {2, true, {}});
+  EXPECT_EQ(counters.captures(), clouds.size());
+  EXPECT_GE(counters.replays(), clouds.size());
+  const SharedDeltaResult eager = engine.run_shared(clouds, {1, false, {}});
+  EXPECT_EQ(planned.steps_used, eager.steps_used);
+  ASSERT_EQ(planned.color_delta.size(), eager.color_delta.size());
+  for (size_t i = 0; i < planned.color_delta.size(); ++i) {
+    EXPECT_EQ(planned.color_delta[i], eager.color_delta[i]) << "delta " << i;
+  }
+  EXPECT_EQ(planned.accuracy_before, eager.accuracy_before);
+  EXPECT_EQ(planned.accuracy_after, eager.accuracy_after);
+}
+
+}  // namespace

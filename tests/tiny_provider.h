@@ -119,12 +119,12 @@ inline pcss::runner::ExperimentSpec mini_grid_spec() {
 }
 
 inline pcss::runner::RunOptions tiny_options() {
-  pcss::runner::RunOptions options;
-  options.scale = tiny_scale();
-  options.fast = true;
-  options.num_threads = 1;
-  options.shard_size = 2;
-  return options;
+  return pcss::runner::RunOptionsBuilder()
+      .fast(true)
+      .scale(tiny_scale())
+      .threads(1)
+      .shard_size(2)
+      .build();
 }
 
 }  // namespace pcss_tests

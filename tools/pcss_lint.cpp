@@ -79,6 +79,9 @@ const Rule kRules[] = {
     {"D007", "src/core src/tensor src/runner",
      "no pcss::serve symbols or includes in engine layers: the server is a "
      "transport over the runner and the dependency arrow is one-way"},
+    {"D008", "src/tensor/plan.{h,cpp}",
+     "no pool::acquire/acquire_zeroed in compiled-plan TUs: capture pins every "
+     "buffer up front, so replay must be allocation-free by construction"},
     {"C001", "everywhere",
      "no direct std::thread construction outside the WorkerPool: ad-hoc "
      "threads bypass pool reuse, error propagation and shutdown"},
@@ -344,6 +347,9 @@ FileReport lint_file(const fs::path& filepath) {
   const bool d002_scope = in_scope_d002(path);
   const bool d004_scope = path.find("src/tensor/") != std::string::npos;
   const bool d006_scope = in_scope_d006(path);
+  // D008 covers the compiled-plan TUs: src/tensor/plan.cpp and its header
+  // under include/pcss/tensor/. Matching on "tensor/plan." catches both.
+  const bool d008_scope = path.find("tensor/plan.") != std::string::npos;
 
   auto emit = [&](int line_no, const char* rule, std::string message) {
     Diagnostic d;
@@ -489,6 +495,22 @@ FileReport lint_file(const fs::path& filepath) {
         emit(ln, "D007",
              "pcss::serve in an engine layer (the server is a transport over "
              "the runner; the engine must never depend back on it)");
+      }
+    }
+
+    // D008 — pool traffic in compiled-plan TUs. The plan layer's whole
+    // contract is that capture pins every buffer and replay reuses them;
+    // any acquire here would mean replays allocate. has_token's right
+    // boundary rejects '_', so both spellings are checked explicitly.
+    if (d008_scope) {
+      for (const char* tok : {"acquire", "acquire_zeroed"}) {
+        if (has_token(line, tok)) {
+          emit(ln, "D008",
+               std::string("'") + tok +
+                   "' in a compiled-plan TU (capture pins every buffer; "
+                   "replay must stay allocation-free)");
+          break;
+        }
       }
     }
 

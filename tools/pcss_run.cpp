@@ -78,6 +78,9 @@ int usage(int code) {
                "  --force             recompute, ignoring document and shard caches\n"
                "  --threads N         AttackEngine worker threads (0 = hardware)\n"
                "  --shard-size N      clouds per cached shard (default 4)\n"
+               "  --no-plan           disable compiled-plan replay in the attack loop\n"
+               "                      (pure execution knob: bytes and cache keys are\n"
+               "                      identical either way, only wall-clock changes)\n"
                "  --workers N         run N worker processes that claim shards via\n"
                "                      store leases, then merge; crash-safe and\n"
                "                      resumable, bytes identical to --workers 0\n"
@@ -182,10 +185,20 @@ int cmd_run(const std::vector<std::string>& specs, const RunOptions& base_option
     }
   };
   options.cancel = [] { return g_signal != 0; };
+  // Plan telemetry deltas per spec: the registry counters are
+  // process-global, so the difference across one run_spec call is what
+  // this spec's attack loops captured/replayed.
+  pcss::obs::metrics::Counter& plan_captures = pcss::obs::metrics::counter("plan.captures");
+  pcss::obs::metrics::Counter& plan_replays = pcss::obs::metrics::counter("plan.replays");
+  pcss::obs::metrics::Counter& plan_fallbacks =
+      pcss::obs::metrics::counter("plan.fallbacks");
   for (const std::string& name : specs) {
     const ExperimentSpec* spec = find_spec(name);
     if (spec == nullptr) return unknown_spec(name);
     std::printf("== %s — %s ==\n", spec->name.c_str(), spec->title.c_str());
+    const std::uint64_t captures0 = plan_captures.value();
+    const std::uint64_t replays0 = plan_replays.value();
+    const std::uint64_t fallbacks0 = plan_fallbacks.value();
     const RunOutcome out = run_spec(*spec, provider, store, options);
     print_document(out.document);
     if (out.cache_hit) {
@@ -195,6 +208,10 @@ int cmd_run(const std::vector<std::string>& specs, const RunOptions& base_option
                   out.shards_total);
     }
     print_perf((spec->name + " run_spec").c_str(), out.wall_seconds, out.attack_steps);
+    std::printf("  [plan] captures=%llu replays=%llu fallbacks=%llu\n",
+                static_cast<unsigned long long>(plan_captures.value() - captures0),
+                static_cast<unsigned long long>(plan_replays.value() - replays0),
+                static_cast<unsigned long long>(plan_fallbacks.value() - fallbacks0));
     std::printf("  document: %s\n\n", out.path.c_str());
   }
   return 0;
@@ -381,6 +398,7 @@ int cmd_run_workers(const std::vector<std::string>& specs, const RunOptions& bas
                              "--lease-ttl", std::to_string(lease_ttl_sec)});
     if (base_options.fast) args.push_back("--fast");
     if (base_options.force) args.push_back("--force");
+    if (!base_options.plan) args.push_back("--no-plan");
     return args;
   };
   const auto log_for = [&](int index) {
@@ -493,7 +511,7 @@ int main(int argc, char** argv) {
   install_signal_handlers();
 
   std::vector<std::string> specs;
-  RunOptions options;
+  RunOptionsBuilder builder;
   std::string store_root = ResultStore::default_root();
   std::string trace_path;
   std::string metrics_path;
@@ -523,11 +541,13 @@ int main(int argc, char** argv) {
     if (arg == "--fast") {
       fast = true;
     } else if (arg == "--force") {
-      options.force = true;
+      builder.force();
     } else if (arg == "--threads") {
-      options.num_threads = int_value("--threads");
+      builder.threads(int_value("--threads"));
     } else if (arg == "--shard-size") {
-      options.shard_size = int_value("--shard-size");
+      builder.shard_size(int_value("--shard-size"));
+    } else if (arg == "--no-plan") {
+      builder.plan(false);
     } else if (arg == "--workers") {
       workers = int_value("--workers");
     } else if (arg == "--lease-ttl") {
@@ -554,8 +574,7 @@ int main(int argc, char** argv) {
       specs.push_back(arg);
     }
   }
-  options.fast = fast;
-  options.scale = scale_for(fast);
+  const RunOptions options = builder.fast(fast).build();
   if (!trace_path.empty()) pcss::obs::trace::set_enabled(true);
 
   if (command == "gc") return cmd_gc(store_root, tmp_age_sec);

@@ -70,6 +70,7 @@ int usage(int code) {
                "                      boundary (default 0 = cancel immediately)\n"
                "  --threads N         attack threads per request (0 = hardware)\n"
                "  --shard-size N      clouds per cached shard (default 4)\n"
+               "  --no-plan           disable compiled-plan replay in the attack loop\n"
                "  --fast              serve CPU-smoke sizing (same as PCSS_FAST=1)\n"
                "  --no-warm           skip warming model fingerprints at startup\n"
                "  --trace FILE        record spans; write Chrome trace JSON on exit\n"
@@ -92,7 +93,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   bool fast = fast_mode();
   bool warm = true;
-  RunOptions base;
+  RunOptionsBuilder builder;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -131,9 +132,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--drain-grace") {
       config.drain_grace_ms = std::atoll(value("--drain-grace").c_str());
     } else if (arg == "--threads") {
-      base.num_threads = std::atoi(value("--threads").c_str());
+      builder.threads(std::atoi(value("--threads").c_str()));
     } else if (arg == "--shard-size") {
-      base.shard_size = std::atoi(value("--shard-size").c_str());
+      builder.shard_size(std::atoi(value("--shard-size").c_str()));
+    } else if (arg == "--no-plan") {
+      builder.plan(false);
     } else if (arg == "--fast") {
       fast = true;
     } else if (arg == "--no-warm") {
@@ -148,8 +151,7 @@ int main(int argc, char** argv) {
     }
   }
   (void)store_overridden;
-  base.fast = fast;
-  base.scale = scale_for(fast);
+  const RunOptions base = builder.fast(fast).build();
   if (!trace_path.empty()) pcss::obs::trace::set_enabled(true);
   install_signal_handlers();
 
